@@ -1,0 +1,74 @@
+"""A5 — Ablation: sub-array parallelism and write/compute overlap.
+
+The baseline Table V model issues array operations serially (the
+conservative reading of the paper's shared-bit-counter dataflow).  Fig. 4
+organises the chip as 128 sub-arrays, so this ablation asks what the
+architecture leaves on the table: latency versus concurrent compute
+units, with and without overlapping column-slice WRITEs — an Amdahl curve
+whose ceiling is the controller's serial per-edge work.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table, format_seconds
+from repro.arch.perf import default_pim_model
+from repro.arch.pipeline import ParallelConfig, ParallelPimModel
+
+from _helpers import accelerator_run, graph_for, nonempty_rows
+
+DATASET = "com-lj"
+UNITS = (1, 2, 4, 8, 16, 32, 128)
+
+
+def bench_ablation_parallelism(benchmark, emit):
+    base = default_pim_model()
+    graph = graph_for(DATASET)
+    run = benchmark.pedantic(
+        lambda: accelerator_run(DATASET), rounds=1, iterations=1
+    )
+    rows = nonempty_rows(graph)
+
+    table = Table(
+        [
+            "compute units",
+            "write overlap",
+            "latency",
+            "speedup vs serial",
+            "array energy (J)",
+        ],
+        title=f"Ablation A5 - sub-array parallelism on {DATASET} (scaled)",
+    )
+    serial_latency = base.evaluate(run.events, rows).latency_s
+    previous = None
+    for units in UNITS:
+        for overlap in (False, True):
+            model = ParallelPimModel(
+                base,
+                ParallelConfig(
+                    compute_units=units,
+                    write_ports=max(1, units // 4),
+                    overlap_write_with_compute=overlap,
+                ),
+            )
+            report = model.evaluate(run.events, rows)
+            table.add_row(
+                [
+                    units,
+                    overlap,
+                    format_seconds(report.latency_s),
+                    f"{serial_latency / report.latency_s:.2f}x",
+                    f"{report.array_energy_j:.3e}",
+                ]
+            )
+            if overlap:
+                if previous is not None:
+                    assert report.latency_s <= previous + 1e-12
+                previous = report.latency_s
+    emit("ablation_parallelism", table)
+
+    # Amdahl: with the controller serial, even 128 units cannot reach 128x.
+    widest = ParallelPimModel(
+        base,
+        ParallelConfig(compute_units=128, write_ports=32, overlap_write_with_compute=True),
+    ).evaluate(run.events, rows)
+    assert serial_latency / widest.latency_s < 128

@@ -1,0 +1,70 @@
+"""A1 — Ablation: slice size |S| in {16, 32, 64, 128, 256}.
+
+The paper fixes |S| = 64 without exploring alternatives.  This ablation
+shows the trade-off the choice sits on: small slices maximise the
+computation reduction (fewer wasted bits per valid slice) but inflate the
+index overhead (4 bytes per valid slice) and the number of cache entries;
+large slices amortise indexes but drag more zero bits into the array.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table, format_bytes, format_seconds
+from repro.arch.perf import default_pim_model
+from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
+from repro.core.slicing import slice_statistics
+
+from _helpers import graph_for, nonempty_rows, scaled_array_bytes
+
+DATASETS = ("email-enron", "roadnet-pa")
+SLICE_SIZES = (16, 32, 64, 128, 256)
+
+
+def bench_ablation_slice_size(benchmark, emit):
+    pim_model = default_pim_model()
+
+    def run_one(key: str, slice_bits: int):
+        config = AcceleratorConfig(
+            slice_bits=slice_bits, array_bytes=scaled_array_bytes(key)
+        )
+        return TCIMAccelerator(config).run(graph_for(key))
+
+    benchmark.pedantic(lambda: run_one("roadnet-pa", 64), rounds=1, iterations=1)
+
+    table = Table(
+        [
+            "dataset",
+            "|S|",
+            "valid %",
+            "data size",
+            "data+index size",
+            "AND ops",
+            "hit %",
+            "modelled latency",
+        ],
+        title="Ablation A1 - slice size sweep (paper uses |S| = 64)",
+    )
+    for key in DATASETS:
+        graph = graph_for(key)
+        rows = nonempty_rows(graph)
+        reference_triangles = None
+        for slice_bits in SLICE_SIZES:
+            run = run_one(key, slice_bits)
+            if reference_triangles is None:
+                reference_triangles = run.triangles
+            assert run.triangles == reference_triangles  # |S| never changes the count
+            stats = slice_statistics(graph, slice_bits=slice_bits)
+            latency = pim_model.evaluate(run.events, rows).latency_s
+            table.add_row(
+                [
+                    key,
+                    slice_bits,
+                    f"{stats.valid_percent:.4f}",
+                    format_bytes(stats.data_bytes),
+                    format_bytes(stats.compressed_bytes),
+                    run.events.and_operations,
+                    f"{run.cache_stats.hit_percent:.1f}",
+                    format_seconds(latency),
+                ]
+            )
+    emit("ablation_slice_size", table)

@@ -1,0 +1,116 @@
+"""E8 — Headline claims of the abstract / Section V.
+
+Aggregates the reproduced experiments into the four headline numbers:
+
+* "our data mapping strategy could reduce 99.99 % of the computation"
+  (data slicing, Table IV consequence);
+* "and 72 % of the memory WRITE operations" (data reuse, Fig. 5);
+* "average 53.7x speedup against the baseline CPU implementation" and
+  "another 25.5x acceleration" with PIM (Table V);
+* "only 18 KB per 1000 vertices is needed for in-memory computation"
+  (Table III consequence).
+"""
+
+from __future__ import annotations
+
+from repro import paperdata
+from repro.analysis.reporting import Table, geometric_mean
+from repro.arch.perf import GraphXCpuModel, SoftwareSlicedModel, default_pim_model
+from repro.analysis.metrics import degree_statistics
+from repro.core.slicing import slice_statistics
+
+from _helpers import (
+    accelerator_run,
+    graph_for,
+    scale_for,
+    nonempty_rows,
+    scale_events,
+)
+
+
+def bench_headline_claims(benchmark, emit):
+    pim_model = default_pim_model()
+    software_model = SoftwareSlicedModel()
+    graphx_model = GraphXCpuModel()
+
+    benchmark.pedantic(lambda: accelerator_run("com-amazon"), rounds=1, iterations=1)
+
+    computation_reductions = []
+    write_savings = []
+    speedups_software = []
+    speedups_pim = []
+    kb_per_1000 = []
+    for key in paperdata.DATASET_ORDER:
+        graph = graph_for(key)
+        run = accelerator_run(key)
+        scale = scale_for(key)
+        # Extrapolate the valid-percentage to full size (see bench_table4).
+        stats = slice_statistics(graph, slice_bits=paperdata.SLICE_BITS)
+        computation_reductions.append(100.0 - stats.valid_percent * scale)
+        write_savings.append(run.events.write_savings_percent)
+        factor = paperdata.TABLE_II[key].num_edges / max(graph.num_edges, 1)
+        full_events = scale_events(run.events, factor)
+        rows = round(nonempty_rows(graph) * factor)
+        tcim_s = pim_model.evaluate(full_events, rows).latency_s
+        software_s = software_model.evaluate_seconds(full_events)
+        graphx_s = graphx_model.evaluate_seconds(
+            paperdata.TABLE_II[key].num_edges,
+            degree_statistics(graph)["sum_squared"] * factor,
+        )
+        speedups_software.append(graphx_s / software_s)
+        speedups_pim.append(software_s / tcim_s)
+        kb_per_1000.append(
+            stats.data_bytes / 1e3 / (graph.num_vertices / 1000.0)
+        )
+
+    mean_reduction = sum(computation_reductions) / len(computation_reductions)
+    mean_write_savings = sum(write_savings) / len(write_savings)
+    mean_software = geometric_mean(speedups_software)
+    mean_pim = geometric_mean(speedups_pim)
+    mean_kb = sum(kb_per_1000) / len(kb_per_1000)
+
+    table = Table(
+        ["claim", "paper", "this reproduction"],
+        title="Headline claims (abstract / Section V)",
+    )
+    table.add_row(
+        [
+            "computation reduction by data slicing",
+            f"{paperdata.HEADLINE_CLAIMS['computation_reduction_percent']} %",
+            f"{mean_reduction:.3f} %",
+        ]
+    )
+    table.add_row(
+        [
+            "WRITE reduction by data reuse",
+            f"{paperdata.HEADLINE_CLAIMS['write_reduction_percent']} %",
+            f"{mean_write_savings:.1f} %",
+        ]
+    )
+    table.add_row(
+        [
+            "speedup w/o PIM vs CPU",
+            f"{paperdata.HEADLINE_CLAIMS['speedup_without_pim_vs_cpu']}x",
+            f"{mean_software:.1f}x",
+        ]
+    )
+    table.add_row(
+        [
+            "additional speedup with PIM",
+            f"{paperdata.HEADLINE_CLAIMS['speedup_tcim_vs_without_pim']}x",
+            f"{mean_pim:.1f}x",
+        ]
+    )
+    table.add_row(
+        [
+            "memory per 1000 vertices",
+            f"{paperdata.HEADLINE_CLAIMS['kb_per_1000_vertices']} KB",
+            f"{mean_kb:.1f} KB",
+        ]
+    )
+    emit("headline_claims", table)
+
+    assert mean_reduction > 99.0
+    assert mean_write_savings > 40.0
+    assert mean_software > 10.0
+    assert mean_pim > 8.0

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the primitive kernels (pytest-benchmark timings).
+
+These are the operations the in-memory architecture replaces or
+accelerates; their software timings put the modelled hardware numbers in
+context and guard against performance regressions in the library itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bitwise import triangle_count_sliced
+from repro.core.slicing import SlicedMatrix
+from repro.graph import bitops
+from repro.graph.bitmatrix import BitMatrix
+from repro.memory.bitcounter import BitCounter
+
+from _helpers import graph_for
+
+
+@pytest.fixture(scope="module")
+def enron_graph():
+    return graph_for("email-enron")
+
+
+def bench_kernel_pack_bits(benchmark):
+    rng = np.random.default_rng(0)
+    bits = rng.random(1 << 16) < 0.1
+    words = benchmark(bitops.pack_bits, bits)
+    assert bitops.popcount(words) == int(bits.sum())
+
+
+def bench_kernel_popcount(benchmark):
+    rng = np.random.default_rng(1)
+    words = rng.integers(0, 2**63, size=1 << 14).astype(np.uint64)
+    total = benchmark(bitops.popcount, words)
+    assert total > 0
+
+
+def bench_kernel_bitcounter_lut(benchmark):
+    counter = BitCounter(256)
+    data = np.arange(32, dtype=np.uint8)
+    result = benchmark(counter.count_bytes, data)
+    assert result == sum(int(b).bit_count() for b in range(32))
+
+
+def bench_kernel_bitmatrix_build(benchmark, enron_graph):
+    matrix = benchmark.pedantic(
+        lambda: BitMatrix.from_graph(enron_graph, "upper"), rounds=3, iterations=1
+    )
+    assert matrix.nnz() == enron_graph.num_edges
+
+
+def bench_kernel_slicing_compression(benchmark, enron_graph):
+    sliced = benchmark.pedantic(
+        lambda: SlicedMatrix.from_graph(enron_graph, "upper"), rounds=3, iterations=1
+    )
+    assert sliced.nnz() == enron_graph.num_edges
+
+
+def bench_kernel_sliced_triangle_count(benchmark, enron_graph):
+    rows = SlicedMatrix.from_graph(enron_graph, "upper")
+    cols = SlicedMatrix.from_graph(enron_graph, "lower")
+    triangles = benchmark.pedantic(
+        lambda: triangle_count_sliced(enron_graph, row_sliced=rows, col_sliced=cols),
+        rounds=3,
+        iterations=1,
+    )
+    assert triangles > 0

@@ -1,0 +1,54 @@
+"""E1 — Table I: MTJ simulation parameters and the derived device figures.
+
+Table I is an *input* table; this benchmark prints it back together with
+everything the device stack derives from it (resistances, thermal
+stability, critical current, LLG switching time, NVSim array figures), and
+times the two device-level simulations (the LLG transient and the array
+model evaluation).
+"""
+
+from __future__ import annotations
+
+from repro import paperdata
+from repro.analysis.reporting import Table, format_seconds
+from repro.device.llg import solve_llg
+from repro.device.mtj import MTJDevice
+from repro.device.sense_amp import SenseAmplifier
+from repro.memory.nvsim import NVSimModel
+
+
+def bench_table1_device_characterisation(benchmark, emit):
+    device = MTJDevice()
+
+    result = benchmark.pedantic(
+        lambda: solve_llg(device, current_a=device.write_current_a),
+        rounds=3,
+        iterations=1,
+    )
+    performance = NVSimModel().evaluate()
+    margins = SenseAmplifier().margins()
+
+    table = Table(
+        ["parameter", "value"],
+        title="Table I - MTJ parameters (inputs) and derived device figures",
+    )
+    for name, value in paperdata.TABLE_I_MTJ_PARAMETERS.items():
+        table.add_row([f"[input] {name}", value])
+    table.add_row(["R_P", f"{device.resistance_parallel:.1f} ohm"])
+    table.add_row(["R_AP", f"{device.resistance_antiparallel:.1f} ohm"])
+    table.add_row(["thermal stability Delta", f"{device.thermal_stability:.1f}"])
+    table.add_row(["critical current I_c0", f"{device.critical_current_a * 1e6:.1f} uA"])
+    table.add_row(["write current (1.5x)", f"{device.write_current_a * 1e6:.1f} uA"])
+    table.add_row(["analytic switching time", format_seconds(device.write_pulse_s)])
+    table.add_row(["LLG switching time", format_seconds(result.switching_time_s)])
+    table.add_row(["READ margin", f"{margins.read_margin_a * 1e6:.2f} uA"])
+    table.add_row(["AND margin", f"{margins.and_margin_a * 1e6:.2f} uA"])
+    table.add_row(["array READ latency", format_seconds(performance.read_latency_s)])
+    table.add_row(["array AND latency", format_seconds(performance.and_latency_s)])
+    table.add_row(["array WRITE latency", format_seconds(performance.write_latency_s)])
+    table.add_row(["array AND energy / slice", f"{performance.and_energy_j * 1e12:.3f} pJ"])
+    table.add_row(["array WRITE energy / slice", f"{performance.write_energy_j * 1e12:.2f} pJ"])
+    table.add_row(["16 MB chip area", f"{performance.area_mm2:.1f} mm^2"])
+    emit("table1_device", table)
+
+    assert result.switched

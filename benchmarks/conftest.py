@@ -1,0 +1,13 @@
+"""Fixtures for the reproduction benchmarks (helpers live in _helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import emit_table
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a rendered table and persist it under benchmarks/results/."""
+    return emit_table

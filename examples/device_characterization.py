@@ -1,0 +1,93 @@
+"""Device playground: from Table I parameters to array performance.
+
+Walks the full device-to-architecture stack the paper describes in
+Section V-A: the Brinkman/LLG MTJ model (Table I), the 1T1R bit-cell, the
+sense amplifier's READ/AND reference scheme, and the NVSim-style array
+figures the behavioural simulator consumes.  Prints a switching-time
+vs current characteristic comparing the LLG transient against the
+analytic macrospin estimate.
+
+Run:  python examples/device_characterization.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import Table, format_seconds
+from repro.device import (
+    BitCell,
+    MTJDevice,
+    MTJState,
+    SenseAmplifier,
+    solve_llg,
+)
+from repro.memory.bitcounter import BitCounter
+from repro.memory.nvsim import NVSimModel
+
+
+def main() -> None:
+    device = MTJDevice()
+    print(device)
+    print(
+        f"thermal stability Delta = {device.thermal_stability:.1f} "
+        f"(retention-grade: > 60)"
+    )
+
+    # Switching characteristic: LLG dynamics vs the analytic estimate.
+    characteristic = Table(
+        ["I / I_c0", "current (uA)", "LLG t_sw", "analytic t_sw"],
+        title="\nSTT switching characteristic",
+    )
+    for overdrive in (1.2, 1.5, 2.0, 3.0):
+        current = overdrive * device.critical_current_a
+        llg = solve_llg(device, current_a=current)
+        characteristic.add_row(
+            [
+                overdrive,
+                f"{current * 1e6:.1f}",
+                format_seconds(llg.switching_time_s),
+                format_seconds(device.switching_time_s(current)),
+            ]
+        )
+    subcritical = solve_llg(device, current_a=0.9 * device.critical_current_a)
+    print(characteristic.render())
+    print(f"at 0.9 x I_c0 the layer does not switch (LLG): {not subcritical.switched}")
+
+    # Sense margins for READ and the in-memory AND/OR.
+    amplifier = SenseAmplifier()
+    margins = amplifier.margins()
+    sensing = Table(["operation", "reference (ohm)", "margin (uA)"], title="\nSensing")
+    sensing.add_row(["READ", f"{amplifier.reference_read_ohm:.0f}", f"{margins.read_margin_a * 1e6:.2f}"])
+    sensing.add_row(["AND", f"{amplifier.reference_and_ohm:.0f}", f"{margins.and_margin_a * 1e6:.2f}"])
+    sensing.add_row(["OR", f"{amplifier.reference_or_ohm:.0f}", f"{margins.or_margin_a * 1e6:.2f}"])
+    print(sensing.render())
+    truth = [
+        f"AND({a},{b})={int(amplifier.sense_and(bool(a), bool(b)))}"
+        for a in (0, 1)
+        for b in (0, 1)
+    ]
+    print("analog AND truth table:", "  ".join(truth))
+
+    # Cell- and array-level figures.
+    cell = BitCell(device)
+    print(
+        f"\n1T1R cell: read I_P={cell.read_current(MTJState.PARALLEL) * 1e6:.1f} uA, "
+        f"I_AP={cell.read_current(MTJState.ANTI_PARALLEL) * 1e6:.1f} uA, "
+        f"write {cell.write_current_a * 1e6:.0f} uA @ {cell.write_voltage_v():.2f} V"
+    )
+    performance = NVSimModel(cell).evaluate()
+    array_table = Table(["figure", "value"], title="\n16 MB computational array (NVSim-style)")
+    array_table.add_row(["READ latency", format_seconds(performance.read_latency_s)])
+    array_table.add_row(["AND latency", format_seconds(performance.and_latency_s)])
+    array_table.add_row(["WRITE latency", format_seconds(performance.write_latency_s)])
+    array_table.add_row(["AND energy / slice", f"{performance.and_energy_j * 1e12:.3f} pJ"])
+    array_table.add_row(["WRITE energy / slice", f"{performance.write_energy_j * 1e12:.1f} pJ"])
+    array_table.add_row(["leakage", f"{performance.leakage_power_w * 1e3:.1f} mW"])
+    array_table.add_row(["area", f"{performance.area_mm2:.1f} mm^2"])
+    counter = BitCounter()
+    array_table.add_row(["bit counter latency", format_seconds(counter.latency_s)])
+    array_table.add_row(["bit counter energy", f"{counter.energy_per_count_j * 1e15:.0f} fJ"])
+    print(array_table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Link prediction with in-memory bitwise common-neighbour scores.
+
+The paper motivates triangle counting with "community discovery, link
+prediction, and Spam filtering".  The common-neighbour score — the
+classic link-prediction baseline — is *exactly* TCIM's inner primitive:
+``|N(u) & N(v)| = BitCount(AND(row_u, row_v))``.  This example hides a
+fraction of a social graph's edges, scores candidate pairs with the
+bit-matrix AND+popcount kernel, and checks how many held-out edges land
+in the top predictions.
+
+Run:  python examples/link_prediction.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis.reporting import Table
+from repro.graph import datasets
+from repro.graph.bitmatrix import BitMatrix
+from repro.graph.graph import Graph
+
+
+def main(scale: float = 0.15, holdout_fraction: float = 0.05, seed: int = 7) -> None:
+    full = datasets.synthesize("email-enron", scale=scale)
+    rng = np.random.default_rng(seed)
+
+    # Hide a random slice of the edges.
+    edges = full.edge_array()
+    holdout_size = max(1, int(holdout_fraction * full.num_edges))
+    holdout_index = rng.choice(full.num_edges, size=holdout_size, replace=False)
+    mask = np.ones(full.num_edges, dtype=bool)
+    mask[holdout_index] = False
+    observed = Graph(full.num_vertices, edges[mask])
+    hidden = {tuple(edge) for edge in edges[~mask].tolist()}
+    print(
+        f"observed graph: n={observed.num_vertices:,} m={observed.num_edges:,}; "
+        f"hidden edges: {len(hidden):,}"
+    )
+
+    # Score all 2-hop candidate pairs with AND + BitCount on packed rows —
+    # the same word-level work the MRAM array executes.
+    matrix = BitMatrix.from_graph(observed, "symmetric")
+    scores: dict[tuple[int, int], int] = {}
+    for u in range(observed.num_vertices):
+        neighbours = observed.neighbors(u)
+        if neighbours.size == 0:
+            continue
+        # Candidates: neighbours-of-neighbours above u, not already linked.
+        two_hop = np.unique(
+            np.concatenate([observed.neighbors(v) for v in neighbours.tolist()])
+        )
+        candidates = two_hop[(two_hop > u)]
+        if candidates.size == 0:
+            continue
+        common = matrix.and_popcount_many(u, candidates)
+        for v, score in zip(candidates.tolist(), common.tolist()):
+            if score > 0 and not observed.has_edge(u, v):
+                scores[(u, v)] = score
+
+    ranked = sorted(scores.items(), key=lambda item: item[1], reverse=True)
+    table = Table(
+        ["top-k", "predictions hitting hidden edges", "precision"],
+        title="\nCommon-neighbour link prediction (AND + BitCount kernel)",
+    )
+    for top_k in (50, 200, 1000):
+        chosen = ranked[:top_k]
+        hits = sum(1 for pair, _ in chosen if pair in hidden)
+        table.add_row([top_k, hits, f"{hits / max(len(chosen), 1):.3f}"])
+    print(table.render())
+
+    random_rate = len(hidden) / max(len(scores), 1)
+    top = ranked[:200]
+    top_rate = sum(1 for pair, _ in top if pair in hidden) / max(len(top), 1)
+    print(
+        f"\nbaseline (random candidate) hit rate: {random_rate:.4f}; "
+        f"top-200 hit rate: {top_rate:.4f} "
+        f"({top_rate / max(random_rate, 1e-12):.1f}x better)"
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.15)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``python setup.py develop`` works in offline environments
+that lack the ``wheel`` package (where ``pip install -e .`` cannot build
+the editable wheel).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""TCIM: Triangle Counting Acceleration with Processing-In-MRAM Architecture.
+
+Full-system reproduction of Wang, Xueyan et al. (DAC 2020,
+arXiv:2007.10702).  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for paper-vs-measured results.
+
+Quickstart::
+
+    from repro import Graph, TCIMAccelerator, triangle_count_bitwise
+
+    graph = Graph(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    assert triangle_count_bitwise(graph) == 2
+    result = TCIMAccelerator().run(graph)
+    assert result.triangles == 2
+"""
+
+from repro.core import (
+    AcceleratorConfig,
+    EventCounts,
+    ReplacementPolicy,
+    SliceCache,
+    SlicedMatrix,
+    SliceStatistics,
+    TCIMAccelerator,
+    TCIMRunResult,
+    slice_statistics,
+    triangle_count_bitwise,
+    triangle_count_dense,
+    triangle_count_sliced,
+)
+from repro.errors import ReproError
+from repro.graph import BitMatrix, Graph, load_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "BitMatrix",
+    "load_graph",
+    "ReproError",
+    "AcceleratorConfig",
+    "EventCounts",
+    "ReplacementPolicy",
+    "SliceCache",
+    "SlicedMatrix",
+    "SliceStatistics",
+    "TCIMAccelerator",
+    "TCIMRunResult",
+    "slice_statistics",
+    "triangle_count_bitwise",
+    "triangle_count_dense",
+    "triangle_count_sliced",
+]

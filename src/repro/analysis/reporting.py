@@ -1,0 +1,138 @@
+"""Table rendering and formatting helpers for benchmarks and the CLI.
+
+Every reproduced table/figure benchmark prints a :class:`Table` whose rows
+put the paper's published value next to the measured one, so the console
+output *is* the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "Table",
+    "format_seconds",
+    "format_bytes",
+    "format_ratio",
+    "format_count",
+    "geometric_mean",
+]
+
+
+class Table:
+    """Minimal fixed-width table with optional markdown rendering.
+
+    >>> table = Table(["dataset", "value"], title="demo")
+    >>> table.add_row(["ego-facebook", 1.5])
+    >>> print(table.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[object]) -> None:
+        """Append one row (values are str()-ified; floats get 4 sig figs)."""
+        row = [_stringify(value) for value in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Fixed-width console rendering."""
+        widths = self._widths()
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def markdown(self) -> str:
+        """GitHub-flavoured markdown rendering (for EXPERIMENTS.md)."""
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+
+def _stringify(value: object) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_seconds(seconds: float | None) -> str:
+    """Human-readable duration (``N/A`` for missing values)."""
+    if seconds is None:
+        return "N/A"
+    if seconds < 0:
+        raise ValueError(f"negative duration {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.3f} ns"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable size using decimal MB (matching the paper's tables)."""
+    if num_bytes < 0:
+        raise ValueError(f"negative size {num_bytes}")
+    if num_bytes >= 1e6:
+        return f"{num_bytes / 1e6:.2f} MB"
+    if num_bytes >= 1e3:
+        return f"{num_bytes / 1e3:.2f} KB"
+    return f"{num_bytes:.0f} B"
+
+
+def format_ratio(numerator: float | None, denominator: float | None) -> str:
+    """``a / b`` as ``12.3x`` (``N/A`` when either side is missing)."""
+    if numerator is None or denominator is None or denominator == 0:
+        return "N/A"
+    return f"{numerator / denominator:.1f}x"
+
+
+def format_count(value: int) -> str:
+    """Group digits for large counts."""
+    return f"{value:,}"
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (ignores non-positive entries; 0.0 if none remain)."""
+    usable = [v for v in values if v > 0]
+    if not usable:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in usable) / len(usable))

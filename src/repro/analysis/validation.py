@@ -1,0 +1,60 @@
+"""Cross-implementation validation.
+
+Runs every triangle-counting implementation in the repository on the same
+graph and checks that they all agree — the functional-correctness gate for
+the whole reproduction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.baselines.intersection import (
+    triangle_count_edge_iterator,
+    triangle_count_forward,
+    triangle_count_node_iterator,
+)
+from repro.baselines.matmul import triangle_count_matmul, triangle_count_trace
+from repro.core.accelerator import TCIMAccelerator
+from repro.core.bitwise import triangle_count_dense, triangle_count_sliced
+from repro.errors import ValidationError
+from repro.graph.graph import Graph
+
+__all__ = ["default_implementations", "validate_implementations"]
+
+
+def default_implementations(
+    include_dense: bool = True, include_accelerator: bool = True
+) -> dict[str, Callable[[Graph], int]]:
+    """The standard battery of implementations keyed by name."""
+    implementations: dict[str, Callable[[Graph], int]] = {
+        "bitwise-sliced": triangle_count_sliced,
+        "edge-iterator": triangle_count_edge_iterator,
+        "node-iterator": triangle_count_node_iterator,
+        "forward": triangle_count_forward,
+        "matmul": triangle_count_matmul,
+        "trace": triangle_count_trace,
+    }
+    if include_dense:
+        implementations["bitwise-dense"] = triangle_count_dense
+    if include_accelerator:
+        implementations["tcim-accelerator"] = lambda g: TCIMAccelerator().run(g).triangles
+    return implementations
+
+
+def validate_implementations(
+    graph: Graph,
+    implementations: dict[str, Callable[[Graph], int]] | None = None,
+) -> dict[str, int]:
+    """Run all implementations and raise :class:`ValidationError` on any
+    disagreement; returns the per-implementation counts on success."""
+    if implementations is None:
+        implementations = default_implementations(
+            include_dense=graph.num_vertices <= 5000
+        )
+    results = {name: fn(graph) for name, fn in implementations.items()}
+    distinct = set(results.values())
+    if len(distinct) > 1:
+        details = ", ".join(f"{name}={count}" for name, count in sorted(results.items()))
+        raise ValidationError(f"triangle-count mismatch: {details}")
+    return results

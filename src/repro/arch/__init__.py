@@ -1,0 +1,28 @@
+"""Architecture level: behavioural latency/energy simulation."""
+
+from repro.arch.pipeline import ParallelConfig, ParallelPimModel
+from repro.arch.perf import (
+    FpgaReferenceModel,
+    GraphXCpuModel,
+    PerfReport,
+    PimEnergyParams,
+    PimPerformanceModel,
+    PimTimingParams,
+    SoftwareSlicedModel,
+    SoftwareTimingParams,
+    default_pim_model,
+)
+
+__all__ = [
+    "ParallelConfig",
+    "ParallelPimModel",
+    "PimTimingParams",
+    "PimEnergyParams",
+    "PerfReport",
+    "PimPerformanceModel",
+    "SoftwareTimingParams",
+    "SoftwareSlicedModel",
+    "GraphXCpuModel",
+    "FpgaReferenceModel",
+    "default_pim_model",
+]

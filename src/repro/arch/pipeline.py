@@ -1,0 +1,123 @@
+"""Bank-level parallelism and write/compute overlap (architecture study).
+
+The baseline behavioural model (:class:`~repro.arch.perf.PimPerformanceModel`)
+issues AND operations serially through a shared bit counter — the
+conservative reading of the paper's dataflow.  Fig. 4's organisation
+(banks x mats x sub-arrays, each with its own local bit counter and row
+buffer) clearly admits more: independent sub-arrays can compute
+concurrently, and column-slice WRITEs can overlap with computation in
+other banks.
+
+This module prices those options so the design space around the paper's
+fixed configuration can be explored (ablation A5): latency follows an
+Amdahl-style composition where only array work parallelises while the
+controller's per-edge work stays serial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.perf import PerfReport, PimPerformanceModel
+from repro.core.accelerator import EventCounts
+from repro.errors import ArchitectureError
+
+__all__ = ["ParallelConfig", "ParallelPimModel"]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Parallel-issue options layered on the baseline model."""
+
+    #: Sub-arrays computing concurrently (1 = the baseline serial model).
+    compute_units: int = 1
+    #: Independent write ports (banks that can load slices concurrently).
+    write_ports: int = 1
+    #: Whether slice WRITEs overlap with computation in other banks.
+    overlap_write_with_compute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.compute_units < 1:
+            raise ArchitectureError(
+                f"compute_units must be >= 1, got {self.compute_units}"
+            )
+        if self.write_ports < 1:
+            raise ArchitectureError(f"write_ports must be >= 1, got {self.write_ports}")
+
+
+class ParallelPimModel:
+    """Latency/energy with sub-array parallelism and write overlap.
+
+    Energy is unchanged from the baseline (the same operations happen,
+    just concurrently) except for leakage/host terms, which scale with
+    the shortened runtime.
+    """
+
+    def __init__(
+        self,
+        base: PimPerformanceModel,
+        config: ParallelConfig | None = None,
+    ) -> None:
+        self.base = base
+        self.config = config or ParallelConfig()
+
+    def evaluate(
+        self, events: EventCounts, num_rows_processed: int | None = None
+    ) -> PerfReport:
+        """Performance report under the configured parallelism."""
+        timing = self.base.timing
+        energy = self.base.energy
+        config = self.config
+        rows = num_rows_processed if num_rows_processed is not None else 0
+
+        and_time = events.and_operations * timing.and_latency_s / config.compute_units
+        write_time = (
+            events.total_slice_writes * timing.write_latency_s / config.write_ports
+        )
+        control_time = (
+            events.edges_processed * timing.per_edge_overhead_s
+            + rows * timing.per_row_overhead_s
+        )
+        bitcount_drain = (
+            timing.bitcount_latency_s if events.bitcount_operations else 0.0
+        )
+        if config.overlap_write_with_compute:
+            array_time = max(and_time, write_time)
+        else:
+            array_time = and_time + write_time
+        latency = array_time + control_time + bitcount_drain
+
+        dynamic = (
+            events.and_operations * energy.and_energy_j
+            + events.total_slice_writes * energy.write_energy_j
+            + events.bitcount_operations * energy.bitcount_energy_j
+            + events.edges_processed * energy.per_edge_energy_j
+        )
+        leakage = energy.leakage_power_w * latency
+        array_energy = dynamic + leakage
+        system_energy = array_energy + energy.host_power_w * latency
+        return PerfReport(
+            latency_s=latency,
+            array_energy_j=array_energy,
+            system_energy_j=system_energy,
+            latency_breakdown_s={
+                "and": and_time,
+                "write": write_time,
+                "overlapped_array": array_time,
+                "control": control_time,
+                "bitcount_drain": bitcount_drain,
+            },
+            energy_breakdown_j={
+                "dynamic": dynamic,
+                "leakage": leakage,
+                "host": energy.host_power_w * latency,
+            },
+        )
+
+    def speedup_over_serial(
+        self, events: EventCounts, num_rows_processed: int | None = None
+    ) -> float:
+        """Latency ratio of the serial baseline to this configuration."""
+        serial = self.base.evaluate(events, num_rows_processed).latency_s
+        parallel = self.evaluate(events, num_rows_processed).latency_s
+        return serial / parallel if parallel else float("inf")

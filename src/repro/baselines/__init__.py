@@ -1,0 +1,30 @@
+"""Baselines: classical triangle-counting algorithms and published numbers."""
+
+from repro.baselines.approximate import ApproximateCount, triangle_count_wedge_sampling
+from repro.baselines.doulion import DoulionResult, sparsify, triangle_count_doulion
+from repro.baselines.intersection import (
+    triangle_count_edge_iterator,
+    triangle_count_forward,
+    triangle_count_networkx,
+    triangle_count_node_iterator,
+)
+from repro.baselines.matmul import (
+    triangle_count_matmul,
+    triangle_count_matmul_dense,
+    triangle_count_trace,
+)
+
+__all__ = [
+    "ApproximateCount",
+    "triangle_count_wedge_sampling",
+    "DoulionResult",
+    "sparsify",
+    "triangle_count_doulion",
+    "triangle_count_edge_iterator",
+    "triangle_count_node_iterator",
+    "triangle_count_forward",
+    "triangle_count_networkx",
+    "triangle_count_matmul",
+    "triangle_count_matmul_dense",
+    "triangle_count_trace",
+]

@@ -1,0 +1,98 @@
+"""Set-intersection triangle counting (paper Section II-A, second group).
+
+These are the classical CPU algorithms the paper's baseline column runs
+(the Spark GraphX implementation is an edge-iterator): iterate over each
+edge and intersect the adjacency lists of its endpoints.
+
+* :func:`triangle_count_edge_iterator` — |N(u) ∩ N(v)| summed over edges,
+  divided by three (each triangle has three edges);
+* :func:`triangle_count_node_iterator` — count adjacent pairs among each
+  vertex's neighbourhood, divided by three;
+* :func:`triangle_count_forward` — the compact-forward algorithm with
+  degree ordering; counts each triangle exactly once and is the strongest
+  CPU baseline here.
+
+All operate on sorted CSR neighbour arrays and agree exactly with each
+other and with the bitwise kernels (enforced by the test-suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = [
+    "triangle_count_edge_iterator",
+    "triangle_count_node_iterator",
+    "triangle_count_forward",
+    "triangle_count_networkx",
+]
+
+
+def triangle_count_edge_iterator(graph: Graph) -> int:
+    """Sum of |N(u) ∩ N(v)| over undirected edges, divided by 3."""
+    indptr, indices = graph.csr
+    total = 0
+    for u, v in graph.edge_array().tolist():
+        neighbours_u = indices[indptr[u]: indptr[u + 1]]
+        neighbours_v = indices[indptr[v]: indptr[v + 1]]
+        total += int(
+            np.intersect1d(neighbours_u, neighbours_v, assume_unique=True).size
+        )
+    return total // 3
+
+
+def triangle_count_node_iterator(graph: Graph) -> int:
+    """For every vertex, count edges inside its neighbourhood; divide by 3.
+
+    Implemented as: for each vertex ``v`` and each neighbour ``u > v``,
+    count common neighbours ``w > u`` — equivalent to enumerating each
+    triangle once by its sorted vertex triple.
+    """
+    indptr, indices = graph.csr
+    total = 0
+    for v in range(graph.num_vertices):
+        neighbours = indices[indptr[v]: indptr[v + 1]]
+        higher = neighbours[neighbours > v]
+        for u in higher.tolist():
+            neighbours_u = indices[indptr[u]: indptr[u + 1]]
+            common = np.intersect1d(higher, neighbours_u, assume_unique=True)
+            total += int((common > u).sum())
+    return total
+
+
+def triangle_count_forward(graph: Graph) -> int:
+    """Compact-forward: orient edges by (degree, id) and intersect
+    out-neighbourhoods; each triangle is counted exactly once.
+
+    The degree ordering bounds out-degrees by O(sqrt(m)), giving the
+    classic O(m^1.5) running time.
+    """
+    degrees = graph.degrees()
+    # Rank vertices by (degree, id); orient every edge towards higher rank.
+    rank = np.lexsort((np.arange(graph.num_vertices), degrees))
+    position = np.empty(graph.num_vertices, dtype=np.int64)
+    position[rank] = np.arange(graph.num_vertices)
+    indptr, indices = graph.csr
+    out_neighbours: list[np.ndarray] = []
+    for v in range(graph.num_vertices):
+        neighbours = indices[indptr[v]: indptr[v + 1]]
+        forward = neighbours[position[neighbours] > position[v]]
+        out_neighbours.append(np.sort(position[forward]))
+    total = 0
+    for v in range(graph.num_vertices):
+        targets = out_neighbours[v]
+        for target_rank in targets.tolist():
+            w = int(rank[target_rank])
+            total += int(
+                np.intersect1d(targets, out_neighbours[w], assume_unique=True).size
+            )
+    return total
+
+
+def triangle_count_networkx(graph: Graph) -> int:
+    """Reference count via networkx (slow; used for validation only)."""
+    import networkx as nx
+
+    return sum(nx.triangles(graph.to_networkx()).values()) // 3

@@ -1,0 +1,309 @@
+"""Command-line interface: ``tcim`` (or ``python -m repro.cli``).
+
+Sub-commands::
+
+    tcim datasets                         # the paper's Table II registry
+    tcim count GRAPH [--method ...]       # count triangles
+    tcim slice-stats GRAPH [--slice-bits] [--ordering]  # Table III/IV stats
+    tcim simulate GRAPH [--array-mb ...]  # full TCIM run + latency/energy
+    tcim device [--llg]                   # Table I device characterisation
+    tcim validate GRAPH                   # cross-check all implementations
+    tcim truss GRAPH                      # k-truss decomposition
+    tcim approx GRAPH [--samples N]       # wedge-sampling estimate
+
+``GRAPH`` is either a path to an edge-list/.npz file or a dataset spec of
+the form ``dataset:<key>[@<scale>]``, e.g. ``dataset:roadnet-pa@0.02``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import paperdata
+from repro.analysis.reporting import Table, format_bytes, format_count, format_seconds
+from repro.analysis.validation import validate_implementations
+from repro.arch.perf import default_pim_model
+from repro.baselines.intersection import (
+    triangle_count_edge_iterator,
+    triangle_count_forward,
+)
+from repro.baselines.matmul import triangle_count_matmul
+from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
+from repro.core.bitwise import triangle_count_dense, triangle_count_sliced
+from repro.core.slicing import slice_statistics
+from repro.errors import ReproError
+from repro.graph import datasets
+from repro.graph.graph import Graph
+from repro.graph.io import load_graph
+
+__all__ = ["main", "build_parser", "resolve_graph"]
+
+_METHODS = {
+    "tcim": lambda g: TCIMAccelerator().run(g).triangles,
+    "sliced": triangle_count_sliced,
+    "dense": triangle_count_dense,
+    "forward": triangle_count_forward,
+    "edge-iterator": triangle_count_edge_iterator,
+    "matmul": triangle_count_matmul,
+}
+
+
+def resolve_graph(spec: str) -> Graph:
+    """Load a graph from a file path or a ``dataset:<key>[@scale]`` spec."""
+    if spec.startswith("dataset:"):
+        remainder = spec[len("dataset:"):]
+        if "@" in remainder:
+            key, _, scale_text = remainder.partition("@")
+            try:
+                scale = float(scale_text)
+            except ValueError:
+                raise ReproError(f"invalid scale {scale_text!r} in {spec!r}") from None
+        else:
+            key, scale = remainder, 1.0
+        return datasets.synthesize(key, scale=scale)
+    return load_graph(spec)
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    table = Table(
+        ["key", "name", "family", "vertices", "edges", "triangles", "bench scale"],
+        title="Paper datasets (Table II, published statistics)",
+    )
+    for key in datasets.list_datasets():
+        spec = datasets.get_dataset(key)
+        table.add_row(
+            [
+                key,
+                spec.display_name,
+                spec.family,
+                format_count(spec.stats.num_vertices),
+                format_count(spec.stats.num_edges),
+                format_count(spec.stats.num_triangles),
+                spec.default_bench_scale,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    graph = resolve_graph(args.graph)
+    method = _METHODS[args.method]
+    start = time.perf_counter()
+    triangles = method(graph)
+    elapsed = time.perf_counter() - start
+    print(
+        f"graph: n={format_count(graph.num_vertices)} "
+        f"m={format_count(graph.num_edges)}"
+    )
+    print(f"triangles ({args.method}): {format_count(triangles)}")
+    print(f"wall-clock: {format_seconds(elapsed)}")
+    return 0
+
+
+def _cmd_slice_stats(args: argparse.Namespace) -> int:
+    graph = resolve_graph(args.graph)
+    if args.ordering != "identity":
+        from repro.graph.reorder import apply_ordering
+
+        graph = apply_ordering(graph, args.ordering)
+    stats = slice_statistics(graph, slice_bits=args.slice_bits)
+    title = f"Slice statistics (|S|={args.slice_bits}, ordering={args.ordering})"
+    table = Table(["metric", "value"], title=title)
+    table.add_row(["valid slices (rows+cols)", format_count(stats.num_valid_slices)])
+    table.add_row(["valid slice data size", format_bytes(stats.data_bytes)])
+    table.add_row(["row-structure data (Table III)", format_bytes(stats.row_data_bytes)])
+    table.add_row(["compressed size (data+index)", format_bytes(stats.compressed_bytes)])
+    table.add_row(["valid slice percentage", f"{stats.valid_percent:.4f} %"])
+    table.add_row(
+        ["valid slice % (paper accounting)", f"{stats.paper_valid_percent:.4f} %"]
+    )
+    table.add_row(
+        ["computation reduction", f"{stats.computation_reduction_percent:.4f} %"]
+    )
+    print(table.render())
+    return 0
+
+
+def _cmd_truss(args: argparse.Namespace) -> int:
+    from repro.analysis.truss import max_trussness, truss_decomposition
+
+    graph = resolve_graph(args.graph)
+    trussness = truss_decomposition(graph)
+    histogram: dict[int, int] = {}
+    for value in trussness.values():
+        histogram[value] = histogram.get(value, 0) + 1
+    table = Table(["k", "edges with trussness k"], title="Truss decomposition")
+    for k in sorted(histogram):
+        table.add_row([k, format_count(histogram[k])])
+    print(table.render())
+    print(f"maximum trussness: {max_trussness(graph)}")
+    return 0
+
+
+def _cmd_approx(args: argparse.Namespace) -> int:
+    from repro.baselines.approximate import triangle_count_wedge_sampling
+
+    graph = resolve_graph(args.graph)
+    start = time.perf_counter()
+    result = triangle_count_wedge_sampling(graph, samples=args.samples, seed=args.seed)
+    elapsed = time.perf_counter() - start
+    print(
+        f"estimate: {result.estimate:,.0f} triangles "
+        f"(95 % CI [{result.low:,.0f}, {result.high:,.0f}], "
+        f"{result.samples:,} wedge samples, {format_seconds(elapsed)})"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = resolve_graph(args.graph)
+    config = AcceleratorConfig(
+        slice_bits=args.slice_bits,
+        array_bytes=int(args.array_mb * 2**20),
+        policy=args.policy,
+    )
+    start = time.perf_counter()
+    result = TCIMAccelerator(config).run(graph)
+    elapsed = time.perf_counter() - start
+    report = default_pim_model().evaluate(result.events)
+    table = Table(["metric", "value"], title="TCIM simulation")
+    table.add_row(["triangles", format_count(result.triangles)])
+    table.add_row(["edges processed", format_count(result.events.edges_processed)])
+    table.add_row(["AND operations", format_count(result.events.and_operations)])
+    table.add_row(["slice writes", format_count(result.events.total_slice_writes)])
+    table.add_row(["cache hit %", f"{result.cache_stats.hit_percent:.2f} %"])
+    table.add_row(["cache miss %", f"{result.cache_stats.miss_percent:.2f} %"])
+    table.add_row(["cache exchange %", f"{result.cache_stats.exchange_percent:.2f} %"])
+    table.add_row(
+        ["write savings", f"{result.events.write_savings_percent:.2f} %"]
+    )
+    table.add_row(
+        [
+            "computation reduction",
+            f"{result.events.computation_reduction_percent:.4f} %",
+        ]
+    )
+    table.add_row(["modelled TCIM latency", format_seconds(report.latency_s)])
+    table.add_row(["modelled array energy", f"{report.array_energy_j:.3e} J"])
+    table.add_row(["modelled system energy", f"{report.system_energy_j:.3e} J"])
+    table.add_row(["simulator wall-clock", format_seconds(elapsed)])
+    print(table.render())
+    return 0
+
+
+def _cmd_device(args: argparse.Namespace) -> int:
+    from repro.device import MTJDevice, SenseAmplifier, solve_llg
+
+    device = MTJDevice()
+    amplifier = SenseAmplifier()
+    table = Table(["quantity", "value"], title="MTJ characterisation (Table I inputs)")
+    table.add_row(["R_P", f"{device.resistance_parallel:.1f} ohm"])
+    table.add_row(["R_AP", f"{device.resistance_antiparallel:.1f} ohm"])
+    table.add_row(["TMR", f"{device.params.tmr * 100:.0f} %"])
+    table.add_row(["thermal stability Delta", f"{device.thermal_stability:.1f}"])
+    table.add_row(["critical current", f"{device.critical_current_a * 1e6:.1f} uA"])
+    table.add_row(["write current", f"{device.write_current_a * 1e6:.1f} uA"])
+    table.add_row(["analytic switching time", format_seconds(device.write_pulse_s)])
+    margins = amplifier.margins()
+    table.add_row(["READ margin", f"{margins.read_margin_a * 1e6:.2f} uA"])
+    table.add_row(["AND margin", f"{margins.and_margin_a * 1e6:.2f} uA"])
+    if args.llg:
+        result = solve_llg(device, current_a=device.write_current_a)
+        table.add_row(["LLG switched", result.switched])
+        table.add_row(["LLG switching time", format_seconds(result.switching_time_s)])
+    print(table.render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    graph = resolve_graph(args.graph)
+    results = validate_implementations(graph)
+    table = Table(["implementation", "triangles"], title="Cross-validation")
+    for name, count in sorted(results.items()):
+        table.add_row([name, format_count(count)])
+    print(table.render())
+    print("all implementations agree")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="tcim",
+        description="TCIM: triangle counting with processing-in-MRAM (DAC 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the paper's datasets")
+
+    count = subparsers.add_parser("count", help="count triangles")
+    count.add_argument("graph", help="file path or dataset:<key>[@scale]")
+    count.add_argument(
+        "--method", choices=sorted(_METHODS), default="tcim", help="algorithm"
+    )
+
+    stats = subparsers.add_parser("slice-stats", help="Table III/IV statistics")
+    stats.add_argument("graph")
+    stats.add_argument("--slice-bits", type=int, default=paperdata.SLICE_BITS)
+    stats.add_argument(
+        "--ordering",
+        choices=["identity", "bfs", "rcm", "degree"],
+        default="identity",
+        help="relabel vertices before slicing (data-mapping study)",
+    )
+
+    truss = subparsers.add_parser("truss", help="k-truss decomposition")
+    truss.add_argument("graph")
+
+    approx = subparsers.add_parser("approx", help="wedge-sampling estimate")
+    approx.add_argument("graph")
+    approx.add_argument("--samples", type=int, default=20_000)
+    approx.add_argument("--seed", type=int, default=0)
+
+    simulate = subparsers.add_parser("simulate", help="full TCIM run + perf model")
+    simulate.add_argument("graph")
+    simulate.add_argument("--slice-bits", type=int, default=paperdata.SLICE_BITS)
+    simulate.add_argument(
+        "--array-mb", type=float, default=float(paperdata.ARRAY_MEGABYTES)
+    )
+    simulate.add_argument(
+        "--policy", choices=["lru", "fifo", "random"], default="lru"
+    )
+
+    device = subparsers.add_parser("device", help="MTJ characterisation")
+    device.add_argument("--llg", action="store_true", help="run the LLG transient")
+
+    validate = subparsers.add_parser("validate", help="cross-check implementations")
+    validate.add_argument("graph")
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "count": _cmd_count,
+    "slice-stats": _cmd_slice_stats,
+    "simulate": _cmd_simulate,
+    "device": _cmd_device,
+    "validate": _cmd_validate,
+    "truss": _cmd_truss,
+    "approx": _cmd_approx,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""TCIM core: the paper's contribution (bitwise TC, slicing, reuse, Algorithm 1)."""
+
+from repro.core.accelerator import (
+    AcceleratorConfig,
+    EventCounts,
+    TCIMAccelerator,
+    TCIMRunResult,
+)
+from repro.core.bitwise import (
+    BitwiseCounts,
+    triangle_count_bitwise,
+    triangle_count_dense,
+    triangle_count_sliced,
+    triangles_per_vertex_sliced,
+)
+from repro.core.reuse import (
+    AccessOutcome,
+    CacheStatistics,
+    ReplacementPolicy,
+    SliceCache,
+    belady_trace_statistics,
+    simulate_trace,
+)
+from repro.core.dynamic import DynamicTriangleCounter
+from repro.core.slicing import SlicedMatrix, SliceStatistics, slice_statistics
+from repro.core.trace import AccessTrace, compare_policies, extract_column_trace
+
+__all__ = [
+    "DynamicTriangleCounter",
+    "AccessTrace",
+    "compare_policies",
+    "extract_column_trace",
+    "AcceleratorConfig",
+    "EventCounts",
+    "TCIMAccelerator",
+    "TCIMRunResult",
+    "BitwiseCounts",
+    "triangle_count_bitwise",
+    "triangle_count_dense",
+    "triangle_count_sliced",
+    "triangles_per_vertex_sliced",
+    "AccessOutcome",
+    "CacheStatistics",
+    "ReplacementPolicy",
+    "SliceCache",
+    "belady_trace_statistics",
+    "simulate_trace",
+    "SlicedMatrix",
+    "SliceStatistics",
+    "slice_statistics",
+]

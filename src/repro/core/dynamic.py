@@ -1,0 +1,141 @@
+"""Dynamic (incremental) triangle counting.
+
+Real deployments stream edges; recounting from scratch per update wastes
+exactly the bandwidth TCIM is built to save.  This extension maintains the
+triangle count under edge insertions and deletions using the same
+common-neighbour primitive as the bitwise method: inserting ``{u, v}``
+adds ``|N(u) & N(v)|`` triangles, deleting removes the same amount.
+
+The counter keeps adjacency sets (so updates are O(min degree)) and is
+validated against full recounts in the test-suite.  ``to_graph()``
+snapshots the current state for handoff to the TCIM accelerator.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = ["DynamicTriangleCounter"]
+
+
+class DynamicTriangleCounter:
+    """Exact triangle count maintained under edge insertions/deletions.
+
+    >>> counter = DynamicTriangleCounter(3)
+    >>> counter.insert(0, 1); counter.insert(1, 2); counter.insert(0, 2)
+    0
+    0
+    1
+    >>> counter.triangles
+    1
+    """
+
+    def __init__(self, num_vertices: int, graph: Graph | None = None) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._num_vertices = num_vertices
+        self._adjacency: list[set[int]] = [set() for _ in range(num_vertices)]
+        self._num_edges = 0
+        self._triangles = 0
+        if graph is not None:
+            if graph.num_vertices > num_vertices:
+                raise GraphError(
+                    f"seed graph has {graph.num_vertices} vertices but the "
+                    f"counter only {num_vertices}"
+                )
+            for u, v in graph.edges():
+                self.insert(u, v)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Current number of edges."""
+        return self._num_edges
+
+    @property
+    def triangles(self) -> int:
+        """Current exact triangle count."""
+        return self._triangles
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is currently present."""
+        self._check(u)
+        self._check(v)
+        return v in self._adjacency[u]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def insert(self, u: int, v: int) -> int:
+        """Insert edge ``{u, v}``; returns the triangles it closed.
+
+        Inserting an existing edge or a self-loop is a no-op returning 0.
+        """
+        self._check(u)
+        self._check(v)
+        if u == v or v in self._adjacency[u]:
+            return 0
+        closed = self._common_count(u, v)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+        self._triangles += closed
+        return closed
+
+    def delete(self, u: int, v: int) -> int:
+        """Delete edge ``{u, v}``; returns the triangles it opened.
+
+        Deleting a missing edge is a no-op returning 0.
+        """
+        self._check(u)
+        self._check(v)
+        if u == v or v not in self._adjacency[u]:
+            return 0
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        opened = self._common_count(u, v)
+        self._num_edges -= 1
+        self._triangles -= opened
+        return opened
+
+    def apply(self, insertions=(), deletions=()) -> int:
+        """Apply a batch of updates; returns the net triangle delta."""
+        before = self._triangles
+        for u, v in insertions:
+            self.insert(u, v)
+        for u, v in deletions:
+            self.delete(u, v)
+        return self._triangles - before
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_graph(self) -> Graph:
+        """Snapshot the current edge set as an immutable :class:`Graph`."""
+        edges = [
+            (u, v)
+            for u in range(self._num_vertices)
+            for v in self._adjacency[u]
+            if u < v
+        ]
+        return Graph(self._num_vertices, edges)
+
+    def _common_count(self, u: int, v: int) -> int:
+        first, second = self._adjacency[u], self._adjacency[v]
+        if len(second) < len(first):
+            first, second = second, first
+        return sum(1 for w in first if w in second)
+
+    def _check(self, vertex: int) -> None:
+        if not 0 <= vertex < self._num_vertices:
+            raise GraphError(
+                f"vertex {vertex} out of range [0, {self._num_vertices})"
+            )

@@ -1,0 +1,290 @@
+"""Data reuse and exchange (paper Section IV-A).
+
+The computational STT-MRAM array has fixed capacity (16 MB in the paper's
+evaluation).  Row slices are loaded once per row and overwritten by the
+next row; column slices are cached and replaced with an LRU policy when
+the array fills up.  Every column-slice access falls in one of three
+classes, which Fig. 5 reports per graph:
+
+* **hit** — the slice is already resident: no WRITE needed;
+* **miss** — first touch with free space: one WRITE;
+* **exchange** — first touch with the array full: evict the least
+  recently used slice, then WRITE.
+
+The paper observes an average 72 % hit rate, i.e. the reuse strategy
+eliminates 72 % of the memory WRITE operations.
+
+Besides LRU this module implements FIFO and RANDOM replacement, plus the
+offline-optimal Belady policy (the paper notes "more optimized replacement
+strategy could be possible" — the ablation benchmark quantifies the gap).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import CacheError
+
+__all__ = [
+    "AccessOutcome",
+    "ReplacementPolicy",
+    "CacheStatistics",
+    "SliceCache",
+    "simulate_trace",
+    "belady_trace_statistics",
+]
+
+
+class AccessOutcome(str, Enum):
+    """Classification of one cache access (the Fig. 5 categories)."""
+
+    HIT = "hit"
+    MISS = "miss"
+    EXCHANGE = "exchange"
+
+
+class ReplacementPolicy(str, Enum):
+    """Supported replacement policies."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+
+
+@dataclass
+class CacheStatistics:
+    """Counters of hit / miss / exchange events."""
+
+    hits: int = 0
+    misses: int = 0
+    exchanges: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses + self.exchanges
+
+    @property
+    def writes(self) -> int:
+        """WRITE operations issued (every non-hit loads a slice)."""
+        return self.misses + self.exchanges
+
+    @property
+    def hit_percent(self) -> float:
+        """Data-hit percentage (Fig. 5)."""
+        return 100.0 * self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_percent(self) -> float:
+        """Cold-miss percentage (Fig. 5)."""
+        return 100.0 * self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def exchange_percent(self) -> float:
+        """Exchange (capacity-miss) percentage (Fig. 5)."""
+        return 100.0 * self.exchanges / self.accesses if self.accesses else 0.0
+
+    @property
+    def write_savings_percent(self) -> float:
+        """WRITEs avoided versus a cache-less design (= hit rate).
+
+        Without reuse every access would write its slice; with reuse only
+        misses and exchanges do, so the saving equals the hit percentage —
+        the paper's "saves on average 72 % memory WRITE operations".
+        """
+        return self.hit_percent
+
+    def merge(self, other: "CacheStatistics") -> "CacheStatistics":
+        """Element-wise sum (useful for aggregating across graphs)."""
+        return CacheStatistics(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            exchanges=self.exchanges + other.exchanges,
+        )
+
+
+class SliceCache:
+    """Fixed-capacity cache of slice keys with pluggable replacement.
+
+    Keys are arbitrary hashables; the TCIM accelerator uses
+    ``(column, slice_index)`` tuples.  The cache only tracks residency —
+    slice payloads live in the functional array model.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of resident slices (> 0).
+    policy:
+        ``"lru"`` (paper default), ``"fifo"`` or ``"random"``.
+    seed:
+        RNG seed for the RANDOM policy.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: ReplacementPolicy | str = ReplacementPolicy.LRU,
+        seed: int = 0,
+    ) -> None:
+        if capacity <= 0:
+            raise CacheError(f"cache capacity must be positive, got {capacity}")
+        try:
+            self._policy = ReplacementPolicy(policy)
+        except ValueError:
+            raise CacheError(f"unknown replacement policy {policy!r}") from None
+        self._capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, None] = OrderedDict()
+        self._rng = np.random.default_rng(seed)
+        # RANDOM policy keeps an O(1)-evictable side structure: a dense key
+        # list plus each key's position, so a random victim is a swap-remove.
+        self._random_keys: list[Hashable] = []
+        self._random_position: dict[Hashable, int] = {}
+        self.stats = CacheStatistics()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident slices."""
+        return self._capacity
+
+    @property
+    def policy(self) -> ReplacementPolicy:
+        """Active replacement policy."""
+        return self._policy
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def access(self, key: Hashable) -> AccessOutcome:
+        """Touch ``key``: classify, update recency, insert/evict as needed.
+
+        Returns the :class:`AccessOutcome` and updates :attr:`stats`.
+        """
+        if key in self._entries:
+            if self._policy is ReplacementPolicy.LRU:
+                self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return AccessOutcome.HIT
+        if len(self._entries) >= self._capacity:
+            self._evict_one()
+            self._insert(key)
+            self.stats.exchanges += 1
+            return AccessOutcome.EXCHANGE
+        self._insert(key)
+        self.stats.misses += 1
+        return AccessOutcome.MISS
+
+    def _insert(self, key: Hashable) -> None:
+        self._entries[key] = None
+        if self._policy is ReplacementPolicy.RANDOM:
+            self._random_position[key] = len(self._random_keys)
+            self._random_keys.append(key)
+
+    def _remove_from_random_structures(self, key: Hashable) -> None:
+        position = self._random_position.pop(key)
+        last = self._random_keys.pop()
+        if last is not key:
+            self._random_keys[position] = last
+            self._random_position[last] = position
+
+    def _evict_one(self) -> Hashable:
+        if self._policy is ReplacementPolicy.RANDOM:
+            victim = self._random_keys[int(self._rng.integers(0, len(self._random_keys)))]
+            self._remove_from_random_structures(victim)
+            del self._entries[victim]
+            return victim
+        # LRU and FIFO both evict the head of the ordered dict; LRU refreshes
+        # order on hit while FIFO does not.
+        victim, _ = self._entries.popitem(last=False)
+        return victim
+
+    def resident_keys(self) -> list[Hashable]:
+        """Snapshot of resident keys, eviction order first."""
+        return list(self._entries)
+
+    def invalidate(self, keys: Iterable[Hashable]) -> int:
+        """Drop specific keys (used when a row region grows); returns count."""
+        dropped = 0
+        for key in keys:
+            if key in self._entries:
+                del self._entries[key]
+                if self._policy is ReplacementPolicy.RANDOM:
+                    self._remove_from_random_structures(key)
+                dropped += 1
+        return dropped
+
+    def reset(self) -> None:
+        """Empty the cache and zero the statistics."""
+        self._entries.clear()
+        self._random_keys.clear()
+        self._random_position.clear()
+        self.stats = CacheStatistics()
+
+
+def simulate_trace(
+    trace: Sequence[Hashable],
+    capacity: int,
+    policy: ReplacementPolicy | str = ReplacementPolicy.LRU,
+    seed: int = 0,
+) -> CacheStatistics:
+    """Run a full access trace through a fresh :class:`SliceCache`."""
+    cache = SliceCache(capacity, policy=policy, seed=seed)
+    for key in trace:
+        cache.access(key)
+    return cache.stats
+
+
+def belady_trace_statistics(trace: Sequence[Hashable], capacity: int) -> CacheStatistics:
+    """Offline-optimal (Belady / MIN) replacement statistics for a trace.
+
+    Evicts the resident key whose next use is farthest in the future.
+    Serves as the upper bound on any online policy in the replacement
+    ablation (the paper hints better-than-LRU policies are possible).
+
+    Runs in O(len(trace) log len(trace)) using a lazy-deletion max-heap of
+    next-use positions, so million-access traces stay cheap.
+    """
+    if capacity <= 0:
+        raise CacheError(f"cache capacity must be positive, got {capacity}")
+    import heapq
+
+    # Precompute, for each position, the next position where the same key
+    # recurs (or infinity).
+    never = np.iinfo(np.int64).max
+    next_use_of: dict[Hashable, int] = {}
+    next_use = np.full(len(trace), never, dtype=np.int64)
+    for position in range(len(trace) - 1, -1, -1):
+        key = trace[position]
+        if key in next_use_of:
+            next_use[position] = next_use_of[key]
+        next_use_of[key] = position
+    stats = CacheStatistics()
+    resident: dict[Hashable, int] = {}  # key -> its current next-use position
+    # Max-heap (negated) of (next_use, key); stale entries are skipped on pop.
+    heap: list[tuple[int, int, Hashable]] = []
+    for position, key in enumerate(trace):
+        key_next = int(next_use[position])
+        if key in resident:
+            stats.hits += 1
+            resident[key] = key_next
+            heapq.heappush(heap, (-key_next, position, key))
+            continue
+        if len(resident) >= capacity:
+            while True:
+                negated, _, victim = heapq.heappop(heap)
+                if victim in resident and resident[victim] == -negated:
+                    break
+            del resident[victim]
+            stats.exchanges += 1
+        else:
+            stats.misses += 1
+        resident[key] = key_next
+        heapq.heappush(heap, (-key_next, position, key))
+    return stats

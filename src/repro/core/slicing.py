@@ -1,0 +1,403 @@
+"""Sparsity-aware data slicing (paper Section IV-B).
+
+Rows and columns of the adjacency matrix are cut into ``|S|``-bit slices
+(the paper uses ``|S| = 64``).  A slice is **valid** iff it contains at
+least one non-zero.  Only valid slices are stored, and only *valid slice
+pairs* — positions where both the row slice ``R_i S_k`` and the column
+slice ``C_j S_k`` are valid — are ever loaded into the computational array
+and ANDed.  On the paper's large sparse graphs this eliminates 99.99 % of
+the slice-pair work (Table IV) and compresses each graph to at most a few
+tens of MB (Table III).
+
+The compressed format stores, per valid slice, a 4-byte index plus
+``|S|/8`` bytes of payload, i.e. ``N_VS x (|S|/8 + 4)`` bytes overall —
+exactly the paper's memory-requirement formula.
+
+:class:`SlicedMatrix` is a CSR-like container of valid slices, built fully
+vectorised so million-edge graphs compress in well under a second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SlicingError
+from repro.graph import bitops
+from repro.graph.graph import Graph
+
+__all__ = [
+    "SlicedMatrix",
+    "SliceStatistics",
+    "slice_statistics",
+    "valid_pair_positions",
+    "INDEX_BYTES",
+]
+
+#: Bytes used to store each valid-slice index in the compressed format
+#: ("we use an integer (four Bytes) to store each valid slice index").
+INDEX_BYTES = 4
+
+_ORIENTATIONS = ("symmetric", "upper", "lower")
+
+
+class SlicedMatrix:
+    """Valid slices of a 0/1 matrix, stored row-major in CSR-of-slices form.
+
+    Attributes
+    ----------
+    slice_bits:
+        ``|S|`` — bits per slice.  Must be a positive multiple of 8.
+    indptr:
+        ``(num_rows + 1,)`` — CSR offsets into the valid-slice arrays.
+    slice_ids:
+        ``(N_VS,)`` — for each valid slice, its slice index ``k`` within
+        the row (``0 <= k < slices_per_row``), ascending within a row.
+    data:
+        ``(N_VS, slice_bits // 8)`` uint8 — packed payload, little-endian
+        bit order (bit ``t`` of slice ``k`` is column ``k * |S| + t``).
+    """
+
+    __slots__ = (
+        "num_rows",
+        "num_cols",
+        "slice_bits",
+        "indptr",
+        "slice_ids",
+        "data",
+    )
+
+    def __init__(
+        self,
+        num_rows: int,
+        num_cols: int,
+        slice_bits: int,
+        indptr: np.ndarray,
+        slice_ids: np.ndarray,
+        data: np.ndarray,
+    ) -> None:
+        _check_slice_bits(slice_bits)
+        if num_rows < 0 or num_cols < 0:
+            raise SlicingError(f"negative matrix shape ({num_rows}, {num_cols})")
+        if indptr.shape != (num_rows + 1,):
+            raise SlicingError(
+                f"indptr must have shape ({num_rows + 1},), got {indptr.shape}"
+            )
+        if data.ndim != 2 or data.shape[1] != slice_bits // 8:
+            raise SlicingError(
+                f"data must have shape (N_VS, {slice_bits // 8}), got {data.shape}"
+            )
+        if slice_ids.shape[0] != data.shape[0]:
+            raise SlicingError(
+                f"slice_ids ({slice_ids.shape[0]}) and data ({data.shape[0]}) disagree"
+            )
+        self.num_rows = int(num_rows)
+        self.num_cols = int(num_cols)
+        self.slice_bits = int(slice_bits)
+        self.indptr = indptr
+        self.slice_ids = slice_ids
+        self.data = data
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_nonzeros(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        num_rows: int,
+        num_cols: int,
+        slice_bits: int = 64,
+    ) -> "SlicedMatrix":
+        """Build from parallel arrays of non-zero coordinates."""
+        _check_slice_bits(slice_bits)
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape or rows.ndim != 1:
+            raise SlicingError(
+                f"rows/cols must be matching 1-D arrays, got {rows.shape} vs {cols.shape}"
+            )
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= num_rows:
+                raise SlicingError("row coordinate out of range")
+            if cols.min() < 0 or cols.max() >= num_cols:
+                raise SlicingError("column coordinate out of range")
+        slices_per_row = _slices_per_row(num_cols, slice_bits)
+        slice_of = cols // slice_bits
+        keys = rows * np.int64(slices_per_row) + slice_of
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order]
+        cols_sorted = cols[order]
+        unique_keys = np.unique(keys_sorted)
+        ordinal = np.searchsorted(unique_keys, keys_sorted)
+        bits = np.zeros((unique_keys.size, slice_bits), dtype=bool)
+        bits[ordinal, cols_sorted % slice_bits] = True
+        data = (
+            np.packbits(bits, axis=1, bitorder="little")
+            if unique_keys.size
+            else np.zeros((0, slice_bits // 8), dtype=np.uint8)
+        )
+        slice_ids = (unique_keys % slices_per_row).astype(np.int64)
+        owner_rows = (unique_keys // slices_per_row).astype(np.int64)
+        counts = np.bincount(owner_rows, minlength=num_rows)
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(num_rows, num_cols, slice_bits, indptr, slice_ids, data)
+
+    @classmethod
+    def from_graph(
+        cls, graph: Graph, orientation: str = "upper", slice_bits: int = 64
+    ) -> "SlicedMatrix":
+        """Slice the (oriented) adjacency matrix of ``graph``.
+
+        ``orientation="upper"`` slices rows of the DAG-oriented matrix
+        (successors); ``"lower"`` slices its transpose (predecessors) —
+        which is exactly the *column* structure of the upper matrix, since
+        column ``j`` of ``A`` is row ``j`` of ``A^T``.
+        """
+        if orientation not in _ORIENTATIONS:
+            raise SlicingError(f"unknown orientation {orientation!r}")
+        edges = graph.edge_array()
+        u, v = edges[:, 0], edges[:, 1]
+        if orientation == "upper":
+            rows, cols = u, v
+        elif orientation == "lower":
+            rows, cols = v, u
+        else:
+            rows = np.concatenate([u, v])
+            cols = np.concatenate([v, u])
+        n = graph.num_vertices
+        return cls.from_nonzeros(rows, cols, n, n, slice_bits=slice_bits)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, slice_bits: int = 64) -> "SlicedMatrix":
+        """Slice a dense 0/1 matrix (test helper)."""
+        dense = np.asarray(dense, dtype=bool)
+        if dense.ndim != 2:
+            raise SlicingError(f"expected a 2-D matrix, got shape {dense.shape}")
+        rows, cols = np.nonzero(dense)
+        return cls.from_nonzeros(
+            rows, cols, dense.shape[0], dense.shape[1], slice_bits=slice_bits
+        )
+
+    # ------------------------------------------------------------------
+    # Size / statistics (Table III & IV quantities)
+    # ------------------------------------------------------------------
+    @property
+    def num_valid_slices(self) -> int:
+        """``N_VS`` — total number of valid slices."""
+        return int(self.data.shape[0])
+
+    @property
+    def slices_per_row(self) -> int:
+        """``ceil(num_cols / |S|)``."""
+        return _slices_per_row(self.num_cols, self.slice_bits)
+
+    @property
+    def total_slices(self) -> int:
+        """Total slice positions (valid or not): ``num_rows * slices_per_row``."""
+        return self.num_rows * self.slices_per_row
+
+    @property
+    def valid_fraction(self) -> float:
+        """Fraction of slice positions that are valid (Table IV / 100)."""
+        return self.num_valid_slices / self.total_slices if self.total_slices else 0.0
+
+    @property
+    def data_bytes(self) -> int:
+        """Payload size: ``N_VS x |S| / 8`` bytes (Table III quantity)."""
+        return self.num_valid_slices * (self.slice_bits // 8)
+
+    @property
+    def index_bytes(self) -> int:
+        """Index size: ``N_VS x 4`` bytes."""
+        return self.num_valid_slices * INDEX_BYTES
+
+    @property
+    def compressed_bytes(self) -> int:
+        """Overall compressed size ``N_VS x (|S|/8 + 4)`` bytes (Section IV-B)."""
+        return self.data_bytes + self.index_bytes
+
+    def nnz(self) -> int:
+        """Number of non-zeros represented."""
+        return bitops.popcount(self.data)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def row_slices(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(slice_ids, data)`` views for one row (both read-only)."""
+        if not 0 <= row < self.num_rows:
+            raise SlicingError(f"row {row} out of range [0, {self.num_rows})")
+        lo, hi = int(self.indptr[row]), int(self.indptr[row + 1])
+        ids = self.slice_ids[lo:hi]
+        payload = self.data[lo:hi]
+        ids.flags.writeable = False
+        payload.flags.writeable = False
+        return ids, payload
+
+    def row_valid_count(self, row: int) -> int:
+        """Number of valid slices in ``row``."""
+        if not 0 <= row < self.num_rows:
+            raise SlicingError(f"row {row} out of range [0, {self.num_rows})")
+        return int(self.indptr[row + 1] - self.indptr[row])
+
+    def row_valid_counts(self) -> np.ndarray:
+        """Valid-slice count for every row."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        """Expand back to a dense boolean matrix (test helper)."""
+        dense = np.zeros((self.num_rows, self.num_cols), dtype=bool)
+        for row in range(self.num_rows):
+            ids, payload = self.row_slices(row)
+            for slice_id, slice_bytes in zip(ids.tolist(), payload):
+                start = slice_id * self.slice_bits
+                width = min(self.slice_bits, self.num_cols - start)
+                dense[row, start: start + width] = bitops.unpack_bytes(
+                    slice_bytes, width
+                )
+        return dense
+
+    def __repr__(self) -> str:
+        return (
+            f"SlicedMatrix(shape=({self.num_rows}, {self.num_cols}), "
+            f"slice_bits={self.slice_bits}, num_valid_slices={self.num_valid_slices})"
+        )
+
+
+@dataclass(frozen=True)
+class SliceStatistics:
+    """Compression metrics for one graph — the Table III / IV quantities.
+
+    ``valid_percent`` counts valid slices over both the row structure and
+    the column structure of the oriented matrix, matching the paper's
+    framing that both rows and columns are sliced.
+    """
+
+    slice_bits: int
+    row_valid_slices: int
+    col_valid_slices: int
+    total_slice_positions: int
+    data_bytes: int
+    compressed_bytes: int
+
+    @property
+    def num_valid_slices(self) -> int:
+        """``N_VS`` over rows + columns."""
+        return self.row_valid_slices + self.col_valid_slices
+
+    @property
+    def valid_percent(self) -> float:
+        """Percentage of slice positions that are valid.
+
+        Clean definition: valid slices over slice positions, both counted
+        across the row structure *and* the column structure.
+        """
+        if not self.total_slice_positions:
+            return 0.0
+        return 100.0 * self.num_valid_slices / (2 * self.total_slice_positions)
+
+    @property
+    def paper_valid_percent(self) -> float:
+        """Table IV's accounting of the valid-slice percentage.
+
+        Reconciling the paper's Tables III and IV against Table II only
+        works if Table IV counts the valid slices of both the row and the
+        column structure against the ``n x ceil(n/|S|)`` slice positions of
+        *one* matrix (e-mail-enron: 2 x N_VS_rows / positions = 1.56 % vs
+        the published 1.607 %).  This property reproduces that accounting;
+        :attr:`valid_percent` keeps the self-consistent definition.
+        """
+        if not self.total_slice_positions:
+            return 0.0
+        return 100.0 * self.num_valid_slices / self.total_slice_positions
+
+    @property
+    def data_megabytes(self) -> float:
+        """Valid slice data size in MB (rows + columns)."""
+        return self.data_bytes / 1e6
+
+    @property
+    def row_data_bytes(self) -> int:
+        """Payload bytes of the row structure alone.
+
+        This is the quantity that matches the paper's Table III ("valid
+        slice data size"): one compressed copy of the graph, the one the
+        controller streams row-by-row.
+        """
+        return self.row_valid_slices * (self.slice_bits // 8)
+
+    @property
+    def row_data_megabytes(self) -> float:
+        """Row-structure payload in MB (the Table III quantity)."""
+        return self.row_data_bytes / 1e6
+
+    @property
+    def compressed_megabytes(self) -> float:
+        """Compressed size (data + 4-byte indexes) in MB."""
+        return self.compressed_bytes / 1e6
+
+    @property
+    def computation_reduction_percent(self) -> float:
+        """Work eliminated by slicing, the paper's "reduce 99.99 %" claim.
+
+        Defined structurally as ``100 - valid_percent``: the fraction of
+        slice positions that never have to be touched.
+        """
+        return 100.0 - self.valid_percent
+
+
+def slice_statistics(
+    graph: Graph, slice_bits: int = 64, orientation: str = "upper"
+) -> SliceStatistics:
+    """Compute the Table III / IV compression statistics for ``graph``.
+
+    Slices both the rows of the oriented adjacency matrix and its columns
+    (i.e. the transpose's rows), mirroring what the TCIM controller stores.
+    """
+    row_sliced = SlicedMatrix.from_graph(graph, orientation, slice_bits=slice_bits)
+    col_orientation = {"upper": "lower", "lower": "upper", "symmetric": "symmetric"}[
+        orientation
+    ]
+    col_sliced = SlicedMatrix.from_graph(graph, col_orientation, slice_bits=slice_bits)
+    return SliceStatistics(
+        slice_bits=slice_bits,
+        row_valid_slices=row_sliced.num_valid_slices,
+        col_valid_slices=col_sliced.num_valid_slices,
+        total_slice_positions=row_sliced.total_slices,
+        data_bytes=row_sliced.data_bytes + col_sliced.data_bytes,
+        compressed_bytes=row_sliced.compressed_bytes + col_sliced.compressed_bytes,
+    )
+
+
+def valid_pair_positions(
+    row_ids: np.ndarray, col_ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Match positions of *valid slice pairs* between two sorted id arrays.
+
+    Returns ``(row_positions, col_positions)`` such that
+    ``row_ids[row_positions] == col_ids[col_positions]`` — the slice
+    indices ``k`` where both ``R_i S_k`` and ``C_j S_k`` are valid.
+    """
+    row_positions = np.searchsorted(col_ids, row_ids)
+    row_positions = np.minimum(row_positions, max(col_ids.size - 1, 0))
+    if col_ids.size == 0 or row_ids.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    matched = col_ids[row_positions] == row_ids
+    where = np.flatnonzero(matched)
+    return where.astype(np.int64), row_positions[matched].astype(np.int64)
+
+
+def _slices_per_row(num_cols: int, slice_bits: int) -> int:
+    return (num_cols + slice_bits - 1) // slice_bits
+
+
+def _check_slice_bits(slice_bits: int) -> None:
+    if slice_bits <= 0 or slice_bits % 8:
+        raise SlicingError(
+            f"slice_bits must be a positive multiple of 8, got {slice_bits}"
+        )

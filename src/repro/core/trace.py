@@ -1,0 +1,101 @@
+"""Column-slice access traces (replay substrate for cache studies).
+
+The replacement-policy ablation needs the exact sequence of column-slice
+touches Algorithm 1 generates.  Rather than re-deriving it inside each
+benchmark, this module extracts the trace once and offers replay helpers;
+:func:`repro.core.reuse.simulate_trace` and
+:func:`repro.core.reuse.belady_trace_statistics` consume the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reuse import (
+    CacheStatistics,
+    ReplacementPolicy,
+    belady_trace_statistics,
+    simulate_trace,
+)
+from repro.core.slicing import SlicedMatrix, valid_pair_positions
+from repro.errors import ArchitectureError
+from repro.graph.graph import Graph
+
+__all__ = ["AccessTrace", "extract_column_trace", "compare_policies"]
+
+
+@dataclass
+class AccessTrace:
+    """One run's column-slice access sequence plus sizing context."""
+
+    #: ``(column, slice_index)`` keys in touch order.
+    accesses: list[tuple[int, int]]
+    #: Maximum valid slices of any single row (the row-region reservation).
+    row_region_slices: int
+    #: Distinct column slices ever touched.
+    distinct_slices: int
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def column_cache_capacity(self, array_bytes: int, slice_bits: int = 64) -> int:
+        """Column-cache slots for a given array size (after the row region)."""
+        capacity = array_bytes // (slice_bits // 8) - self.row_region_slices
+        if capacity < 1:
+            raise ArchitectureError(
+                f"array of {array_bytes} bytes leaves no column capacity after "
+                f"the {self.row_region_slices}-slice row region"
+            )
+        return capacity
+
+
+def extract_column_trace(graph: Graph, slice_bits: int = 64) -> AccessTrace:
+    """Replay Algorithm 1's traversal and record every column-slice touch.
+
+    Matches :class:`repro.core.accelerator.TCIMAccelerator` exactly: rows
+    ascending, successors ascending, one access per valid slice pair.
+    """
+    rows = SlicedMatrix.from_graph(graph, "upper", slice_bits=slice_bits)
+    cols = SlicedMatrix.from_graph(graph, "lower", slice_bits=slice_bits)
+    accesses: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    indptr, indices = graph.csr
+    for row in range(graph.num_vertices):
+        neighbours = indices[indptr[row]: indptr[row + 1]]
+        successors = neighbours[neighbours > row]
+        if successors.size == 0:
+            continue
+        row_ids, _ = rows.row_slices(row)
+        if row_ids.size == 0:
+            continue
+        for column in successors.tolist():
+            col_ids, _ = cols.row_slices(column)
+            if col_ids.size == 0:
+                continue
+            _, col_pos = valid_pair_positions(row_ids, col_ids)
+            for position in col_pos.tolist():
+                key = (column, int(col_ids[position]))
+                accesses.append(key)
+                seen.add(key)
+    return AccessTrace(
+        accesses=accesses,
+        row_region_slices=int(rows.row_valid_counts().max(initial=0)),
+        distinct_slices=len(seen),
+    )
+
+
+def compare_policies(
+    trace: AccessTrace,
+    array_bytes: int,
+    slice_bits: int = 64,
+    seed: int = 0,
+) -> dict[str, CacheStatistics]:
+    """Replay one trace under every online policy plus offline Belady."""
+    capacity = trace.column_cache_capacity(array_bytes, slice_bits)
+    results: dict[str, CacheStatistics] = {}
+    for policy in ReplacementPolicy:
+        results[policy.value] = simulate_trace(
+            trace.accesses, capacity, policy=policy, seed=seed
+        )
+    results["belady"] = belady_trace_statistics(trace.accesses, capacity)
+    return results

@@ -1,0 +1,30 @@
+"""Device level: MTJ compact model, LLG dynamics, bit-cell, sense amplifier."""
+
+from repro.device.bitcell import BitCell, BitCellParams
+from repro.device.llg import (
+    LLGResult,
+    critical_current_llg,
+    solve_llg,
+    switching_time_llg,
+)
+from repro.device.mtj import MTJDevice, MTJState
+from repro.device.params import CONSTANTS, MTJParameters, PhysicalConstants
+from repro.device.reliability import ReliabilityModel
+from repro.device.sense_amp import SenseAmplifier, SenseMargins
+
+__all__ = [
+    "ReliabilityModel",
+    "MTJParameters",
+    "PhysicalConstants",
+    "CONSTANTS",
+    "MTJDevice",
+    "MTJState",
+    "LLGResult",
+    "solve_llg",
+    "switching_time_llg",
+    "critical_current_llg",
+    "BitCell",
+    "BitCellParams",
+    "SenseAmplifier",
+    "SenseMargins",
+]

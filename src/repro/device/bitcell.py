@@ -1,0 +1,101 @@
+"""1T1R STT-MRAM bit-cell electrical model (paper Fig. 1, left).
+
+One access transistor in series with the MTJ, controlled by word-line
+(WL), bit-line (BL) and source-line (SL).  The cell-level quantities the
+array model consumes are the read current per state, the write pulse
+(current, duration, energy) and the parasitic capacitances each cell
+contributes to its word- and bit-lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.mtj import MTJDevice, MTJState
+from repro.errors import DeviceError
+
+__all__ = ["BitCellParams", "BitCell"]
+
+
+@dataclass(frozen=True)
+class BitCellParams:
+    """Electrical parameters of the access path (45 nm-class defaults)."""
+
+    #: On-resistance of the NMOS access transistor (ohm).
+    access_resistance_ohm: float = 1500.0
+    #: Per-cell word-line capacitance (F) — gate load of the access device.
+    wordline_capacitance_f: float = 0.12e-15
+    #: Per-cell bit-line capacitance (F) — drain junction load.
+    bitline_capacitance_f: float = 0.10e-15
+    #: Per-cell word-line wire resistance (ohm).
+    wordline_resistance_ohm: float = 2.5
+    #: Per-cell bit-line wire resistance (ohm).
+    bitline_resistance_ohm: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "access_resistance_ohm",
+            "wordline_capacitance_f",
+            "bitline_capacitance_f",
+            "wordline_resistance_ohm",
+            "bitline_resistance_ohm",
+        ):
+            if getattr(self, name) <= 0:
+                raise DeviceError(f"{name} must be positive")
+
+
+class BitCell:
+    """One 1T1R cell: MTJ + access transistor in series."""
+
+    def __init__(
+        self,
+        mtj: MTJDevice | None = None,
+        params: BitCellParams | None = None,
+    ) -> None:
+        self.mtj = mtj or MTJDevice()
+        self.params = params or BitCellParams()
+
+    def path_resistance(self, state: MTJState, bias_v: float = 0.0) -> float:
+        """Series resistance of the selected cell (MTJ + transistor)."""
+        return self.mtj.resistance(state, bias_v) + self.params.access_resistance_ohm
+
+    def read_current(self, state: MTJState, read_voltage_v: float | None = None) -> float:
+        """Current drawn when reading the cell at ``V_read``."""
+        voltage = (
+            self.mtj.params.read_voltage_v if read_voltage_v is None else read_voltage_v
+        )
+        return voltage / self.path_resistance(state, voltage)
+
+    @property
+    def write_current_a(self) -> float:
+        """Write current (overdriven critical current of the MTJ)."""
+        return self.mtj.write_current_a
+
+    @property
+    def write_pulse_s(self) -> float:
+        """Write pulse duration (MTJ switching time at the write current)."""
+        return self.mtj.write_pulse_s
+
+    def write_voltage_v(self) -> float:
+        """Voltage the write driver must supply across BL/SL."""
+        mean_resistance = 0.5 * (
+            self.mtj.resistance_parallel + self.mtj.resistance_antiparallel
+        )
+        return self.write_current_a * (
+            mean_resistance + self.params.access_resistance_ohm
+        )
+
+    def write_energy_j(self) -> float:
+        """Energy of one write pulse across the full cell path."""
+        current = self.write_current_a
+        mean_resistance = 0.5 * (
+            self.mtj.resistance_parallel + self.mtj.resistance_antiparallel
+        )
+        total = mean_resistance + self.params.access_resistance_ohm
+        return current * current * total * self.write_pulse_s
+
+    def read_energy_j(self, sense_time_s: float) -> float:
+        """Energy of holding ``V_read`` across the cell for one sense."""
+        voltage = self.mtj.params.read_voltage_v
+        worst_current = voltage / self.path_resistance(MTJState.PARALLEL, voltage)
+        return voltage * worst_current * sense_time_s

@@ -1,0 +1,220 @@
+"""MTJ compact model: Brinkman tunnel transport + STT switching estimates.
+
+The paper characterises its MTJ by jointly using the Brinkman model (for
+the tunnel resistance and its bias dependence) and the Landau-Lifshitz-
+Gilbert equation (for magnetisation dynamics) [15].  This module covers
+the transport side and the analytic switching estimates; the full LLG
+trajectory solver lives in :mod:`repro.device.llg`.
+
+Outputs consumed downstream:
+
+* ``R_P`` / ``R_AP``  -> sense-amplifier references (:mod:`repro.device.sense_amp`);
+* critical current and switching time -> write latency/energy in the
+  NVSim-style array model (:mod:`repro.memory.nvsim`).
+"""
+
+from __future__ import annotations
+
+import math
+from enum import IntEnum
+
+from repro.device.params import CONSTANTS, MTJParameters
+from repro.errors import DeviceError
+
+__all__ = ["MTJState", "MTJDevice"]
+
+
+class MTJState(IntEnum):
+    """Magnetic state: parallel stores logic '1' (low resistance, high
+    read current), anti-parallel stores logic '0'.
+
+    The '1' <-> low-resistance convention is what makes the multi-row AND
+    of Fig. 1 work: only when *both* activated cells are parallel does the
+    summed current exceed the AND reference.
+    """
+
+    PARALLEL = 1
+    ANTI_PARALLEL = 0
+
+    @classmethod
+    def from_bit(cls, bit: bool) -> "MTJState":
+        """Map a stored logic bit onto the magnetic state."""
+        return cls.PARALLEL if bit else cls.ANTI_PARALLEL
+
+
+class MTJDevice:
+    """Compact model of one magnetic tunnel junction.
+
+    >>> device = MTJDevice()
+    >>> round(device.resistance_parallel)
+    625
+    >>> round(device.resistance_antiparallel)
+    1250
+    """
+
+    def __init__(self, params: MTJParameters | None = None) -> None:
+        self.params = params or MTJParameters()
+
+    # ------------------------------------------------------------------
+    # Resistance (Brinkman model)
+    # ------------------------------------------------------------------
+    @property
+    def resistance_parallel(self) -> float:
+        """Zero-bias parallel resistance ``R_P = RA / area`` (ohm)."""
+        return (
+            self.params.resistance_area_product_ohm_m2 / self.params.surface_area_m2
+        )
+
+    @property
+    def resistance_antiparallel(self) -> float:
+        """Zero-bias anti-parallel resistance ``R_AP = R_P (1 + TMR)``."""
+        return self.resistance_parallel * (1.0 + self.params.tmr)
+
+    def _brinkman_conductance_factor(self, bias_v: float) -> float:
+        """Bias-dependent conductance ratio ``G(V)/G(0)`` (Brinkman 1970).
+
+        ``G(V)/G(0) = 1 - (A0 dphi / 16 phi^1.5) eV + (9 A0^2 / 128 phi) (eV)^2``
+        with ``A0 = 4 d sqrt(2 m_e) / (3 hbar)`` and barrier height ``phi``
+        expressed in eV.  For the symmetric MgO barrier of Table I the
+        linear (asymmetry) term vanishes and the quadratic term raises the
+        conductance with bias, producing the experimentally observed
+        resistance droop.
+        """
+        phi = self.params.barrier_height_ev
+        dphi = self.params.barrier_asymmetry_ev
+        thickness = self.params.oxide_thickness_m
+        # A0 in 1/sqrt(eV): 4 d sqrt(2 m_e e) / (3 hbar), with the charge
+        # folded in so that energies stay in eV.
+        a0 = (
+            4.0
+            * thickness
+            * math.sqrt(2.0 * CONSTANTS.electron_mass * CONSTANTS.electron_charge)
+            / (3.0 * CONSTANTS.reduced_planck)
+        )
+        linear = a0 * dphi * bias_v / (16.0 * phi**1.5)
+        quadratic = 9.0 * (a0**2) * (bias_v**2) / (128.0 * phi)
+        return 1.0 - linear + quadratic
+
+    def tmr_at_bias(self, bias_v: float) -> float:
+        """TMR roll-off with bias: ``TMR(V) = TMR0 / (1 + (V / V_h)^2)``."""
+        ratio = bias_v / self.params.tmr_half_bias_v
+        return self.params.tmr / (1.0 + ratio * ratio)
+
+    def resistance(self, state: MTJState, bias_v: float = 0.0) -> float:
+        """Resistance of the junction in ``state`` at bias ``bias_v``.
+
+        The parallel channel follows the Brinkman conductance factor; the
+        anti-parallel channel additionally sees the TMR roll-off.
+        """
+        r_parallel = self.resistance_parallel / self._brinkman_conductance_factor(
+            bias_v
+        )
+        if state is MTJState.PARALLEL:
+            return r_parallel
+        return r_parallel * (1.0 + self.tmr_at_bias(bias_v))
+
+    def read_current(self, state: MTJState, bias_v: float | None = None) -> float:
+        """Sense current ``V_read / R(state)`` (A)."""
+        bias = self.params.read_voltage_v if bias_v is None else bias_v
+        return bias / self.resistance(state, bias)
+
+    # ------------------------------------------------------------------
+    # Energetics / switching
+    # ------------------------------------------------------------------
+    @property
+    def energy_barrier_j(self) -> float:
+        """Uniaxial PMA energy barrier ``E_b = mu0 Ms Hk V / 2`` (J)."""
+        p = self.params
+        return (
+            0.5
+            * CONSTANTS.vacuum_permeability
+            * p.saturation_magnetization_a_per_m
+            * p.anisotropy_field_a_per_m
+            * p.free_layer_volume_m3
+        )
+
+    @property
+    def thermal_stability(self) -> float:
+        """``Delta = E_b / (k_B T)`` — retention figure of merit."""
+        return self.energy_barrier_j / (
+            CONSTANTS.boltzmann * self.params.temperature_k
+        )
+
+    @property
+    def critical_current_a(self) -> float:
+        """Zero-temperature critical STT current
+        ``I_c0 = 4 e alpha E_b / (hbar eta)`` for a perpendicular MTJ.
+
+        ``eta`` is the spin-transfer efficiency, for which we use the
+        paper's spin Hall angle of 0.3 (Table I).
+        """
+        p = self.params
+        return (
+            4.0
+            * CONSTANTS.electron_charge
+            * p.gilbert_damping
+            * self.energy_barrier_j
+            / (CONSTANTS.reduced_planck * p.spin_hall_angle)
+        )
+
+    def switching_time_s(self, current_a: float, initial_angle_rad: float = 0.035) -> float:
+        """Analytic precessional switching time for ``current > I_c0``.
+
+        Conservation of angular momentum in the macrospin picture gives
+        ``t_sw = e Ms V ln(pi / 2 theta0) / (2 mu_B eta (I - I_c0))``.
+        Raises :class:`DeviceError` at or below the critical current (the
+        deterministic model never switches there; thermal activation is
+        out of scope).
+        """
+        critical = self.critical_current_a
+        if current_a <= critical:
+            raise DeviceError(
+                f"current {current_a:.3e} A does not exceed the critical "
+                f"current {critical:.3e} A; no deterministic switching"
+            )
+        p = self.params
+        numerator = (
+            CONSTANTS.electron_charge
+            * p.saturation_magnetization_a_per_m
+            * p.free_layer_volume_m3
+            * math.log(math.pi / (2.0 * initial_angle_rad))
+        )
+        denominator = (
+            2.0 * CONSTANTS.bohr_magneton * p.spin_hall_angle * (current_a - critical)
+        )
+        return numerator / denominator
+
+    @property
+    def write_current_a(self) -> float:
+        """Nominal write current: ``write_overdrive x I_c0``."""
+        return self.params.write_overdrive * self.critical_current_a
+
+    @property
+    def write_pulse_s(self) -> float:
+        """Switching time at the nominal write current."""
+        return self.switching_time_s(self.write_current_a)
+
+    def write_energy_j(
+        self, current_a: float | None = None, duration_s: float | None = None
+    ) -> float:
+        """Joule energy of one write pulse ``I^2 R t``.
+
+        Uses the mean of the two junction resistances since the state
+        traverses from one to the other during switching.
+        """
+        current = self.write_current_a if current_a is None else current_a
+        duration = (
+            self.switching_time_s(current) if duration_s is None else duration_s
+        )
+        mean_resistance = 0.5 * (
+            self.resistance_parallel + self.resistance_antiparallel
+        )
+        return current * current * mean_resistance * duration
+
+    def __repr__(self) -> str:
+        return (
+            f"MTJDevice(R_P={self.resistance_parallel:.0f} ohm, "
+            f"R_AP={self.resistance_antiparallel:.0f} ohm, "
+            f"Delta={self.thermal_stability:.0f}, "
+            f"I_c0={self.critical_current_a * 1e6:.0f} uA)"
+        )

@@ -1,0 +1,111 @@
+"""Device-level parameter sets (paper Table I).
+
+:class:`MTJParameters` carries the exact values of Table I plus the handful
+of quantities every MTJ compact model additionally needs (free-layer
+thickness, tunnel-barrier height, read/write voltages); those extras use
+standard CoFeB/MgO literature values and are documented as such.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import paperdata
+from repro.errors import DeviceError
+
+__all__ = ["MTJParameters", "PhysicalConstants", "CONSTANTS"]
+
+
+@dataclass(frozen=True)
+class PhysicalConstants:
+    """SI physical constants used by the device models."""
+
+    electron_charge: float = 1.602176634e-19  # C
+    reduced_planck: float = 1.054571817e-34  # J*s
+    boltzmann: float = 1.380649e-23  # J/K
+    bohr_magneton: float = 9.2740100783e-24  # J/T
+    vacuum_permeability: float = 1.25663706212e-6  # T*m/A
+    gyromagnetic_ratio: float = 1.7608596e11  # rad/(s*T)
+    electron_mass: float = 9.1093837015e-31  # kg
+
+
+CONSTANTS = PhysicalConstants()
+
+
+@dataclass(frozen=True)
+class MTJParameters:
+    """Key parameters for MTJ simulation — defaults are paper Table I.
+
+    The paper's table gives the geometry, transport and magnetic values;
+    the fields below the separator are the standard extras required to
+    close the compact model (their defaults are typical CoFeB/MgO numbers
+    and are consumed by the Brinkman and LLG models).
+    """
+
+    surface_length_m: float = paperdata.TABLE_I_MTJ_PARAMETERS["surface_length_m"]
+    surface_width_m: float = paperdata.TABLE_I_MTJ_PARAMETERS["surface_width_m"]
+    spin_hall_angle: float = paperdata.TABLE_I_MTJ_PARAMETERS["spin_hall_angle"]
+    resistance_area_product_ohm_m2: float = paperdata.TABLE_I_MTJ_PARAMETERS[
+        "resistance_area_product_ohm_m2"
+    ]
+    oxide_thickness_m: float = paperdata.TABLE_I_MTJ_PARAMETERS["oxide_thickness_m"]
+    tmr: float = paperdata.TABLE_I_MTJ_PARAMETERS["tmr"]
+    saturation_magnetization_a_per_m: float = paperdata.TABLE_I_MTJ_PARAMETERS[
+        "saturation_field_a_per_m"
+    ]
+    gilbert_damping: float = paperdata.TABLE_I_MTJ_PARAMETERS["gilbert_damping"]
+    anisotropy_field_a_per_m: float = paperdata.TABLE_I_MTJ_PARAMETERS[
+        "perpendicular_anisotropy_a_per_m"
+    ]
+    temperature_k: float = paperdata.TABLE_I_MTJ_PARAMETERS["temperature_k"]
+    # ---- standard extras (not in Table I) --------------------------------
+    #: Free-layer thickness; 1.3 nm is typical for perpendicular CoFeB.
+    free_layer_thickness_m: float = 1.3e-9
+    #: Mean tunnel-barrier height of MgO in eV (Brinkman model input).
+    barrier_height_ev: float = 0.40
+    #: Barrier asymmetry in eV (0 for a symmetric junction).
+    barrier_asymmetry_ev: float = 0.0
+    #: Bias at which the TMR falls to half its zero-bias value.
+    tmr_half_bias_v: float = 0.5
+    #: Read voltage applied across BL/SL during READ and AND sensing.
+    read_voltage_v: float = 0.1
+    #: Write-current overdrive relative to the critical current.
+    write_overdrive: float = 1.5
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "surface_length_m",
+            "surface_width_m",
+            "spin_hall_angle",
+            "resistance_area_product_ohm_m2",
+            "oxide_thickness_m",
+            "saturation_magnetization_a_per_m",
+            "gilbert_damping",
+            "anisotropy_field_a_per_m",
+            "temperature_k",
+            "free_layer_thickness_m",
+            "barrier_height_ev",
+            "tmr_half_bias_v",
+            "read_voltage_v",
+        )
+        for name in positive_fields:
+            value = getattr(self, name)
+            if value <= 0:
+                raise DeviceError(f"{name} must be positive, got {value}")
+        if self.tmr < 0:
+            raise DeviceError(f"tmr must be non-negative, got {self.tmr}")
+        if self.write_overdrive <= 1.0:
+            raise DeviceError(
+                f"write_overdrive must exceed 1 (else the cell never switches), "
+                f"got {self.write_overdrive}"
+            )
+
+    @property
+    def surface_area_m2(self) -> float:
+        """Junction area (rectangular cell, as in Table I)."""
+        return self.surface_length_m * self.surface_width_m
+
+    @property
+    def free_layer_volume_m3(self) -> float:
+        """Free-layer volume used for thermal stability and STT dynamics."""
+        return self.surface_area_m2 * self.free_layer_thickness_m

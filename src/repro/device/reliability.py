@@ -1,0 +1,128 @@
+"""MRAM reliability models: retention, read disturb, write error rate.
+
+The paper sells STT-MRAM on non-volatility and endurance; these models
+quantify those properties from the same Table I parameters, closing the
+loop for architects who need error budgets rather than adjectives:
+
+* **retention** — thermally activated loss of the stored state over time,
+  governed by the stability factor ``Delta`` (Neel-Arrhenius);
+* **read disturb** — a read pulse is a small-amplitude write; its error
+  probability follows the thermal-activation switching model at
+  sub-critical current;
+* **write error rate (WER)** — the probability a write pulse shorter than
+  the thermal distribution's tail fails to switch the layer.
+
+All models are standard macrospin/thermal-activation forms (Khvalkovskiy
+et al., J. Phys. D 2013) parameterised by :class:`MTJDevice`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.device.mtj import MTJDevice
+from repro.errors import DeviceError
+
+__all__ = ["ReliabilityModel"]
+
+#: Attempt frequency of thermal switching events (1/s), the standard 1 GHz.
+ATTEMPT_FREQUENCY_HZ = 1e9
+
+
+class ReliabilityModel:
+    """Retention / disturb / write-error estimates for one MTJ design."""
+
+    def __init__(self, device: MTJDevice | None = None) -> None:
+        self.device = device or MTJDevice()
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def retention_failure_probability(self, seconds: float) -> float:
+        """Probability the stored bit flips within ``seconds`` (no bias).
+
+        Neel-Arrhenius: ``P = 1 - exp(-t f0 exp(-Delta))``.
+        """
+        if seconds < 0:
+            raise DeviceError(f"negative retention window {seconds}")
+        delta = self.device.thermal_stability
+        rate = ATTEMPT_FREQUENCY_HZ * math.exp(-delta)
+        return 1.0 - math.exp(-seconds * rate)
+
+    def retention_years(self, target_failure_probability: float = 1e-9) -> float:
+        """Years until the flip probability reaches the target."""
+        if not 0.0 < target_failure_probability < 1.0:
+            raise DeviceError(
+                "target probability must be in (0, 1), got "
+                f"{target_failure_probability}"
+            )
+        delta = self.device.thermal_stability
+        rate = ATTEMPT_FREQUENCY_HZ * math.exp(-delta)
+        seconds = -math.log(1.0 - target_failure_probability) / rate
+        return seconds / (365.25 * 24 * 3600)
+
+    # ------------------------------------------------------------------
+    # Read disturb
+    # ------------------------------------------------------------------
+    def read_disturb_probability(
+        self, read_current_a: float, pulse_s: float
+    ) -> float:
+        """Probability one read pulse flips the cell.
+
+        Sub-critical thermal activation: the barrier is lowered to
+        ``Delta (1 - I/I_c0)^2``; currents at or above ``I_c0`` disturb
+        deterministically (probability 1).
+        """
+        if read_current_a < 0 or pulse_s < 0:
+            raise DeviceError("read current and pulse width must be non-negative")
+        critical = self.device.critical_current_a
+        if read_current_a >= critical:
+            return 1.0
+        delta = self.device.thermal_stability
+        effective = delta * (1.0 - read_current_a / critical) ** 2
+        rate = ATTEMPT_FREQUENCY_HZ * math.exp(-effective)
+        return 1.0 - math.exp(-pulse_s * rate)
+
+    def reads_per_disturb(self, read_current_a: float, pulse_s: float) -> float:
+        """Expected number of reads before one disturb event (inf if ~0)."""
+        probability = self.read_disturb_probability(read_current_a, pulse_s)
+        if probability <= 0.0:
+            return math.inf
+        return 1.0 / probability
+
+    # ------------------------------------------------------------------
+    # Write error rate
+    # ------------------------------------------------------------------
+    def write_error_rate(
+        self, write_current_a: float | None = None, pulse_s: float | None = None
+    ) -> float:
+        """Probability a write pulse fails to switch the free layer.
+
+        For overdriven precessional switching the failure probability
+        decays exponentially once the pulse exceeds the mean switching
+        time: ``WER = exp(-(t_pulse - t_sw) / tau)`` with the thermal
+        spread ``tau = t_sw / ln(pi / 2 theta_0) ~ t_sw / 4.5``.  Pulses
+        shorter than the mean switching time fail with probability ~1.
+        """
+        device = self.device
+        current = device.write_current_a if write_current_a is None else write_current_a
+        if current <= device.critical_current_a:
+            return 1.0
+        pulse = device.switching_time_s(current) * 1.2 if pulse_s is None else pulse_s
+        mean_switch = device.switching_time_s(current)
+        if pulse <= mean_switch:
+            return 1.0
+        spread = mean_switch / math.log(math.pi / (2 * 0.035))
+        return math.exp(-(pulse - mean_switch) / spread)
+
+    def required_pulse_s(
+        self, target_wer: float = 1e-9, write_current_a: float | None = None
+    ) -> float:
+        """Pulse width achieving the target write error rate."""
+        if not 0.0 < target_wer < 1.0:
+            raise DeviceError(f"target WER must be in (0, 1), got {target_wer}")
+        device = self.device
+        current = device.write_current_a if write_current_a is None else write_current_a
+        mean_switch = device.switching_time_s(current)
+        spread = mean_switch / math.log(math.pi / (2 * 0.035))
+        return mean_switch - spread * math.log(target_wer)

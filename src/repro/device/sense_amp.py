@@ -1,0 +1,143 @@
+"""Sense amplifier with READ and AND reference circuits (paper Figs. 1 & 4).
+
+Computation in the STT-MRAM array works by activating word-lines and
+comparing the resulting bit-line current against a reference:
+
+* **READ** — one word-line active.  The cell current is ``I_P`` or
+  ``I_AP``; the reference resistance ``R_ref-READ`` sits between ``R_P``
+  and ``R_AP``.
+* **AND** — two word-lines active simultaneously (Fig. 1, right).  The two
+  selected cells are in parallel, so the equivalent resistance is one of
+  ``R_P || R_P`` (both store '1'), ``R_P || R_AP`` (mixed) or
+  ``R_AP || R_AP`` (both '0').  Placing ``R_ref-AND`` in the interval
+  ``(R_P||P , R_P||AP)`` makes the sense amplifier output '1' exactly when
+  *both* cells are parallel — a bitwise AND (Fig. 4, bottom-right).
+
+An OR reference point (between ``R_P||AP`` and ``R_AP||AP``) is also
+exposed: the paper notes the same array supports "various logic functions"
+with different reference currents, and the extension benchmark uses it.
+
+All references here are expressed as resistances; sensing compares the
+bit-line current ``V_read / R_equivalent`` against ``V_read / R_ref``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.bitcell import BitCell
+from repro.device.mtj import MTJState
+from repro.errors import DeviceError
+
+__all__ = ["SenseMargins", "SenseAmplifier"]
+
+
+def _parallel(a: float, b: float) -> float:
+    return a * b / (a + b)
+
+
+@dataclass(frozen=True)
+class SenseMargins:
+    """Current margins (A) between each logic level and its reference."""
+
+    read_margin_a: float
+    and_margin_a: float
+    or_margin_a: float
+
+    def all_positive(self) -> bool:
+        """Whether every sensing operation has a usable margin."""
+        return (
+            self.read_margin_a > 0 and self.and_margin_a > 0 and self.or_margin_a > 0
+        )
+
+
+class SenseAmplifier:
+    """Reference generation + current comparison for READ / AND / OR."""
+
+    def __init__(self, cell: BitCell | None = None) -> None:
+        self.cell = cell or BitCell()
+        mtj = self.cell.mtj
+        access = self.cell.params.access_resistance_ohm
+        self._r_p = mtj.resistance_parallel + access
+        self._r_ap = mtj.resistance_antiparallel + access
+        if self._r_ap <= self._r_p:
+            raise DeviceError("R_AP must exceed R_P for sensing to work")
+        self.read_voltage_v = mtj.params.read_voltage_v
+
+    # ------------------------------------------------------------------
+    # Equivalent resistances of the activated row combinations
+    # ------------------------------------------------------------------
+    @property
+    def resistance_single(self) -> dict[str, float]:
+        """Path resistance per stored bit for a single-row READ."""
+        return {"1": self._r_p, "0": self._r_ap}
+
+    def resistance_pair(self, bit_i: bool, bit_j: bool) -> float:
+        """Equivalent resistance of two simultaneously activated cells."""
+        r_i = self._r_p if bit_i else self._r_ap
+        r_j = self._r_p if bit_j else self._r_ap
+        return _parallel(r_i, r_j)
+
+    # ------------------------------------------------------------------
+    # Reference points
+    # ------------------------------------------------------------------
+    @property
+    def reference_read_ohm(self) -> float:
+        """``R_ref-READ``: geometric mean of ``R_P`` and ``R_AP``."""
+        return (self._r_p * self._r_ap) ** 0.5
+
+    @property
+    def reference_and_ohm(self) -> float:
+        """``R_ref-AND`` in ``(R_P||P, R_P||AP)`` (geometric mean)."""
+        r_pp = _parallel(self._r_p, self._r_p)
+        r_pap = _parallel(self._r_p, self._r_ap)
+        return (r_pp * r_pap) ** 0.5
+
+    @property
+    def reference_or_ohm(self) -> float:
+        """``R_ref-OR`` in ``(R_P||AP, R_AP||AP)`` (geometric mean)."""
+        r_pap = _parallel(self._r_p, self._r_ap)
+        r_apap = _parallel(self._r_ap, self._r_ap)
+        return (r_pap * r_apap) ** 0.5
+
+    # ------------------------------------------------------------------
+    # Sensing (functional, through the analog current path)
+    # ------------------------------------------------------------------
+    def _current(self, resistance_ohm: float) -> float:
+        return self.read_voltage_v / resistance_ohm
+
+    def sense_read(self, stored_bit: bool) -> bool:
+        """Single-cell READ through the current comparison."""
+        state = MTJState.from_bit(stored_bit)
+        cell_current = self._current(
+            self._r_p if state is MTJState.PARALLEL else self._r_ap
+        )
+        return cell_current > self._current(self.reference_read_ohm)
+
+    def sense_and(self, bit_i: bool, bit_j: bool) -> bool:
+        """Two-cell AND: current exceeds the AND reference only for (1, 1)."""
+        pair_current = self._current(self.resistance_pair(bit_i, bit_j))
+        return pair_current > self._current(self.reference_and_ohm)
+
+    def sense_or(self, bit_i: bool, bit_j: bool) -> bool:
+        """Two-cell OR using the lower reference current."""
+        pair_current = self._current(self.resistance_pair(bit_i, bit_j))
+        return pair_current > self._current(self.reference_or_ohm)
+
+    def margins(self) -> SenseMargins:
+        """Worst-case current margins for READ, AND and OR sensing."""
+        i_read_1 = self._current(self._r_p)
+        i_read_0 = self._current(self._r_ap)
+        i_read_ref = self._current(self.reference_read_ohm)
+        read_margin = min(i_read_1 - i_read_ref, i_read_ref - i_read_0)
+
+        i_and_11 = self._current(self.resistance_pair(True, True))
+        i_and_10 = self._current(self.resistance_pair(True, False))
+        i_and_ref = self._current(self.reference_and_ohm)
+        and_margin = min(i_and_11 - i_and_ref, i_and_ref - i_and_10)
+
+        i_or_10 = self._current(self.resistance_pair(True, False))
+        i_or_00 = self._current(self.resistance_pair(False, False))
+        i_or_ref = self._current(self.reference_or_ohm)
+        or_margin = min(i_or_10 - i_or_ref, i_or_ref - i_or_00)
+        return SenseMargins(read_margin, and_margin, or_margin)

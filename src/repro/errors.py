@@ -1,0 +1,45 @@
+"""Exception hierarchy for the TCIM reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or invalid graph operations."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when a graph file cannot be parsed."""
+
+
+class SlicingError(ReproError):
+    """Raised for invalid slicing parameters (e.g. slice size not a
+    multiple of 8, or a vector length mismatch)."""
+
+
+class CacheError(ReproError):
+    """Raised for invalid cache configurations (zero capacity, unknown
+    replacement policy, or a Belady cache used without a future trace)."""
+
+
+class DeviceError(ReproError):
+    """Raised when device-level models receive non-physical parameters
+    (negative resistance-area product, zero damping, ...)."""
+
+
+class ArchitectureError(ReproError):
+    """Raised for inconsistent architecture configurations (array too small
+    for a single slice, zero banks, ...)."""
+
+
+class ValidationError(ReproError):
+    """Raised when cross-implementation validation detects a mismatch
+    between triangle-counting implementations."""

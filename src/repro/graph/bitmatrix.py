@@ -1,0 +1,228 @@
+"""Bit-packed adjacency matrices.
+
+Section III of the paper works on the adjacency matrix as a bag of bit
+vectors: rows ``R_i = A[i][*]`` and columns ``C_j = A[*][j]^T``.  The
+:class:`BitMatrix` stores one bit per potential edge packed into 64-bit
+words, so the ``AND(R_i, C_j)`` of Eq. (5) becomes a handful of word-wide
+``&`` operations followed by a population count — exactly the work profile
+the computational STT-MRAM array executes in hardware.
+
+Columns are served from the lazily-built transpose: column ``j`` of ``A``
+is row ``j`` of ``A^T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph import bitops
+from repro.graph.graph import Graph
+
+__all__ = ["BitMatrix"]
+
+_ORIENTATIONS = ("symmetric", "upper", "lower")
+
+
+class BitMatrix:
+    """A dense 0/1 matrix stored as packed 64-bit words, one row per line.
+
+    Parameters
+    ----------
+    data:
+        ``(num_rows, num_words)`` array of ``uint64`` holding the packed
+        rows.  Bit ``j`` of row ``i`` lives in ``data[i, j // 64]`` at bit
+        position ``j % 64``.
+    num_cols:
+        Logical number of columns (``num_words * 64`` minus padding).
+    """
+
+    __slots__ = ("_data", "_num_cols", "_transpose_cache")
+
+    def __init__(self, data: np.ndarray, num_cols: int) -> None:
+        data = np.ascontiguousarray(data, dtype=np.uint64)
+        if data.ndim != 2:
+            raise GraphError(f"BitMatrix data must be 2-D, got shape {data.shape}")
+        if num_cols < 0 or bitops.words_for_bits(num_cols) != data.shape[1]:
+            raise GraphError(
+                f"num_cols={num_cols} inconsistent with {data.shape[1]} words per row"
+            )
+        self._data = data
+        self._num_cols = int(num_cols)
+        self._transpose_cache: "BitMatrix | None" = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, num_rows: int, num_cols: int) -> "BitMatrix":
+        """All-zero matrix of the given logical shape."""
+        words = bitops.words_for_bits(num_cols)
+        return cls(np.zeros((num_rows, words), dtype=np.uint64), num_cols)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "BitMatrix":
+        """Pack a dense boolean / 0-1 matrix."""
+        dense = np.asarray(dense, dtype=bool)
+        if dense.ndim != 2:
+            raise GraphError(f"expected a 2-D matrix, got shape {dense.shape}")
+        num_rows, num_cols = dense.shape
+        matrix = cls.zeros(num_rows, num_cols)
+        if num_rows and num_cols:
+            padded = np.zeros((num_rows, matrix._data.shape[1] * 64), dtype=bool)
+            padded[:, :num_cols] = dense
+            packed = np.packbits(padded, axis=1, bitorder="little")
+            matrix._data = np.ascontiguousarray(packed).view(np.uint64).reshape(
+                num_rows, -1
+            )
+        return matrix
+
+    @classmethod
+    def from_graph(cls, graph: Graph, orientation: str = "upper") -> "BitMatrix":
+        """Pack the adjacency matrix of ``graph``.
+
+        ``orientation="upper"`` produces the DAG orientation (``A[i][j] = 1``
+        iff the edge ``{i, j}`` exists and ``i < j``) used throughout the
+        paper's worked example; ``"symmetric"`` produces the full matrix.
+        """
+        if orientation not in _ORIENTATIONS:
+            raise GraphError(f"unknown orientation {orientation!r}")
+        n = graph.num_vertices
+        matrix = cls.zeros(n, n)
+        edges = graph.edge_array()
+        if edges.size == 0:
+            return matrix
+        u, v = edges[:, 0], edges[:, 1]
+        if orientation == "upper":
+            rows, cols = u, v
+        elif orientation == "lower":
+            rows, cols = v, u
+        else:
+            rows = np.concatenate([u, v])
+            cols = np.concatenate([v, u])
+        words = (cols // 64).astype(np.int64)
+        masks = np.left_shift(np.uint64(1), (cols % 64).astype(np.uint64))
+        # Accumulate with OR; np.bitwise_or.at handles repeated (row, word).
+        np.bitwise_or.at(matrix._data, (rows, words), masks)
+        return matrix
+
+    # ------------------------------------------------------------------
+    # Shape & element access
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        """Number of rows."""
+        return self._data.shape[0]
+
+    @property
+    def num_cols(self) -> int:
+        """Logical number of columns."""
+        return self._num_cols
+
+    @property
+    def words_per_row(self) -> int:
+        """Packed 64-bit words per row."""
+        return self._data.shape[1]
+
+    @property
+    def data(self) -> np.ndarray:
+        """The raw packed words (``(num_rows, words_per_row)`` uint64)."""
+        return self._data
+
+    def get(self, row: int, col: int) -> bool:
+        """Read one bit."""
+        self._check_position(row, col)
+        return bitops.bit_get(self._data[row], col)
+
+    def set(self, row: int, col: int, value: bool = True) -> None:
+        """Write one bit (invalidates any cached transpose)."""
+        self._check_position(row, col)
+        bitops.bit_set(self._data[row], col, value)
+        self._transpose_cache = None
+
+    def row(self, index: int) -> np.ndarray:
+        """Packed words of row ``index`` (read-only view)."""
+        if not 0 <= index < self.num_rows:
+            raise GraphError(f"row {index} out of range [0, {self.num_rows})")
+        view = self._data[index]
+        view.flags.writeable = False
+        return view
+
+    def column(self, index: int) -> np.ndarray:
+        """Packed words of column ``index`` — i.e. row ``index`` of ``A^T``."""
+        return self.transposed().row(index)
+
+    def row_bits(self, index: int) -> np.ndarray:
+        """Row ``index`` unpacked to a boolean vector."""
+        return bitops.unpack_bits(self.row(index), self._num_cols)
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+    def transposed(self) -> "BitMatrix":
+        """The transposed matrix (cached after the first call)."""
+        if self._transpose_cache is None:
+            dense = self.to_dense()
+            self._transpose_cache = BitMatrix.from_dense(dense.T)
+        return self._transpose_cache
+
+    def to_dense(self) -> np.ndarray:
+        """Unpack to a dense boolean matrix."""
+        if self.num_rows == 0 or self._num_cols == 0:
+            return np.zeros((self.num_rows, self._num_cols), dtype=bool)
+        as_bytes = self._data.reshape(self.num_rows, -1).view(np.uint8)
+        bits = np.unpackbits(as_bytes, axis=1, bitorder="little")
+        return bits[:, : self._num_cols].astype(bool)
+
+    def nnz(self) -> int:
+        """Total number of set bits."""
+        return bitops.popcount(self._data)
+
+    def row_nnz(self) -> np.ndarray:
+        """Per-row set-bit counts."""
+        if self._data.size == 0:
+            return np.zeros(self.num_rows, dtype=np.int64)
+        return np.bitwise_count(self._data).sum(axis=1).astype(np.int64)
+
+    def density(self) -> float:
+        """Fraction of bits set (0.0 for an empty matrix)."""
+        total = self.num_rows * self._num_cols
+        return self.nnz() / total if total else 0.0
+
+    def and_popcount(self, row_index: int, col_index: int) -> int:
+        """``BitCount(AND(R_i, C_j))`` — the inner operation of Eq. (5)."""
+        return bitops.popcount(self.row(row_index) & self.column(col_index))
+
+    def and_popcount_many(self, row_index: int, col_indices: np.ndarray) -> np.ndarray:
+        """Vectorised ``BitCount(AND(R_i, C_j))`` for many columns ``j``.
+
+        Exploits the data-reuse observation of Section IV-A: all non-zeros
+        of one row share that row, so the row's words are broadcast against
+        a block of column vectors in a single numpy expression.
+        """
+        transposed = self.transposed()
+        cols = transposed._data[np.asarray(col_indices, dtype=np.int64)]
+        conj = cols & self.row(row_index)[np.newaxis, :]
+        return np.bitwise_count(conj).sum(axis=1).astype(np.int64)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitMatrix):
+            return NotImplemented
+        return self._num_cols == other._num_cols and np.array_equal(
+            self._data, other._data
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"BitMatrix(num_rows={self.num_rows}, num_cols={self._num_cols}, "
+            f"nnz={self.nnz()})"
+        )
+
+    def _check_position(self, row: int, col: int) -> None:
+        if not 0 <= row < self.num_rows:
+            raise GraphError(f"row {row} out of range [0, {self.num_rows})")
+        if not 0 <= col < self._num_cols:
+            raise GraphError(f"column {col} out of range [0, {self._num_cols})")

@@ -1,0 +1,175 @@
+"""Low-level bit-vector primitives shared by the bit-matrix and slicing code.
+
+The TCIM method (paper Section III) replaces arithmetic with bulk bitwise
+``AND`` + ``BitCount`` work.  This module provides the packed representations
+those kernels operate on:
+
+* 64-bit-word packing (:func:`pack_bits` / :func:`unpack_bits`) used by
+  :class:`repro.graph.bitmatrix.BitMatrix`, where bit ``j`` of a vector lives
+  in word ``j >> 6`` at bit position ``j & 63`` (little-endian bit order);
+* byte packing (:func:`pack_bytes` / :func:`unpack_bytes`) used by the slice
+  compression of Section IV-B, where slice sizes are multiples of 8 bits;
+* population counts (:func:`popcount`, :func:`popcount_per_word`) implemented
+  with ``numpy.bitwise_count`` and verified against a pure-Python fallback in
+  the test-suite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "words_for_bits",
+    "pack_bits",
+    "unpack_bits",
+    "pack_bytes",
+    "unpack_bytes",
+    "popcount",
+    "popcount_per_word",
+    "popcount_python",
+    "iter_set_bits",
+    "bit_get",
+    "bit_set",
+]
+
+#: Number of bits in one machine word of the packed representation.
+WORD_BITS = 64
+
+_WORD_DTYPE = np.uint64
+
+
+def words_for_bits(num_bits: int) -> int:
+    """Return how many 64-bit words are needed to hold ``num_bits`` bits."""
+    if num_bits < 0:
+        raise ValueError(f"num_bits must be non-negative, got {num_bits}")
+    return (num_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean (or 0/1 integer) vector into little-endian 64-bit words.
+
+    Bit ``j`` of the input is stored in ``out[j // 64]`` at position
+    ``j % 64``.  The trailing word is zero-padded.
+
+    >>> pack_bits(np.array([1, 1, 0, 0], dtype=bool))
+    array([3], dtype=uint64)
+    """
+    bits = np.ascontiguousarray(bits, dtype=bool)
+    if bits.ndim != 1:
+        raise ValueError(f"expected a 1-D bit vector, got shape {bits.shape}")
+    num_words = words_for_bits(bits.size)
+    padded = np.zeros(num_words * WORD_BITS, dtype=bool)
+    padded[: bits.size] = bits
+    # ``np.packbits`` with bitorder="little" packs 8 bits per byte; viewing
+    # the byte stream as uint64 keeps the little-endian bit order per word.
+    packed_bytes = np.packbits(padded, bitorder="little")
+    return packed_bytes.view(_WORD_DTYPE)
+
+
+def unpack_bits(words: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: expand words into ``num_bits`` booleans."""
+    words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
+    if num_bits < 0 or num_bits > words.size * WORD_BITS:
+        raise ValueError(
+            f"num_bits={num_bits} out of range for {words.size} words"
+        )
+    as_bytes = words.view(np.uint8)
+    bits = np.unpackbits(as_bytes, bitorder="little")
+    return bits[:num_bits].astype(bool)
+
+
+def pack_bytes(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean vector into bytes (little-endian bit order).
+
+    Used by the slice-compression format where a slice of ``|S|`` bits is
+    stored as ``|S| / 8`` bytes.
+    """
+    bits = np.ascontiguousarray(bits, dtype=bool)
+    if bits.ndim != 1:
+        raise ValueError(f"expected a 1-D bit vector, got shape {bits.shape}")
+    return np.packbits(bits, bitorder="little")
+
+
+def unpack_bytes(data: np.ndarray, num_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bytes`."""
+    data = np.ascontiguousarray(data, dtype=np.uint8)
+    if num_bits < 0 or num_bits > data.size * 8:
+        raise ValueError(f"num_bits={num_bits} out of range for {data.size} bytes")
+    bits = np.unpackbits(data, bitorder="little")
+    return bits[:num_bits].astype(bool)
+
+
+def popcount(words: np.ndarray) -> int:
+    """Total number of set bits across an array of unsigned integers.
+
+    This is the ``BitCount`` primitive of paper Eq. (4); the in-memory
+    architecture realises it with 8->256 look-up tables
+    (:class:`repro.memory.bitcounter.BitCounter`), while software callers use
+    this vectorised version.
+    """
+    words = np.asarray(words)
+    if words.size == 0:
+        return 0
+    if words.dtype.kind != "u":
+        raise TypeError(f"popcount expects unsigned integers, got {words.dtype}")
+    return int(np.bitwise_count(words).sum())
+
+
+def popcount_per_word(words: np.ndarray) -> np.ndarray:
+    """Per-element population count (vector of small integers)."""
+    words = np.asarray(words)
+    if words.dtype.kind != "u":
+        raise TypeError(f"popcount expects unsigned integers, got {words.dtype}")
+    return np.bitwise_count(words)
+
+
+def popcount_python(value: int) -> int:
+    """Pure-Python reference popcount used to cross-check the numpy path."""
+    if value < 0:
+        raise ValueError("popcount_python expects a non-negative integer")
+    return value.bit_count()
+
+
+def iter_set_bits(words: np.ndarray, num_bits: int | None = None) -> Iterator[int]:
+    """Yield the indices of set bits in a packed word array, ascending.
+
+    ``num_bits`` bounds the highest bit index considered (defaults to the
+    full width of the array).
+    """
+    words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
+    limit = words.size * WORD_BITS if num_bits is None else num_bits
+    for word_index, word in enumerate(words.tolist()):
+        base = word_index * WORD_BITS
+        if base >= limit:
+            break
+        while word:
+            low = word & -word
+            bit = low.bit_length() - 1
+            position = base + bit
+            if position >= limit:
+                return
+            yield position
+            word ^= low
+
+
+def bit_get(words: np.ndarray, index: int) -> bool:
+    """Read bit ``index`` from a packed word array."""
+    if index < 0:
+        raise IndexError(f"negative bit index {index}")
+    word = int(words[index // WORD_BITS])
+    return bool((word >> (index % WORD_BITS)) & 1)
+
+
+def bit_set(words: np.ndarray, index: int, value: bool = True) -> None:
+    """Write bit ``index`` of a packed word array in place."""
+    if index < 0:
+        raise IndexError(f"negative bit index {index}")
+    word_index = index // WORD_BITS
+    mask = _WORD_DTYPE(1 << (index % WORD_BITS))
+    if value:
+        words[word_index] |= mask
+    else:
+        words[word_index] &= ~mask

@@ -1,0 +1,238 @@
+"""Registry of the paper's evaluation datasets (Table II) with synthetic
+stand-ins.
+
+The paper evaluates on nine SNAP graphs.  Without network access the raw
+SNAP files are unavailable, so every dataset is represented by:
+
+* its **published statistics** (vertices / edges / triangles, straight from
+  Table II via :mod:`repro.paperdata`), used for the "paper" columns of
+  every reproduced table; and
+* a **synthetic stand-in** from the matching generator family in
+  :mod:`repro.graph.generators`, used for all measured columns.  Family
+  parameters are calibrated so that at ``scale=1.0`` the stand-in matches
+  the published vertex count, average degree, and triangle density to
+  within small factors (validated by the test-suite).
+
+``scale`` shrinks a stand-in proportionally (same average degree, fewer
+vertices) so that benchmarks stay laptop-sized; every benchmark records the
+scale it used.  Synthesised graphs are memoised per
+``(key, scale, seed)``.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro import paperdata
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+__all__ = ["DatasetSpec", "SPECS", "list_datasets", "get_dataset", "synthesize"]
+
+#: Generator families (see module docstring).
+_FAMILIES = ("ego", "social", "community", "road")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A paper dataset: published stats plus a calibrated synthetic family."""
+
+    key: str
+    display_name: str
+    family: str
+    stats: paperdata.PaperDatasetStats
+    #: Scale used by the repository's benchmarks (keeps runtimes laptop-sized).
+    default_bench_scale: float
+
+    @property
+    def average_degree(self) -> float:
+        """Published average degree ``2m / n``."""
+        return 2.0 * self.stats.num_edges / self.stats.num_vertices
+
+    @property
+    def triangles_per_edge(self) -> float:
+        """Published triangle density ``T / m`` — the family calibration target."""
+        return self.stats.num_triangles / self.stats.num_edges
+
+    def default_seed(self) -> int:
+        """Stable per-dataset seed (CRC-32 of the key)."""
+        return zlib.crc32(self.key.encode("utf-8"))
+
+    def synthesize(self, scale: float = 1.0, seed: int | None = None) -> Graph:
+        """Generate the synthetic stand-in at the given scale."""
+        return synthesize(self.key, scale=scale, seed=seed)
+
+
+def _spec(key: str, family: str, default_bench_scale: float) -> DatasetSpec:
+    return DatasetSpec(
+        key=key,
+        display_name=paperdata.DISPLAY_NAMES[key],
+        family=family,
+        stats=paperdata.TABLE_II[key],
+        default_bench_scale=default_bench_scale,
+    )
+
+
+#: All nine paper datasets, in Table II order.
+SPECS = {
+    "ego-facebook": _spec("ego-facebook", "ego", 1.0),
+    "email-enron": _spec("email-enron", "social", 1.0),
+    "com-amazon": _spec("com-amazon", "community", 0.15),
+    "com-dblp": _spec("com-dblp", "community", 0.15),
+    "com-youtube": _spec("com-youtube", "social", 0.04),
+    "roadnet-pa": _spec("roadnet-pa", "road", 0.04),
+    "roadnet-tx": _spec("roadnet-tx", "road", 0.04),
+    "roadnet-ca": _spec("roadnet-ca", "road", 0.04),
+    "com-lj": _spec("com-lj", "social", 0.01),
+}
+
+
+def list_datasets() -> tuple[str, ...]:
+    """Canonical dataset keys, in the paper's row order."""
+    return paperdata.DATASET_ORDER
+
+
+def get_dataset(key: str) -> DatasetSpec:
+    """Look up a dataset spec; raises :class:`GraphError` for unknown keys."""
+    try:
+        return SPECS[key]
+    except KeyError:
+        known = ", ".join(sorted(SPECS))
+        raise GraphError(f"unknown dataset {key!r}; known datasets: {known}") from None
+
+
+def synthesize(key: str, scale: float = 1.0, seed: int | None = None) -> Graph:
+    """Generate the synthetic stand-in for dataset ``key`` at ``scale``.
+
+    ``scale`` multiplies the vertex count (floored at a family-specific
+    minimum); average degree is preserved, so edge and triangle counts
+    shrink roughly linearly.  Results are memoised.
+    """
+    spec = get_dataset(key)
+    if scale <= 0 or scale > 1.0:
+        raise GraphError(f"scale must be in (0, 1], got {scale}")
+    if seed is None:
+        seed = spec.default_seed()
+    return _synthesize_cached(key, float(scale), int(seed))
+
+
+@lru_cache(maxsize=64)
+def _synthesize_cached(key: str, scale: float, seed: int) -> Graph:
+    spec = SPECS[key]
+    builder = _FAMILY_BUILDERS[spec.family]
+    return builder(spec, scale, seed)
+
+
+def _build_ego(spec: DatasetSpec, scale: float, seed: int) -> Graph:
+    """ego-facebook: dense social circles, average degree ~44."""
+    num_vertices = max(300, round(spec.stats.num_vertices * scale))
+    circle_size = 45
+    num_circles = max(3, num_vertices // circle_size)
+    intra_probability = min(0.97, spec.average_degree / (circle_size - 1))
+    return generators.ego_network(
+        num_vertices,
+        num_circles=num_circles,
+        intra_circle_probability=intra_probability,
+        hub_fraction=0.015,
+        seed=seed,
+    )
+
+
+def _build_social(spec: DatasetSpec, scale: float, seed: int) -> Graph:
+    """Heavy-tailed social graphs: Holme-Kim backbone + dense clusters.
+
+    The Holme-Kim model alone caps at about two triangles per new edge;
+    real social graphs (Table II) reach 3-5 triangles per edge through
+    dense friend clusters.  Mixing in fixed-size near-cliques at a rate
+    proportional to the vertex count keeps the triangles-per-vertex
+    density scale-invariant, so scaled-down stand-ins preserve the
+    published density (validated by the calibration tests).
+    """
+    num_vertices = max(500, round(spec.stats.num_vertices * scale))
+    recipe = _SOCIAL_RECIPES[spec.key]
+    backbone = generators.powerlaw_cluster(
+        num_vertices,
+        edges_per_vertex=recipe.backbone_edges_per_vertex,
+        triangle_probability=recipe.triangle_probability,
+        seed=seed,
+    )
+    num_cliques = max(1, round(recipe.cliques_per_vertex * num_vertices))
+    clusters = generators.community_cliques(
+        num_vertices,
+        num_communities=num_cliques,
+        mean_community_size=recipe.clique_size,
+        size_distribution="fixed",
+        locality_spread=recipe.clique_locality,
+        seed=seed + 1,
+    )
+    merged = np.concatenate([backbone.edge_array(), clusters.edge_array()], axis=0)
+    return Graph(num_vertices, merged)
+
+
+@dataclass(frozen=True)
+class _SocialRecipe:
+    """Calibrated mixing parameters for one social dataset.
+
+    ``clique_locality`` is the id-distance scale of the dense clusters:
+    SNAP's crawl-ordered ids place community members close together, which
+    is what the paper's slice compression exploits (see
+    :func:`repro.graph.generators.community_cliques`).
+    """
+
+    backbone_edges_per_vertex: int
+    triangle_probability: float
+    clique_size: int
+    cliques_per_vertex: float
+    clique_locality: float
+
+
+#: Calibrated against Table II average degree and triangles-per-vertex.
+_SOCIAL_RECIPES = {
+    "email-enron": _SocialRecipe(2, 0.6, 20, 0.0136, 64.0),
+    "com-youtube": _SocialRecipe(2, 0.6, 10, 0.017, 32.0),
+    "com-lj": _SocialRecipe(3, 0.6, 25, 0.01925, 96.0),
+}
+
+
+def _build_community(spec: DatasetSpec, scale: float, seed: int) -> Graph:
+    """Co-purchase / co-authorship graphs: overlapping near-cliques."""
+    num_vertices = max(500, round(spec.stats.num_vertices * scale))
+    if spec.key == "com-amazon":
+        mean_size, communities_per_vertex = 3.0, 0.40
+    else:  # com-dblp: larger author lists -> larger cliques
+        mean_size, communities_per_vertex = 4.0, 0.255
+    num_communities = max(10, round(communities_per_vertex * num_vertices))
+    return generators.community_cliques(
+        num_vertices,
+        num_communities=num_communities,
+        mean_community_size=mean_size,
+        locality_spread=48.0,
+        seed=seed,
+    )
+
+
+def _build_road(spec: DatasetSpec, scale: float, seed: int) -> Graph:
+    """roadNet-*: perturbed grid with sparse diagonal shortcuts."""
+    num_vertices = max(400, round(spec.stats.num_vertices * scale))
+    side = max(20, round(math.sqrt(num_vertices)))
+    return generators.road_network(
+        side,
+        side,
+        shortcut_probability=0.062,
+        removal_probability=0.30,
+        seed=seed,
+    )
+
+
+_FAMILY_BUILDERS = {
+    "ego": _build_ego,
+    "social": _build_social,
+    "community": _build_community,
+    "road": _build_road,
+}

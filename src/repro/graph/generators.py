@@ -1,0 +1,472 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates on nine SNAP graphs (Table II).  This environment has
+no network access, so :mod:`repro.graph.datasets` synthesises stand-ins
+from the generator families in this module.  Each family reproduces the
+structural traits that drive TCIM's behaviour — degree distribution,
+triangle density, and the locality of non-zeros that determines the
+valid-slice statistics of Section IV-B:
+
+* :func:`ego_network` — dense social-circle graphs (ego-facebook);
+* :func:`powerlaw_cluster` — heavy-tailed, high-clustering social graphs
+  (email-enron, com-youtube, com-livejournal);
+* :func:`community_cliques` — overlapping collaboration/co-purchase
+  communities (com-amazon, com-dblp);
+* :func:`road_network` — sparse, nearly-planar lattices with very few
+  triangles (roadNet-PA/TX/CA);
+* classic models (:func:`erdos_renyi`, :func:`barabasi_albert`,
+  :func:`watts_strogatz`, :func:`rmat`) and tiny fixtures
+  (:func:`complete_graph`, :func:`cycle_graph`, ...) for tests and
+  examples.
+
+All generators take an integer ``seed`` and are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_cluster",
+    "watts_strogatz",
+    "rmat",
+    "road_network",
+    "community_cliques",
+    "ego_network",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "star_graph",
+    "complete_bipartite",
+    "triangle_free_graph",
+]
+
+
+def erdos_renyi(num_vertices: int, num_edges: int, seed: int = 0) -> Graph:
+    """G(n, m): ``num_edges`` distinct uniform edges over ``num_vertices``.
+
+    Oversamples and deduplicates, so construction is vectorised; raises
+    :class:`GraphError` if ``num_edges`` exceeds the possible maximum.
+    """
+    _check_positive(num_vertices, "num_vertices")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(
+            f"cannot place {num_edges} edges in a simple graph on "
+            f"{num_vertices} vertices (max {max_edges})"
+        )
+    rng = np.random.default_rng(seed)
+    collected = np.empty((0, 2), dtype=np.int64)
+    want = num_edges
+    while collected.shape[0] < num_edges:
+        batch = rng.integers(0, num_vertices, size=(int(want * 1.3) + 16, 2))
+        batch = batch[batch[:, 0] != batch[:, 1]]
+        lo = np.minimum(batch[:, 0], batch[:, 1])
+        hi = np.maximum(batch[:, 0], batch[:, 1])
+        keys = np.concatenate(
+            [collected[:, 0] * num_vertices + collected[:, 1], lo * num_vertices + hi]
+        )
+        unique = np.unique(keys)
+        collected = np.stack([unique // num_vertices, unique % num_vertices], axis=1)
+        want = num_edges - collected.shape[0]
+    if collected.shape[0] > num_edges:
+        rng.shuffle(collected)
+        collected = collected[:num_edges]
+    return Graph(num_vertices, collected)
+
+
+def barabasi_albert(num_vertices: int, edges_per_vertex: int, seed: int = 0) -> Graph:
+    """Preferential-attachment graph (the classic BA model).
+
+    Each new vertex attaches to ``edges_per_vertex`` existing vertices
+    sampled proportionally to degree (repeated-nodes technique).
+    """
+    _check_positive(num_vertices, "num_vertices")
+    m = edges_per_vertex
+    if m < 1 or m >= num_vertices:
+        raise GraphError(
+            f"edges_per_vertex must be in [1, num_vertices), got {m}"
+        )
+    rng = np.random.default_rng(seed)
+    repeated: list[int] = list(range(m))
+    edges: list[tuple[int, int]] = []
+    for new_vertex in range(m, num_vertices):
+        targets: set[int] = set()
+        while len(targets) < m:
+            candidate = int(repeated[rng.integers(0, len(repeated))])
+            if candidate != new_vertex:
+                targets.add(candidate)
+        for target in targets:
+            edges.append((new_vertex, target))
+            repeated.append(new_vertex)
+            repeated.append(target)
+    return Graph(num_vertices, edges)
+
+
+def powerlaw_cluster(
+    num_vertices: int,
+    edges_per_vertex: int,
+    triangle_probability: float,
+    seed: int = 0,
+) -> Graph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert` but after each preferential attachment a
+    triad-closure step connects the new vertex to a random neighbour of the
+    previous target with probability ``triangle_probability`` — producing
+    the heavy-tailed *and* triangle-rich structure of social networks.
+    """
+    _check_positive(num_vertices, "num_vertices")
+    m = edges_per_vertex
+    if m < 1 or m >= num_vertices:
+        raise GraphError(f"edges_per_vertex must be in [1, num_vertices), got {m}")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise GraphError(
+            f"triangle_probability must be in [0, 1], got {triangle_probability}"
+        )
+    rng = np.random.default_rng(seed)
+    repeated: list[int] = list(range(m))
+    adjacency: list[set[int]] = [set() for _ in range(num_vertices)]
+    edges: list[tuple[int, int]] = []
+
+    def connect(u: int, v: int) -> None:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        edges.append((u, v))
+        repeated.append(u)
+        repeated.append(v)
+
+    for new_vertex in range(m, num_vertices):
+        placed = 0
+        previous_target: int | None = None
+        guard = 0
+        while placed < m and guard < 50 * m:
+            guard += 1
+            close_triad = (
+                previous_target is not None
+                and adjacency[previous_target]
+                and rng.random() < triangle_probability
+            )
+            if close_triad:
+                neighbours = tuple(adjacency[previous_target])
+                candidate = int(neighbours[rng.integers(0, len(neighbours))])
+            else:
+                candidate = int(repeated[rng.integers(0, len(repeated))])
+            if candidate == new_vertex or candidate in adjacency[new_vertex]:
+                continue
+            connect(new_vertex, candidate)
+            previous_target = candidate
+            placed += 1
+    return Graph(num_vertices, edges)
+
+
+def watts_strogatz(
+    num_vertices: int, ring_degree: int, rewire_probability: float, seed: int = 0
+) -> Graph:
+    """Small-world ring lattice with random rewiring."""
+    _check_positive(num_vertices, "num_vertices")
+    if ring_degree % 2 or not 0 < ring_degree < num_vertices:
+        raise GraphError(
+            f"ring_degree must be even and in (0, num_vertices), got {ring_degree}"
+        )
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise GraphError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    for offset in range(1, ring_degree // 2 + 1):
+        for u in range(num_vertices):
+            v = (u + offset) % num_vertices
+            edges.add((min(u, v), max(u, v)))
+    rewired: set[tuple[int, int]] = set()
+    for u, v in sorted(edges):
+        if rng.random() < rewire_probability:
+            for _ in range(16):
+                w = int(rng.integers(0, num_vertices))
+                candidate = (min(u, w), max(u, w))
+                if w != u and candidate not in rewired and candidate not in edges:
+                    rewired.add(candidate)
+                    break
+            else:
+                rewired.add((u, v))
+        else:
+            rewired.add((u, v))
+    return Graph(num_vertices, np.array(sorted(rewired), dtype=np.int64))
+
+
+def rmat(
+    scale: int,
+    num_edges: int,
+    partition: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: int = 0,
+) -> Graph:
+    """R-MAT / Kronecker generator over ``2**scale`` vertices.
+
+    The Graph500-style recursive quadrant sampler; duplicates and
+    self-loops are removed, so the realised edge count can be slightly
+    below ``num_edges``.
+    """
+    if scale < 1 or scale > 30:
+        raise GraphError(f"scale must be in [1, 30], got {scale}")
+    a, b, c, d = partition
+    total = a + b + c + d
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise GraphError(f"R-MAT partition must sum to 1, got {total}")
+    rng = np.random.default_rng(seed)
+    num_vertices = 1 << scale
+    rows = np.zeros(num_edges, dtype=np.int64)
+    cols = np.zeros(num_edges, dtype=np.int64)
+    for level in range(scale):
+        draw = rng.random(num_edges)
+        go_right = ((draw >= a) & (draw < a + b)) | (draw >= a + b + c)
+        go_down = draw >= a + b
+        rows |= go_down.astype(np.int64) << (scale - 1 - level)
+        cols |= go_right.astype(np.int64) << (scale - 1 - level)
+    edges = np.stack([rows, cols], axis=1)
+    return Graph(num_vertices, edges)
+
+
+def road_network(
+    grid_rows: int,
+    grid_cols: int,
+    shortcut_probability: float = 0.03,
+    removal_probability: float = 0.05,
+    seed: int = 0,
+) -> Graph:
+    """Road-like nearly-planar network on a perturbed grid.
+
+    A ``grid_rows x grid_cols`` lattice where a small fraction of street
+    segments are removed (dead ends, rivers) and a small fraction of
+    diagonal shortcuts are added.  Average degree lands near 2.5-2.8 and
+    triangles only arise at the diagonal shortcuts — matching the
+    extremely low triangles/edge ratio of the SNAP roadNet graphs.
+    """
+    _check_positive(grid_rows, "grid_rows")
+    _check_positive(grid_cols, "grid_cols")
+    rng = np.random.default_rng(seed)
+    index = np.arange(grid_rows * grid_cols, dtype=np.int64).reshape(
+        grid_rows, grid_cols
+    )
+    horizontal = np.stack(
+        [index[:, :-1].ravel(), index[:, 1:].ravel()], axis=1
+    )
+    vertical = np.stack(
+        [index[:-1, :].ravel(), index[1:, :].ravel()], axis=1
+    )
+    lattice = np.concatenate([horizontal, vertical], axis=0)
+    keep = rng.random(lattice.shape[0]) >= removal_probability
+    lattice = lattice[keep]
+    diagonal = np.stack(
+        [index[:-1, :-1].ravel(), index[1:, 1:].ravel()], axis=1
+    )
+    take = rng.random(diagonal.shape[0]) < shortcut_probability
+    edges = np.concatenate([lattice, diagonal[take]], axis=0)
+    return Graph(grid_rows * grid_cols, edges)
+
+
+def community_cliques(
+    num_vertices: int,
+    num_communities: int,
+    mean_community_size: float = 8.0,
+    memberships_per_vertex: float = 1.4,
+    background_edges: int = 0,
+    size_distribution: str = "geometric",
+    locality_spread: float | None = None,
+    seed: int = 0,
+) -> Graph:
+    """Overlapping-community graph built from near-cliques.
+
+    Collaboration (com-dblp) and co-purchase (com-amazon) networks are
+    unions of small dense groups: each paper's author list or each
+    product's co-purchase cluster forms a near-clique.  Communities get
+    power-law-ish sizes (geometric with the requested mean — or all equal
+    with ``size_distribution="fixed"``), members are drawn with mild
+    preferential attachment, and every community is wired as a clique;
+    optional uniform background edges add noise.
+
+    ``locality_spread`` emulates the vertex-id locality of real SNAP
+    graphs (crawl order clusters communities onto nearby ids): when set,
+    each community's members are sampled geometrically around a random
+    centre with the given id-distance scale instead of uniformly over all
+    vertices.  Id locality concentrates non-zeros into fewer slices and is
+    what makes the paper's valid-slice compression so effective
+    (Tables III/IV).
+    """
+    _check_positive(num_vertices, "num_vertices")
+    _check_positive(num_communities, "num_communities")
+    if mean_community_size < 2:
+        raise GraphError(
+            f"mean_community_size must be >= 2, got {mean_community_size}"
+        )
+    rng = np.random.default_rng(seed)
+    if size_distribution == "geometric":
+        sizes = 2 + rng.geometric(
+            1.0 / (mean_community_size - 1), size=num_communities
+        )
+    elif size_distribution == "fixed":
+        sizes = np.full(num_communities, round(mean_community_size), dtype=np.int64)
+    else:
+        raise GraphError(
+            f"size_distribution must be 'geometric' or 'fixed', got {size_distribution!r}"
+        )
+    sizes = np.minimum(sizes, max(2, num_vertices))
+    if locality_spread is not None and locality_spread <= 0:
+        raise GraphError(f"locality_spread must be positive, got {locality_spread}")
+    weights = np.ones(num_vertices)
+    total_memberships = int(memberships_per_vertex * num_vertices)
+    del total_memberships  # implied by sizes; kept for API clarity
+    edge_chunks: list[np.ndarray] = []
+    for size in sizes.tolist():
+        if locality_spread is None:
+            members = rng.choice(
+                num_vertices, size=size, replace=False, p=weights / weights.sum()
+            )
+            weights[members] += 0.5  # mild preferential attachment across groups
+        else:
+            members = _local_members(rng, num_vertices, size, locality_spread)
+        grid_u, grid_v = np.triu_indices(size, k=1)
+        edge_chunks.append(
+            np.stack([members[grid_u], members[grid_v]], axis=1)
+        )
+    if background_edges:
+        noise = rng.integers(0, num_vertices, size=(background_edges, 2))
+        edge_chunks.append(noise)
+    edges = np.concatenate(edge_chunks, axis=0) if edge_chunks else np.empty((0, 2))
+    return Graph(num_vertices, edges.astype(np.int64))
+
+
+def _local_members(
+    rng: np.random.Generator, num_vertices: int, size: int, spread: float
+) -> np.ndarray:
+    """Sample ``size`` distinct vertices geometrically around a random
+    centre — the id-locality model used by :func:`community_cliques`."""
+    center = int(rng.integers(0, num_vertices))
+    members: set[int] = {center}
+    while len(members) < min(size, num_vertices):
+        offsets = rng.geometric(1.0 / spread, size=4 * size)
+        signs = rng.choice((-1, 1), size=offsets.size)
+        for candidate in (center + offsets * signs).tolist():
+            if 0 <= candidate < num_vertices:
+                members.add(int(candidate))
+                if len(members) >= size:
+                    break
+    return np.fromiter(members, dtype=np.int64, count=len(members))
+
+
+def ego_network(
+    num_vertices: int,
+    num_circles: int = 12,
+    intra_circle_probability: float = 0.35,
+    hub_fraction: float = 0.02,
+    seed: int = 0,
+) -> Graph:
+    """Dense social-circle graph in the style of SNAP ego-facebook.
+
+    Vertices are partitioned into ``num_circles`` social circles occupying
+    *contiguous id ranges* (SNAP's ego networks number the members of each
+    circle together, which is what gives the dataset its id locality);
+    edges appear within a circle with high probability and a few hub
+    vertices connect across circles.  Produces the high average degree
+    (~40) and very high triangle density of the facebook ego networks.
+    """
+    _check_positive(num_vertices, "num_vertices")
+    _check_positive(num_circles, "num_circles")
+    if not 0.0 < intra_circle_probability <= 1.0:
+        raise GraphError(
+            "intra_circle_probability must be in (0, 1], got "
+            f"{intra_circle_probability}"
+        )
+    rng = np.random.default_rng(seed)
+    circle_of = np.sort(rng.integers(0, num_circles, size=num_vertices))
+    edge_chunks: list[np.ndarray] = []
+    for circle in range(num_circles):
+        members = np.flatnonzero(circle_of == circle)
+        if members.size < 2:
+            continue
+        grid_u, grid_v = np.triu_indices(members.size, k=1)
+        take = rng.random(grid_u.size) < intra_circle_probability
+        edge_chunks.append(
+            np.stack([members[grid_u[take]], members[grid_v[take]]], axis=1)
+        )
+    num_hubs = max(1, int(hub_fraction * num_vertices))
+    hubs = rng.choice(num_vertices, size=num_hubs, replace=False)
+    for hub in hubs.tolist():
+        spokes = rng.choice(num_vertices, size=min(60, num_vertices - 1), replace=False)
+        spokes = spokes[spokes != hub]
+        edge_chunks.append(
+            np.stack([np.full(spokes.size, hub, dtype=np.int64), spokes], axis=1)
+        )
+    edges = np.concatenate(edge_chunks, axis=0) if edge_chunks else np.empty((0, 2))
+    return Graph(num_vertices, edges.astype(np.int64))
+
+
+# ----------------------------------------------------------------------
+# Small deterministic fixtures
+# ----------------------------------------------------------------------
+def complete_graph(num_vertices: int) -> Graph:
+    """K_n — every pair connected; has C(n, 3) triangles."""
+    _check_positive(num_vertices, "num_vertices")
+    u, v = np.triu_indices(num_vertices, k=1)
+    return Graph(num_vertices, np.stack([u, v], axis=1))
+
+
+def cycle_graph(num_vertices: int) -> Graph:
+    """C_n — a simple cycle; one triangle iff n == 3."""
+    _check_positive(num_vertices, "num_vertices")
+    vertices = np.arange(num_vertices, dtype=np.int64)
+    edges = np.stack([vertices, (vertices + 1) % num_vertices], axis=1)
+    return Graph(num_vertices, edges)
+
+
+def path_graph(num_vertices: int) -> Graph:
+    """P_n — a simple path; triangle-free."""
+    _check_positive(num_vertices, "num_vertices")
+    vertices = np.arange(num_vertices - 1, dtype=np.int64)
+    return Graph(num_vertices, np.stack([vertices, vertices + 1], axis=1))
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Star with one hub and ``num_leaves`` leaves; triangle-free."""
+    _check_positive(num_leaves, "num_leaves")
+    leaves = np.arange(1, num_leaves + 1, dtype=np.int64)
+    return Graph(num_leaves + 1, np.stack([np.zeros_like(leaves), leaves], axis=1))
+
+
+def complete_bipartite(left: int, right: int) -> Graph:
+    """K_{left,right} — bipartite, hence triangle-free."""
+    _check_positive(left, "left")
+    _check_positive(right, "right")
+    left_ids = np.repeat(np.arange(left, dtype=np.int64), right)
+    right_ids = np.tile(np.arange(left, left + right, dtype=np.int64), left)
+    return Graph(left + right, np.stack([left_ids, right_ids], axis=1))
+
+
+def triangle_free_graph(num_vertices: int, num_edges: int, seed: int = 0) -> Graph:
+    """Random bipartite (hence triangle-free) graph — a negative control."""
+    _check_positive(num_vertices, "num_vertices")
+    half = num_vertices // 2
+    if half < 1 or num_vertices - half < 1:
+        raise GraphError("need at least 2 vertices for a bipartite graph")
+    max_edges = half * (num_vertices - half)
+    if num_edges > max_edges:
+        raise GraphError(
+            f"cannot place {num_edges} edges in K_{{{half},{num_vertices - half}}}"
+        )
+    rng = np.random.default_rng(seed)
+    seen: set[tuple[int, int]] = set()
+    while len(seen) < num_edges:
+        u = int(rng.integers(0, half))
+        v = int(rng.integers(half, num_vertices))
+        seen.add((u, v))
+    return Graph(num_vertices, np.array(sorted(seen), dtype=np.int64))
+
+
+def _check_positive(value: int, name: str) -> None:
+    if value <= 0:
+        raise GraphError(f"{name} must be positive, got {value}")

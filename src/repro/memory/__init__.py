@@ -1,0 +1,30 @@
+"""Memory level: NVSim-style array model, functional arrays, bit counter."""
+
+from repro.memory.array import ComputationalArray, SliceAddress, SubArray
+from repro.memory.bitcounter import BitCounter, BitCounterDesign
+from repro.memory.buffer import DataBuffer
+from repro.memory.endurance import EnduranceReport, EnduranceTracker
+from repro.memory.mapped import MappedRunResult, MappedTCIMEngine
+from repro.memory.nvsim import (
+    ArrayOrganization,
+    ArrayPerformance,
+    NVSimModel,
+    PeripheralParams,
+)
+
+__all__ = [
+    "ArrayOrganization",
+    "ArrayPerformance",
+    "NVSimModel",
+    "PeripheralParams",
+    "BitCounter",
+    "BitCounterDesign",
+    "ComputationalArray",
+    "SliceAddress",
+    "SubArray",
+    "DataBuffer",
+    "EnduranceReport",
+    "EnduranceTracker",
+    "MappedRunResult",
+    "MappedTCIMEngine",
+]

@@ -1,0 +1,290 @@
+"""Functional computational STT-MRAM array (paper Figs. 1 & 4).
+
+Models the chip as banks -> mats -> sub-arrays of ``rows x cols`` cells.
+Data is stored one slice per (row, column-slot); the in-memory AND
+activates two word-lines of the same sub-array and senses the combined
+column currents — functionally a bitwise ``&`` restricted to one column
+slot, optionally verified bit-by-bit through the analog sense path
+(:class:`~repro.device.sense_amp.SenseAmplifier`).
+
+The address space is organised into **lanes**: a lane is one
+``(sub-array, column-slot)`` pair.  Because the AND of Fig. 1 requires its
+two operands to sit in the *same columns* of the *same sub-array*, both
+slices of a valid pair must live in the same lane; the mapped engine
+(:mod:`repro.memory.mapped`) exploits the fact that a valid pair always
+shares its slice index ``k`` by direct-mapping ``k`` onto a lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.sense_amp import SenseAmplifier
+from repro.errors import ArchitectureError
+from repro.memory.nvsim import ArrayOrganization
+
+__all__ = ["SliceAddress", "SubArray", "ComputationalArray"]
+
+
+@dataclass(frozen=True)
+class SliceAddress:
+    """Physical location of one slice: sub-array, word-line, column slot."""
+
+    subarray: int
+    row: int
+    slot: int
+
+    @property
+    def lane(self) -> tuple[int, int]:
+        """The (sub-array, slot) lane this address belongs to."""
+        return (self.subarray, self.slot)
+
+
+class SubArray:
+    """One computational sub-array of ``rows x cols`` bit-cells."""
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        sense_amplifier: SenseAmplifier | None = None,
+    ) -> None:
+        if rows < 2:
+            raise ArchitectureError(
+                f"a computational sub-array needs >= 2 rows for AND, got {rows}"
+            )
+        if cols <= 0 or cols % 8:
+            raise ArchitectureError(
+                f"cols must be a positive multiple of 8, got {cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self._data = np.zeros((rows, cols // 8), dtype=np.uint8)
+        self._sense_amplifier = sense_amplifier
+
+    def write_bits(self, row: int, start_bit: int, payload: np.ndarray) -> None:
+        """Write ``payload`` bytes at bit offset ``start_bit`` of ``row``."""
+        self._check_span(row, start_bit, payload.size * 8)
+        start_byte = start_bit // 8
+        self._data[row, start_byte: start_byte + payload.size] = payload
+
+    def read_bits(self, row: int, start_bit: int, num_bits: int) -> np.ndarray:
+        """Read ``num_bits`` (byte-aligned) from ``row`` as bytes."""
+        self._check_span(row, start_bit, num_bits)
+        start_byte = start_bit // 8
+        return self._data[row, start_byte: start_byte + num_bits // 8].copy()
+
+    def and_rows(
+        self, row_a: int, row_b: int, start_bit: int, num_bits: int
+    ) -> np.ndarray:
+        """Multi-row activation AND over one column span (Fig. 1, right).
+
+        Activates word-lines ``row_a`` and ``row_b`` simultaneously; each
+        sense amplifier compares the summed column current against
+        ``R_ref-AND``.  When an analog :class:`SenseAmplifier` is attached
+        the result is additionally produced bit-by-bit through the current
+        comparison and cross-checked against the digital ``&``.
+        """
+        if row_a == row_b:
+            raise ArchitectureError(
+                "AND requires two distinct word-lines; both operands are "
+                f"row {row_a}"
+            )
+        a = self.read_bits(row_a, start_bit, num_bits)
+        b = self.read_bits(row_b, start_bit, num_bits)
+        digital = a & b
+        if self._sense_amplifier is not None:
+            bits_a = np.unpackbits(a, bitorder="little")
+            bits_b = np.unpackbits(b, bitorder="little")
+            sensed = np.array(
+                [
+                    self._sense_amplifier.sense_and(bool(x), bool(y))
+                    for x, y in zip(bits_a, bits_b)
+                ],
+                dtype=bool,
+            )
+            analog = np.packbits(sensed, bitorder="little")
+            if not np.array_equal(analog, digital):
+                raise ArchitectureError(
+                    "analog sense path disagrees with digital AND — "
+                    "reference margins are mis-configured"
+                )
+        return digital
+
+    def or_rows(
+        self, row_a: int, row_b: int, start_bit: int, num_bits: int
+    ) -> np.ndarray:
+        """Multi-row activation OR over one column span.
+
+        Same two-word-line activation as :meth:`and_rows` but sensed
+        against the lower ``R_ref-OR`` reference (the paper notes the
+        sense scheme realises "various logic functions" by moving the
+        reference current).  Cross-checked through the analog path when a
+        sense amplifier is attached.
+        """
+        if row_a == row_b:
+            raise ArchitectureError(
+                "OR requires two distinct word-lines; both operands are "
+                f"row {row_a}"
+            )
+        a = self.read_bits(row_a, start_bit, num_bits)
+        b = self.read_bits(row_b, start_bit, num_bits)
+        digital = a | b
+        if self._sense_amplifier is not None:
+            bits_a = np.unpackbits(a, bitorder="little")
+            bits_b = np.unpackbits(b, bitorder="little")
+            sensed = np.array(
+                [
+                    self._sense_amplifier.sense_or(bool(x), bool(y))
+                    for x, y in zip(bits_a, bits_b)
+                ],
+                dtype=bool,
+            )
+            analog = np.packbits(sensed, bitorder="little")
+            if not np.array_equal(analog, digital):
+                raise ArchitectureError(
+                    "analog sense path disagrees with digital OR — "
+                    "reference margins are mis-configured"
+                )
+        return digital
+
+    def clear_row(self, row: int) -> None:
+        """Zero one word-line (used when a slice is evicted)."""
+        self._check_span(row, 0, 8)
+        self._data[row, :] = 0
+
+    def _check_span(self, row: int, start_bit: int, num_bits: int) -> None:
+        if not 0 <= row < self.rows:
+            raise ArchitectureError(f"row {row} out of range [0, {self.rows})")
+        if start_bit % 8 or num_bits % 8:
+            raise ArchitectureError("bit spans must be byte-aligned")
+        if start_bit < 0 or start_bit + num_bits > self.cols:
+            raise ArchitectureError(
+                f"span [{start_bit}, {start_bit + num_bits}) exceeds "
+                f"{self.cols} columns"
+            )
+
+
+class ComputationalArray:
+    """The full chip: lazily materialised sub-arrays + slice addressing."""
+
+    def __init__(
+        self,
+        organization: ArrayOrganization | None = None,
+        slice_bits: int = 64,
+        sense_amplifier: SenseAmplifier | None = None,
+    ) -> None:
+        self.organization = organization or ArrayOrganization()
+        if slice_bits <= 0 or slice_bits % 8:
+            raise ArchitectureError(
+                f"slice_bits must be a positive multiple of 8, got {slice_bits}"
+            )
+        if slice_bits > self.organization.cols_per_subarray:
+            raise ArchitectureError(
+                f"slice of {slice_bits} bits exceeds the "
+                f"{self.organization.cols_per_subarray}-bit sub-array row"
+            )
+        self.slice_bits = slice_bits
+        self._sense_amplifier = sense_amplifier
+        self._subarrays: dict[int, SubArray] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def slots_per_row(self) -> int:
+        """Column slots (slices) per physical row."""
+        return self.organization.cols_per_subarray // self.slice_bits
+
+    @property
+    def num_lanes(self) -> int:
+        """Total lanes = sub-arrays x slots."""
+        return self.organization.num_subarrays * self.slots_per_row
+
+    @property
+    def rows_per_lane(self) -> int:
+        """Slices one lane can hold (= word-lines per sub-array)."""
+        return self.organization.rows_per_subarray
+
+    @property
+    def capacity_slices(self) -> int:
+        """Total slice slots in the chip."""
+        return self.num_lanes * self.rows_per_lane
+
+    def lane_address(self, lane: int, row: int) -> SliceAddress:
+        """Address of ``row`` within ``lane`` (lanes are numbered
+        ``subarray * slots_per_row + slot``)."""
+        if not 0 <= lane < self.num_lanes:
+            raise ArchitectureError(f"lane {lane} out of range [0, {self.num_lanes})")
+        if not 0 <= row < self.rows_per_lane:
+            raise ArchitectureError(
+                f"row {row} out of range [0, {self.rows_per_lane})"
+            )
+        return SliceAddress(
+            subarray=lane // self.slots_per_row,
+            row=row,
+            slot=lane % self.slots_per_row,
+        )
+
+    def _subarray(self, index: int) -> SubArray:
+        if index not in self._subarrays:
+            self._subarrays[index] = SubArray(
+                self.organization.rows_per_subarray,
+                self.organization.cols_per_subarray,
+                sense_amplifier=self._sense_amplifier,
+            )
+        return self._subarrays[index]
+
+    # ------------------------------------------------------------------
+    # Slice operations
+    # ------------------------------------------------------------------
+    def write_slice(self, address: SliceAddress, payload: np.ndarray) -> None:
+        """Store one slice's bytes at ``address``."""
+        payload = np.ascontiguousarray(payload, dtype=np.uint8)
+        if payload.size != self.slice_bits // 8:
+            raise ArchitectureError(
+                f"payload of {payload.size} bytes does not match slice size "
+                f"{self.slice_bits // 8}"
+            )
+        self._subarray(address.subarray).write_bits(
+            address.row, address.slot * self.slice_bits, payload
+        )
+
+    def read_slice(self, address: SliceAddress) -> np.ndarray:
+        """Read one slice back (READ reference sensing)."""
+        return self._subarray(address.subarray).read_bits(
+            address.row, address.slot * self.slice_bits, self.slice_bits
+        )
+
+    def and_slices(self, first: SliceAddress, second: SliceAddress) -> np.ndarray:
+        """In-array AND of two resident slices (must share a lane)."""
+        if first.lane != second.lane:
+            raise ArchitectureError(
+                f"AND operands must share a lane; got {first.lane} vs {second.lane}"
+            )
+        return self._subarray(first.subarray).and_rows(
+            first.row,
+            second.row,
+            first.slot * self.slice_bits,
+            self.slice_bits,
+        )
+
+    def or_slices(self, first: SliceAddress, second: SliceAddress) -> np.ndarray:
+        """In-array OR of two resident slices (must share a lane)."""
+        if first.lane != second.lane:
+            raise ArchitectureError(
+                f"OR operands must share a lane; got {first.lane} vs {second.lane}"
+            )
+        return self._subarray(first.subarray).or_rows(
+            first.row,
+            second.row,
+            first.slot * self.slice_bits,
+            self.slice_bits,
+        )
+
+    def clear_slice(self, address: SliceAddress) -> None:
+        """Erase a slice slot (eviction)."""
+        zero = np.zeros(self.slice_bits // 8, dtype=np.uint8)
+        self.write_slice(address, zero)

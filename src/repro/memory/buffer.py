@@ -1,0 +1,58 @@
+"""Data buffer: valid-slice indexes and STT-MRAM storage status (Fig. 4).
+
+The controller's data buffer holds the compressed graph's valid-slice
+indexes and records which slices currently reside where in the
+computational array.  The mapped engine consults it before every load,
+exactly as Algorithm 1's ``COMPUTE`` checks "if Slice2 has not been
+loaded".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.errors import ArchitectureError
+from repro.memory.array import SliceAddress
+
+__all__ = ["DataBuffer"]
+
+
+class DataBuffer:
+    """Slice-key -> physical-address directory with lookup accounting."""
+
+    def __init__(self) -> None:
+        self._directory: dict[Hashable, SliceAddress] = {}
+        self.lookups = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._directory
+
+    def lookup(self, key: Hashable) -> SliceAddress | None:
+        """Where (if anywhere) the slice identified by ``key`` resides."""
+        self.lookups += 1
+        return self._directory.get(key)
+
+    def record(self, key: Hashable, address: SliceAddress) -> None:
+        """Register a freshly written slice."""
+        if key in self._directory:
+            raise ArchitectureError(f"slice {key!r} is already resident")
+        self._directory[key] = address
+        self.insertions += 1
+
+    def evict(self, key: Hashable) -> SliceAddress:
+        """Remove a slice from the directory, returning its freed address."""
+        try:
+            address = self._directory.pop(key)
+        except KeyError:
+            raise ArchitectureError(f"slice {key!r} is not resident") from None
+        self.evictions += 1
+        return address
+
+    def resident_keys(self) -> list[Hashable]:
+        """Snapshot of resident slice keys."""
+        return list(self._directory)

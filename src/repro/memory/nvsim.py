@@ -1,0 +1,254 @@
+"""NVSim-style analytical array model (latency / energy / area).
+
+The paper feeds its device-level results into the open-source NVSim
+simulator [16] to obtain memory-array performance.  This module is a
+self-contained stand-in with the same decomposition NVSim uses:
+
+    access latency = decoder + word-line RC + bit-line RC + sense amplifier
+    access energy  = line charging + cell currents + sense + driver overhead
+
+Cell-level inputs come straight from the device models
+(:class:`~repro.device.bitcell.BitCell`, whose MTJ is parameterised by
+Table I); peripheral constants are 45 nm-class (matching the paper's
+45 nm FreePDK flow) and documented per field.  The resulting
+:class:`ArrayPerformance` is what the behavioural simulator
+(:mod:`repro.arch.perf`) prices events with.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.device.bitcell import BitCell
+from repro.device.mtj import MTJState
+from repro.device.sense_amp import SenseAmplifier
+from repro.errors import ArchitectureError
+
+__all__ = ["ArrayOrganization", "PeripheralParams", "ArrayPerformance", "NVSimModel"]
+
+
+@dataclass(frozen=True)
+class ArrayOrganization:
+    """Physical organisation of the computational STT-MRAM chip (Fig. 4).
+
+    Defaults give the paper's 16 MB chip: 8 banks x 4 mats x 4 sub-arrays
+    of 1024 x 1024 cells = 128 x 2^20 bits = 16 MiB.
+    """
+
+    banks: int = 8
+    mats_per_bank: int = 4
+    subarrays_per_mat: int = 4
+    rows_per_subarray: int = 1024
+    cols_per_subarray: int = 1024
+
+    def __post_init__(self) -> None:
+        for name in (
+            "banks",
+            "mats_per_bank",
+            "subarrays_per_mat",
+            "rows_per_subarray",
+            "cols_per_subarray",
+        ):
+            if getattr(self, name) <= 0:
+                raise ArchitectureError(f"{name} must be positive")
+
+    @property
+    def num_subarrays(self) -> int:
+        """Total sub-arrays (the unit of parallel in-memory computation)."""
+        return self.banks * self.mats_per_bank * self.subarrays_per_mat
+
+    @property
+    def total_bits(self) -> int:
+        """Capacity in bits."""
+        return (
+            self.num_subarrays * self.rows_per_subarray * self.cols_per_subarray
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Capacity in bytes."""
+        return self.total_bits // 8
+
+
+@dataclass(frozen=True)
+class PeripheralParams:
+    """45 nm-class peripheral circuit constants.
+
+    These mirror the knobs NVSim exposes; the defaults are calibrated to
+    published STT-MRAM prototypes (ns-scale reads, a few ns writes,
+    pJ-scale accesses).
+    """
+
+    #: Delay of one row-decoder stage (s); stages = log2(rows).
+    decoder_stage_delay_s: float = 60e-12
+    #: Energy of a full decode operation (J).
+    decoder_energy_j: float = 35e-15
+    #: Word-line driver output resistance (ohm).
+    wordline_driver_resistance_ohm: float = 1000.0
+    #: Supply voltage for line charging (V).
+    supply_voltage_v: float = 1.0
+    #: Sense-amplifier input capacitance (F).
+    sense_capacitance_f: float = 20e-15
+    #: Bit-line voltage swing the SA needs to resolve (V).
+    sense_swing_v: float = 0.05
+    #: Static energy of one sense-amplifier resolution (J).
+    sense_energy_j: float = 2e-15
+    #: Write-driver energy overhead factor (drivers, charge pumps).
+    write_driver_overhead: float = 1.3
+    #: Leakage power per sub-array's periphery (W); MTJ cells leak ~0.
+    subarray_leakage_w: float = 5e-5
+    #: MRAM cell footprint in F^2 (1T1R, source-line shared).
+    cell_area_f2: float = 40.0
+    #: Technology feature size (m) — 45 nm FreePDK, as in the paper.
+    feature_size_m: float = 45e-9
+    #: Array-to-chip area overhead factor (decoders, SAs, routing).
+    area_overhead: float = 1.45
+
+
+@dataclass(frozen=True)
+class ArrayPerformance:
+    """Per-operation figures consumed by the behavioural simulator."""
+
+    read_latency_s: float
+    and_latency_s: float
+    write_latency_s: float
+    #: Energies are for one 64-bit slice operation.
+    read_energy_j: float
+    and_energy_j: float
+    write_energy_j: float
+    leakage_power_w: float
+    area_mm2: float
+    #: Sub-arrays able to compute concurrently.
+    parallel_units: int
+
+
+class NVSimModel:
+    """Compose cell + organisation + peripherals into array performance."""
+
+    def __init__(
+        self,
+        cell: BitCell | None = None,
+        organization: ArrayOrganization | None = None,
+        peripherals: PeripheralParams | None = None,
+        slice_bits: int = 64,
+    ) -> None:
+        if slice_bits <= 0:
+            raise ArchitectureError(f"slice_bits must be positive, got {slice_bits}")
+        self.cell = cell or BitCell()
+        self.organization = organization or ArrayOrganization()
+        self.peripherals = peripherals or PeripheralParams()
+        self.slice_bits = slice_bits
+        if slice_bits > self.organization.cols_per_subarray:
+            raise ArchitectureError(
+                f"slice of {slice_bits} bits does not fit a "
+                f"{self.organization.cols_per_subarray}-column sub-array row"
+            )
+
+    # ------------------------------------------------------------------
+    # Latency components (Elmore RC + staged decoder + sense resolution)
+    # ------------------------------------------------------------------
+    def decoder_delay_s(self) -> float:
+        """Row decode: one stage per address bit."""
+        stages = max(1, int(math.ceil(math.log2(self.organization.rows_per_subarray))))
+        return stages * self.peripherals.decoder_stage_delay_s
+
+    def wordline_delay_s(self) -> float:
+        """Distributed-RC word-line rise (0.38 RC Elmore) plus driver."""
+        cols = self.organization.cols_per_subarray
+        line_r = cols * self.cell.params.wordline_resistance_ohm
+        line_c = cols * self.cell.params.wordline_capacitance_f
+        driver = self.peripherals.wordline_driver_resistance_ohm * line_c
+        return 0.38 * line_r * line_c + 0.69 * driver
+
+    def bitline_delay_s(self) -> float:
+        """Distributed-RC bit-line settle."""
+        rows = self.organization.rows_per_subarray
+        line_r = rows * self.cell.params.bitline_resistance_ohm
+        line_c = rows * self.cell.params.bitline_capacitance_f
+        return 0.38 * line_r * line_c
+
+    def sense_delay_s(self, margin_a: float) -> float:
+        """Time for the margin current to build the required SA swing."""
+        if margin_a <= 0:
+            raise ArchitectureError(
+                f"non-positive sense margin {margin_a}; the reference scheme "
+                "cannot distinguish the levels"
+            )
+        return (
+            self.peripherals.sense_capacitance_f
+            * self.peripherals.sense_swing_v
+            / margin_a
+        )
+
+    # ------------------------------------------------------------------
+    # Full evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self) -> ArrayPerformance:
+        """Produce the per-operation latency/energy/area figures."""
+        amplifier = SenseAmplifier(self.cell)
+        margins = amplifier.margins()
+        base_path = (
+            self.decoder_delay_s() + self.wordline_delay_s() + self.bitline_delay_s()
+        )
+        read_latency = base_path + self.sense_delay_s(margins.read_margin_a)
+        and_latency = base_path + self.sense_delay_s(margins.and_margin_a)
+        write_latency = (
+            self.decoder_delay_s()
+            + self.wordline_delay_s()
+            + self.cell.write_pulse_s * 1.2  # pulse-width guard band
+        )
+
+        cols = self.organization.cols_per_subarray
+        vdd = self.peripherals.supply_voltage_v
+        wordline_charge_j = cols * self.cell.params.wordline_capacitance_f * vdd * vdd
+        per_slice_fraction = self.slice_bits / cols
+
+        sense_time = self.sense_delay_s(margins.read_margin_a)
+        cell_read_j = self.cell.read_energy_j(sense_time)
+        read_energy = (
+            wordline_charge_j * per_slice_fraction
+            + self.slice_bits * (cell_read_j + self.peripherals.sense_energy_j)
+            + self.peripherals.decoder_energy_j
+        )
+        # AND activates two word-lines and draws two cells' currents per column.
+        and_sense_time = self.sense_delay_s(margins.and_margin_a)
+        and_energy = (
+            2.0 * wordline_charge_j * per_slice_fraction
+            + self.slice_bits
+            * (2.0 * self.cell.read_energy_j(and_sense_time) + self.peripherals.sense_energy_j)
+            + self.peripherals.decoder_energy_j
+        )
+        write_energy = (
+            self.slice_bits
+            * self.cell.write_energy_j()
+            * self.peripherals.write_driver_overhead
+            + wordline_charge_j * per_slice_fraction
+            + self.peripherals.decoder_energy_j
+        )
+
+        leakage = self.peripherals.subarray_leakage_w * self.organization.num_subarrays
+        cell_area_m2 = (
+            self.peripherals.cell_area_f2 * self.peripherals.feature_size_m**2
+        )
+        area_m2 = (
+            self.organization.total_bits * cell_area_m2 * self.peripherals.area_overhead
+        )
+        return ArrayPerformance(
+            read_latency_s=read_latency,
+            and_latency_s=and_latency,
+            write_latency_s=write_latency,
+            read_energy_j=read_energy,
+            and_energy_j=and_energy,
+            write_energy_j=write_energy,
+            leakage_power_w=leakage,
+            area_mm2=area_m2 * 1e6,
+            parallel_units=self.organization.num_subarrays,
+        )
+
+    def read_current_pair(self) -> tuple[float, float]:
+        """Convenience: single-cell read currents (I_P, I_AP) in A."""
+        return (
+            self.cell.read_current(MTJState.PARALLEL),
+            self.cell.read_current(MTJState.ANTI_PARALLEL),
+        )

@@ -1,0 +1,187 @@
+"""Published numbers from the TCIM paper (DAC 2020, arXiv:2007.10702).
+
+Single source of truth for every value the paper reports: Table I (MTJ
+simulation parameters), Table II (dataset statistics), Table III (valid
+slice data size), Table IV (percentage of valid slices), Table V (runtime
+comparison), Fig. 6 (normalised energy vs the FPGA accelerator of
+Huang et al. [3]) and the headline claims of the abstract.
+
+Benchmarks print these columns next to the values measured by this
+reproduction so that EXPERIMENTS.md can record paper-vs-measured for every
+artefact.  This module has **no dependencies** inside the package so that
+any subpackage may import it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DATASET_ORDER",
+    "DISPLAY_NAMES",
+    "PaperDatasetStats",
+    "TABLE_II",
+    "TABLE_III_VALID_SLICE_MB",
+    "TABLE_IV_VALID_SLICE_PERCENT",
+    "PaperRuntimeRow",
+    "TABLE_V_RUNTIME_SECONDS",
+    "FIG6_DATASETS",
+    "FIG6_FPGA_ENERGY_RATIO",
+    "TABLE_I_MTJ_PARAMETERS",
+    "HEADLINE_CLAIMS",
+    "SLICE_BITS",
+    "ARRAY_MEGABYTES",
+]
+
+#: Slice size |S| used throughout the paper's evaluation (Section IV-B).
+SLICE_BITS = 64
+
+#: STT-MRAM computational array capacity used in Section V (MB).
+ARRAY_MEGABYTES = 16
+
+#: Canonical dataset keys, in the paper's row order.
+DATASET_ORDER = (
+    "ego-facebook",
+    "email-enron",
+    "com-amazon",
+    "com-dblp",
+    "com-youtube",
+    "roadnet-pa",
+    "roadnet-tx",
+    "roadnet-ca",
+    "com-lj",
+)
+
+#: Canonical key -> name as printed in the paper.
+DISPLAY_NAMES = {
+    "ego-facebook": "ego-facebook",
+    "email-enron": "email-enron",
+    "com-amazon": "com-Amazon",
+    "com-dblp": "com-DBLP",
+    "com-youtube": "com-Youtube",
+    "roadnet-pa": "roadNet-PA",
+    "roadnet-tx": "roadNet-TX",
+    "roadnet-ca": "roadNet-CA",
+    "com-lj": "com-LiveJournal",
+}
+
+
+@dataclass(frozen=True)
+class PaperDatasetStats:
+    """One row of Table II."""
+
+    num_vertices: int
+    num_edges: int
+    num_triangles: int
+
+
+#: Table II — selected graph dataset (SNAP [17]).
+TABLE_II = {
+    "ego-facebook": PaperDatasetStats(4039, 88234, 1612010),
+    "email-enron": PaperDatasetStats(36692, 183831, 727044),
+    "com-amazon": PaperDatasetStats(334863, 925872, 667129),
+    "com-dblp": PaperDatasetStats(317080, 1049866, 2224385),
+    "com-youtube": PaperDatasetStats(1134890, 2987624, 3056386),
+    "roadnet-pa": PaperDatasetStats(1088092, 1541898, 67150),
+    "roadnet-tx": PaperDatasetStats(1379917, 1921660, 82869),
+    "roadnet-ca": PaperDatasetStats(1965206, 2766607, 120676),
+    "com-lj": PaperDatasetStats(3997962, 34681189, 177820130),
+}
+
+#: Table III — valid slice data size in MB (|S| = 64).
+TABLE_III_VALID_SLICE_MB = {
+    "ego-facebook": 0.182,
+    "email-enron": 1.02,
+    "com-amazon": 7.4,
+    "com-dblp": 7.6,
+    "com-youtube": 16.8,
+    "roadnet-pa": 9.96,
+    "roadnet-tx": 12.38,
+    "roadnet-ca": 16.78,
+    "com-lj": 16.8,
+}
+
+#: Table IV — percentage of valid slices (|S| = 64).
+TABLE_IV_VALID_SLICE_PERCENT = {
+    "ego-facebook": 7.017,
+    "email-enron": 1.607,
+    "com-amazon": 0.014,
+    "com-dblp": 0.036,
+    "com-youtube": 0.013,
+    "roadnet-pa": 0.013,
+    "roadnet-tx": 0.010,
+    "roadnet-ca": 0.007,
+    "com-lj": 0.006,
+}
+
+
+@dataclass(frozen=True)
+class PaperRuntimeRow:
+    """One row of Table V (seconds).  ``None`` marks the paper's ``N/A``."""
+
+    cpu: float
+    gpu: float | None
+    fpga: float | None
+    without_pim: float
+    tcim: float
+
+
+#: Table V — runtime in seconds: CPU baseline (Spark GraphX, Xeon E5430),
+#: GPU [3], FPGA [3], this work without PIM, and TCIM.
+TABLE_V_RUNTIME_SECONDS = {
+    "ego-facebook": PaperRuntimeRow(5.399, 0.15, 0.093, 0.169, 0.005),
+    "email-enron": PaperRuntimeRow(9.545, 0.146, 0.22, 0.8, 0.021),
+    "com-amazon": PaperRuntimeRow(20.344, None, None, 0.295, 0.011),
+    "com-dblp": PaperRuntimeRow(20.803, None, None, 0.413, 0.027),
+    "com-youtube": PaperRuntimeRow(61.309, None, None, 2.442, 0.098),
+    "roadnet-pa": PaperRuntimeRow(77.320, 0.169, 1.291, 0.704, 0.043),
+    "roadnet-tx": PaperRuntimeRow(94.379, 0.173, 1.586, 0.789, 0.053),
+    "roadnet-ca": PaperRuntimeRow(146.858, 0.18, 2.342, 3.561, 0.081),
+    "com-lj": PaperRuntimeRow(820.616, None, None, 33.034, 2.006),
+}
+
+#: Fig. 6 — datasets shown (the five with FPGA numbers in Table V).
+FIG6_DATASETS = (
+    "ego-facebook",
+    "email-enron",
+    "roadnet-pa",
+    "roadnet-tx",
+    "roadnet-ca",
+)
+
+#: Fig. 6 — FPGA energy normalised to TCIM (= 1.0 per dataset).
+FIG6_FPGA_ENERGY_RATIO = {
+    "ego-facebook": 15.8,
+    "email-enron": 9.3,
+    "roadnet-pa": 26.5,
+    "roadnet-tx": 26.4,
+    "roadnet-ca": 25.4,
+}
+
+#: Table I — key parameters for MTJ simulation (SI units).
+TABLE_I_MTJ_PARAMETERS = {
+    "surface_length_m": 40e-9,
+    "surface_width_m": 40e-9,
+    "spin_hall_angle": 0.3,
+    "resistance_area_product_ohm_m2": 1e-12,
+    "oxide_thickness_m": 0.82e-9,
+    "tmr": 1.0,  # 100 %
+    "saturation_field_a_per_m": 1e6,
+    "gilbert_damping": 0.03,
+    "perpendicular_anisotropy_a_per_m": 4.5e5,
+    "temperature_k": 300.0,
+}
+
+#: Headline claims from the abstract / Section V.
+HEADLINE_CLAIMS = {
+    "computation_reduction_percent": 99.99,
+    "write_reduction_percent": 72.0,
+    "average_hit_percent": 72.0,
+    "average_miss_percent": 28.0,
+    "speedup_without_pim_vs_cpu": 53.7,
+    "speedup_tcim_vs_without_pim": 25.5,
+    "speedup_tcim_vs_gpu": 9.0,
+    "speedup_tcim_vs_fpga": 23.4,
+    "energy_improvement_vs_fpga": 20.6,
+    "kb_per_1000_vertices": 18.0,
+}

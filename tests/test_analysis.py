@@ -1,0 +1,154 @@
+"""Tests for graph metrics, validation, and report formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import ValidationError
+from repro.analysis.metrics import (
+    average_clustering,
+    degree_statistics,
+    local_clustering,
+    transitivity,
+    triangles_per_vertex,
+    wedge_count,
+)
+from repro.analysis.reporting import (
+    Table,
+    format_bytes,
+    format_count,
+    format_ratio,
+    format_seconds,
+    geometric_mean,
+)
+from repro.analysis.validation import default_implementations, validate_implementations
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestTrianglesPerVertex:
+    def test_paper_graph(self, paper_graph):
+        per_vertex = triangles_per_vertex(paper_graph)
+        # Triangles: {0,1,2} and {1,2,3}.
+        assert per_vertex.tolist() == [1, 2, 2, 1]
+        assert int(per_vertex.sum()) == 3 * 2
+
+    def test_k5_uniform(self, k5):
+        per_vertex = triangles_per_vertex(k5)
+        assert per_vertex.tolist() == [6] * 5  # C(4,2) triangles per vertex
+
+    def test_triangle_free(self):
+        graph = generators.complete_bipartite(4, 5)
+        assert triangles_per_vertex(graph).sum() == 0
+
+
+class TestClustering:
+    def test_k5_fully_clustered(self, k5):
+        assert np.allclose(local_clustering(k5), 1.0)
+        assert average_clustering(k5) == pytest.approx(1.0)
+        assert transitivity(k5) == pytest.approx(1.0)
+
+    def test_matches_networkx(self, random_graphs):
+        for graph in random_graphs[:3]:
+            nx_graph = graph.to_networkx()
+            assert average_clustering(graph) == pytest.approx(
+                nx.average_clustering(nx_graph)
+            )
+            assert transitivity(graph) == pytest.approx(nx.transitivity(nx_graph))
+
+    def test_low_degree_vertices_zero(self):
+        graph = Graph(3, [(0, 1)])
+        assert local_clustering(graph).tolist() == [0.0, 0.0, 0.0]
+
+    def test_empty_graph(self, empty_graph):
+        assert average_clustering(empty_graph) == 0.0
+        assert transitivity(empty_graph) == 0.0
+
+    def test_transitivity_with_precomputed_count(self, paper_graph):
+        assert transitivity(paper_graph, num_triangles=2) == pytest.approx(
+            transitivity(paper_graph)
+        )
+
+
+class TestWedgesAndDegrees:
+    def test_wedge_count_star(self):
+        graph = generators.star_graph(5)
+        assert wedge_count(graph) == 10  # C(5,2) at the hub
+
+    def test_degree_statistics(self, paper_graph):
+        stats = degree_statistics(paper_graph)
+        assert stats["min"] == 2.0
+        assert stats["max"] == 3.0
+        assert stats["sum_squared"] == pytest.approx(4 + 9 + 9 + 4)
+
+    def test_empty_statistics(self, empty_graph):
+        assert degree_statistics(empty_graph)["mean"] == 0.0
+
+
+class TestValidation:
+    def test_passes_on_consistent_graph(self, paper_graph):
+        results = validate_implementations(paper_graph)
+        assert set(results.values()) == {2}
+
+    def test_detects_mismatch(self, paper_graph):
+        broken = dict(default_implementations())
+        broken["liar"] = lambda g: 999
+        with pytest.raises(ValidationError, match="mismatch"):
+            validate_implementations(paper_graph, broken)
+
+
+class TestReporting:
+    def test_table_render_contains_data(self):
+        table = Table(["a", "b"], title="demo")
+        table.add_row(["x", 1.5])
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "x" in rendered and "1.5" in rendered
+
+    def test_table_rejects_ragged_rows(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_table_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_markdown_shape(self):
+        table = Table(["a"], title="t")
+        table.add_row([None])
+        markdown = table.markdown()
+        assert "| a |" in markdown
+        assert "| N/A |" in markdown
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(2.0) == "2.000 s"
+        assert format_seconds(2e-3) == "2.000 ms"
+        assert format_seconds(2e-6) == "2.000 us"
+        assert format_seconds(2e-9) == "2.000 ns"
+        assert format_seconds(None) == "N/A"
+
+    def test_format_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+    def test_format_bytes(self):
+        assert format_bytes(16.8e6) == "16.80 MB"
+        assert format_bytes(2048) == "2.05 KB"
+        assert format_bytes(12) == "12 B"
+
+    def test_format_ratio(self):
+        assert format_ratio(10.0, 2.0) == "5.0x"
+        assert format_ratio(None, 2.0) == "N/A"
+        assert format_ratio(1.0, 0.0) == "N/A"
+
+    def test_format_count(self):
+        assert format_count(1234567) == "1,234,567"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, -5.0]) == 0.0

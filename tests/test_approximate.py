@@ -1,0 +1,61 @@
+"""Tests for the wedge-sampling approximate triangle counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.baselines.approximate import triangle_count_wedge_sampling
+from repro.baselines.intersection import triangle_count_forward
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestEdgeCases:
+    def test_invalid_samples(self, paper_graph):
+        with pytest.raises(GraphError):
+            triangle_count_wedge_sampling(paper_graph, samples=0)
+
+    def test_no_wedges(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        result = triangle_count_wedge_sampling(graph)
+        assert result.estimate == 0.0
+        assert result.half_interval == 0.0
+
+    def test_triangle_free_graph(self):
+        graph = generators.complete_bipartite(8, 8)
+        result = triangle_count_wedge_sampling(graph, samples=2000, seed=1)
+        assert result.estimate == 0.0
+        assert result.closed_fraction == 0.0
+
+    def test_complete_graph_all_wedges_closed(self):
+        k8 = generators.complete_graph(8)
+        result = triangle_count_wedge_sampling(k8, samples=500, seed=2)
+        assert result.closed_fraction == 1.0
+        assert result.estimate == pytest.approx(56.0)  # C(8,3)
+
+
+class TestAccuracy:
+    def test_deterministic_given_seed(self, k5):
+        a = triangle_count_wedge_sampling(k5, samples=100, seed=3)
+        b = triangle_count_wedge_sampling(k5, samples=100, seed=3)
+        assert a.estimate == b.estimate
+
+    def test_estimate_within_interval_of_truth(self):
+        graph = generators.powerlaw_cluster(400, 4, 0.6, seed=4)
+        exact = triangle_count_forward(graph)
+        result = triangle_count_wedge_sampling(graph, samples=20_000, seed=5)
+        # Generous 3x the 95 % interval to keep the test deterministic-safe.
+        assert abs(result.estimate - exact) <= 3 * result.half_interval + 1
+
+    def test_more_samples_tighter_interval(self):
+        graph = generators.powerlaw_cluster(300, 4, 0.5, seed=6)
+        loose = triangle_count_wedge_sampling(graph, samples=500, seed=7)
+        tight = triangle_count_wedge_sampling(graph, samples=20_000, seed=7)
+        assert tight.half_interval < loose.half_interval
+
+    def test_interval_bounds(self):
+        graph = generators.erdos_renyi(100, 400, seed=8)
+        result = triangle_count_wedge_sampling(graph, samples=2000, seed=9)
+        assert result.low <= result.estimate <= result.high
+        assert result.low >= 0.0

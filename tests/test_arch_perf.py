@@ -1,0 +1,146 @@
+"""Tests for the behavioural performance/energy simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.arch.perf import (
+    FpgaReferenceModel,
+    GraphXCpuModel,
+    PimEnergyParams,
+    PimPerformanceModel,
+    PimTimingParams,
+    SoftwareSlicedModel,
+    default_pim_model,
+)
+from repro.core.accelerator import EventCounts, TCIMAccelerator
+from repro.graph import generators
+
+
+def _events(and_ops=1000, writes=100, edges=500) -> EventCounts:
+    events = EventCounts()
+    events.and_operations = and_ops
+    events.bitcount_operations = and_ops
+    events.row_slice_writes = writes // 2
+    events.col_slice_writes = writes - writes // 2
+    events.col_slice_hits = 3 * and_ops // 4
+    events.index_lookups = edges
+    events.edges_processed = edges
+    events.dense_pair_operations = 100 * and_ops
+    return events
+
+
+class TestPimModel:
+    @pytest.fixture(scope="class")
+    def model(self) -> PimPerformanceModel:
+        return default_pim_model()
+
+    def test_zero_events_zero_cost(self, model):
+        report = model.evaluate(EventCounts())
+        assert report.latency_s == 0.0
+        assert report.array_energy_j == 0.0
+        assert report.system_energy_j == 0.0
+
+    def test_latency_breakdown_sums(self, model):
+        report = model.evaluate(_events())
+        assert report.latency_s == pytest.approx(
+            sum(report.latency_breakdown_s.values())
+        )
+
+    def test_energy_breakdown_sums(self, model):
+        report = model.evaluate(_events())
+        assert report.system_energy_j == pytest.approx(
+            sum(report.energy_breakdown_j.values())
+        )
+        assert report.array_energy_j < report.system_energy_j
+
+    def test_latency_monotonic_in_work(self, model):
+        light = model.evaluate(_events(and_ops=100))
+        heavy = model.evaluate(_events(and_ops=100_000))
+        assert heavy.latency_s > light.latency_s
+
+    def test_parallel_units_speed_up_ands(self):
+        base = default_pim_model()
+        parallel_timing = PimTimingParams(
+            and_latency_s=base.timing.and_latency_s,
+            write_latency_s=base.timing.write_latency_s,
+            bitcount_latency_s=base.timing.bitcount_latency_s,
+            parallel_and_units=16,
+        )
+        parallel = PimPerformanceModel(parallel_timing, base.energy)
+        events = _events(and_ops=1_000_000, edges=0, writes=0)
+        assert parallel.evaluate(events).latency_s < base.evaluate(events).latency_s
+
+    def test_invalid_parallelism(self):
+        base = default_pim_model()
+        timing = PimTimingParams(
+            and_latency_s=1e-9,
+            write_latency_s=1e-9,
+            bitcount_latency_s=1e-9,
+            parallel_and_units=0,
+        )
+        with pytest.raises(ArchitectureError):
+            PimPerformanceModel(timing, base.energy)
+
+    def test_row_overhead_applied(self, model):
+        without = model.evaluate(_events())
+        with_rows = model.evaluate(_events(), num_rows_processed=1000)
+        assert with_rows.latency_s > without.latency_s
+
+    def test_derived_from_device_stack(self, model):
+        """The default model must inherit ns-scale array ops (device->array
+        composition, not arbitrary constants)."""
+        assert 1e-10 < model.timing.and_latency_s < 1e-8
+        assert model.energy.write_energy_j > model.energy.and_energy_j
+
+
+class TestSoftwareModels:
+    def test_software_slower_than_pim(self):
+        graph = generators.powerlaw_cluster(300, 4, 0.6, seed=0)
+        result = TCIMAccelerator().run(graph)
+        pim = default_pim_model().evaluate(result.events)
+        software = SoftwareSlicedModel().evaluate_seconds(result.events)
+        assert software > pim.latency_s
+
+    def test_software_scales_with_pairs(self):
+        model = SoftwareSlicedModel()
+        assert model.evaluate_seconds(_events(and_ops=10_000)) > (
+            model.evaluate_seconds(_events(and_ops=100))
+        )
+
+    def test_graphx_model_dominated_by_edges(self):
+        model = GraphXCpuModel()
+        small = model.evaluate_seconds(1000, 1e4)
+        large = model.evaluate_seconds(100_000, 1e4)
+        assert large > 50 * small
+
+    def test_graphx_wedge_term(self):
+        model = GraphXCpuModel()
+        assert model.evaluate_seconds(1000, 1e8) > model.evaluate_seconds(1000, 1e4)
+
+
+class TestFpgaReference:
+    def test_energy_linear_in_runtime(self):
+        model = FpgaReferenceModel(board_power_w=21.0)
+        assert model.energy_j(2.0) == pytest.approx(42.0)
+
+    def test_invalid_power(self):
+        with pytest.raises(ArchitectureError):
+            FpgaReferenceModel(board_power_w=0.0)
+
+
+class TestEndToEndShape:
+    def test_table5_ordering_on_synthetic_graph(self):
+        """TCIM must beat the software model, which must beat GraphX —
+        the qualitative ordering of Table V."""
+        graph = generators.powerlaw_cluster(500, 5, 0.6, seed=1)
+        result = TCIMAccelerator().run(graph)
+        pim_seconds = default_pim_model().evaluate(result.events).latency_s
+        software_seconds = SoftwareSlicedModel().evaluate_seconds(result.events)
+        from repro.analysis.metrics import degree_statistics
+
+        graphx_seconds = GraphXCpuModel().evaluate_seconds(
+            graph.num_edges, degree_statistics(graph)["sum_squared"]
+        )
+        assert pim_seconds < software_seconds < graphx_seconds

@@ -1,0 +1,136 @@
+"""Unit + property tests for the packed BitMatrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.errors import GraphError
+from repro.graph.bitmatrix import BitMatrix
+from repro.graph.graph import Graph
+
+
+dense_matrices = npst.arrays(
+    dtype=bool, shape=st.tuples(st.integers(0, 12), st.integers(0, 80))
+)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        matrix = BitMatrix.zeros(3, 100)
+        assert matrix.num_rows == 3
+        assert matrix.num_cols == 100
+        assert matrix.words_per_row == 2
+        assert matrix.nnz() == 0
+
+    def test_inconsistent_shape_rejected(self):
+        with pytest.raises(GraphError):
+            BitMatrix(np.zeros((2, 1), dtype=np.uint64), 65)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(GraphError):
+            BitMatrix.from_dense(np.zeros(4, dtype=bool))
+
+    @given(dense_matrices)
+    def test_dense_roundtrip(self, dense):
+        matrix = BitMatrix.from_dense(dense)
+        assert np.array_equal(matrix.to_dense(), dense)
+        assert matrix.nnz() == int(dense.sum())
+
+
+class TestFromGraph:
+    def test_paper_upper_matrix(self, paper_graph):
+        matrix = BitMatrix.from_graph(paper_graph, "upper")
+        assert np.array_equal(
+            matrix.to_dense(), paper_graph.adjacency_matrix("upper")
+        )
+
+    def test_symmetric(self, paper_graph):
+        matrix = BitMatrix.from_graph(paper_graph, "symmetric")
+        dense = matrix.to_dense()
+        assert np.array_equal(dense, dense.T)
+        assert matrix.nnz() == 2 * paper_graph.num_edges
+
+    def test_unknown_orientation(self, paper_graph):
+        with pytest.raises(GraphError):
+            BitMatrix.from_graph(paper_graph, "sideways")
+
+    def test_empty_graph(self):
+        matrix = BitMatrix.from_graph(Graph(0))
+        assert matrix.num_rows == 0
+
+
+class TestRowsAndColumns:
+    def test_paper_row_r0(self, paper_graph):
+        matrix = BitMatrix.from_graph(paper_graph, "upper")
+        # R0 = '0110' in the paper's Fig. 2.
+        assert matrix.row_bits(0).tolist() == [False, True, True, False]
+
+    def test_paper_column_c2(self, paper_graph):
+        matrix = BitMatrix.from_graph(paper_graph, "upper")
+        # C2 = '1100' in the paper's Fig. 2.
+        column = matrix.column(2)
+        expected = paper_graph.adjacency_matrix("upper")[:, 2]
+        assert np.array_equal(
+            matrix.transposed().row_bits(2), expected
+        )
+        assert int(column[0]) == 0b0011  # vertices 0 and 1 point at 2
+
+    def test_row_bounds(self, paper_graph):
+        matrix = BitMatrix.from_graph(paper_graph)
+        with pytest.raises(GraphError):
+            matrix.row(4)
+
+    def test_get_set(self):
+        matrix = BitMatrix.zeros(2, 70)
+        matrix.set(1, 69)
+        assert matrix.get(1, 69)
+        matrix.set(1, 69, False)
+        assert not matrix.get(1, 69)
+
+    def test_set_invalidates_transpose(self):
+        matrix = BitMatrix.zeros(2, 2)
+        assert not matrix.transposed().get(1, 0)
+        matrix.set(0, 1)
+        assert matrix.transposed().get(1, 0)
+
+    def test_position_bounds(self):
+        matrix = BitMatrix.zeros(2, 10)
+        with pytest.raises(GraphError):
+            matrix.get(2, 0)
+        with pytest.raises(GraphError):
+            matrix.get(0, 10)
+
+
+class TestOperations:
+    def test_paper_and_popcounts(self, paper_graph):
+        """The five steps of Fig. 2: popcounts 0, 1, 0, 1, 0 accumulate to 2."""
+        matrix = BitMatrix.from_graph(paper_graph, "upper")
+        steps = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]
+        popcounts = [matrix.and_popcount(i, j) for i, j in steps]
+        assert popcounts == [0, 1, 0, 1, 0]
+        assert sum(popcounts) == 2
+
+    def test_and_popcount_many_matches_scalar(self, paper_graph):
+        matrix = BitMatrix.from_graph(paper_graph, "upper")
+        many = matrix.and_popcount_many(1, np.array([2, 3]))
+        assert many.tolist() == [matrix.and_popcount(1, 2), matrix.and_popcount(1, 3)]
+
+    @given(dense_matrices)
+    def test_transpose_involution(self, dense):
+        matrix = BitMatrix.from_dense(dense)
+        assert np.array_equal(matrix.transposed().to_dense(), dense.T)
+
+    @settings(max_examples=30)
+    @given(npst.arrays(dtype=bool, shape=st.tuples(st.integers(1, 8), st.integers(1, 70))))
+    def test_row_nnz_matches_dense(self, dense):
+        matrix = BitMatrix.from_dense(dense)
+        assert matrix.row_nnz().tolist() == dense.sum(axis=1).tolist()
+
+    def test_density(self):
+        matrix = BitMatrix.from_dense(np.eye(4, dtype=bool))
+        assert matrix.density() == pytest.approx(0.25)
+        assert BitMatrix.zeros(0, 0).density() == 0.0

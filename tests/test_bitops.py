@@ -1,0 +1,141 @@
+"""Unit + property tests for the packed bit-vector primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import bitops
+
+
+class TestWordsForBits:
+    def test_exact_multiples(self):
+        assert bitops.words_for_bits(0) == 0
+        assert bitops.words_for_bits(64) == 1
+        assert bitops.words_for_bits(128) == 2
+
+    def test_rounds_up(self):
+        assert bitops.words_for_bits(1) == 1
+        assert bitops.words_for_bits(65) == 2
+        assert bitops.words_for_bits(127) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.words_for_bits(-1)
+
+
+class TestPackUnpack:
+    def test_known_pattern(self):
+        words = bitops.pack_bits(np.array([1, 1, 0, 0], dtype=bool))
+        assert words.tolist() == [3]
+
+    def test_bit_order_is_little_endian(self):
+        bits = np.zeros(64, dtype=bool)
+        bits[63] = True
+        words = bitops.pack_bits(bits)
+        assert words.tolist() == [1 << 63]
+
+    def test_crossing_word_boundary(self):
+        bits = np.zeros(70, dtype=bool)
+        bits[64] = True
+        words = bitops.pack_bits(bits)
+        assert words.tolist() == [0, 1]
+
+    def test_empty_vector(self):
+        assert bitops.pack_bits(np.zeros(0, dtype=bool)).size == 0
+        assert bitops.unpack_bits(np.zeros(0, dtype=np.uint64), 0).size == 0
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            bitops.pack_bits(np.zeros((2, 2), dtype=bool))
+
+    def test_unpack_bounds_checked(self):
+        with pytest.raises(ValueError):
+            bitops.unpack_bits(np.zeros(1, dtype=np.uint64), 65)
+
+    @given(st.lists(st.booleans(), max_size=300))
+    def test_roundtrip(self, bits):
+        vector = np.array(bits, dtype=bool)
+        assert np.array_equal(
+            bitops.unpack_bits(bitops.pack_bits(vector), vector.size), vector
+        )
+
+    @given(st.lists(st.booleans(), max_size=300))
+    def test_byte_roundtrip(self, bits):
+        vector = np.array(bits, dtype=bool)
+        assert np.array_equal(
+            bitops.unpack_bytes(bitops.pack_bytes(vector), vector.size), vector
+        )
+
+
+class TestPopcount:
+    def test_paper_example(self):
+        # BitCount(0110) = 2 (paper Section III).
+        assert bitops.popcount(bitops.pack_bits(np.array([0, 1, 1, 0], dtype=bool))) == 2
+
+    def test_empty(self):
+        assert bitops.popcount(np.zeros(0, dtype=np.uint64)) == 0
+
+    def test_rejects_signed(self):
+        with pytest.raises(TypeError):
+            bitops.popcount(np.array([1, 2], dtype=np.int64))
+
+    def test_per_word(self):
+        words = np.array([0, 1, 3, (1 << 64) - 1], dtype=np.uint64)
+        assert bitops.popcount_per_word(words).tolist() == [0, 1, 2, 64]
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=50))
+    def test_matches_python_reference(self, values):
+        words = np.array(values, dtype=np.uint64)
+        expected = sum(bitops.popcount_python(v) for v in values)
+        assert bitops.popcount(words) == expected
+
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_popcount_equals_sum_of_bits(self, bits):
+        vector = np.array(bits, dtype=bool)
+        assert bitops.popcount(bitops.pack_bits(vector)) == int(vector.sum())
+
+
+class TestIterSetBits:
+    def test_simple(self):
+        words = bitops.pack_bits(np.array([1, 0, 1, 1], dtype=bool))
+        assert list(bitops.iter_set_bits(words)) == [0, 2, 3]
+
+    def test_limit_respected(self):
+        words = np.array([(1 << 63) | 1], dtype=np.uint64)
+        assert list(bitops.iter_set_bits(words, num_bits=10)) == [0]
+
+    @given(st.lists(st.booleans(), max_size=200))
+    def test_matches_nonzero(self, bits):
+        vector = np.array(bits, dtype=bool)
+        words = bitops.pack_bits(vector)
+        assert list(bitops.iter_set_bits(words, vector.size)) == list(
+            np.flatnonzero(vector)
+        )
+
+
+class TestBitGetSet:
+    def test_set_then_get(self):
+        words = np.zeros(2, dtype=np.uint64)
+        bitops.bit_set(words, 70)
+        assert bitops.bit_get(words, 70)
+        assert not bitops.bit_get(words, 69)
+        bitops.bit_set(words, 70, False)
+        assert not bitops.bit_get(words, 70)
+
+    def test_negative_index_rejected(self):
+        words = np.zeros(1, dtype=np.uint64)
+        with pytest.raises(IndexError):
+            bitops.bit_get(words, -1)
+        with pytest.raises(IndexError):
+            bitops.bit_set(words, -2)
+
+    @settings(max_examples=25)
+    @given(st.sets(st.integers(min_value=0, max_value=191), max_size=30))
+    def test_set_many(self, positions):
+        words = np.zeros(3, dtype=np.uint64)
+        for position in positions:
+            bitops.bit_set(words, position)
+        assert list(bitops.iter_set_bits(words)) == sorted(positions)

@@ -1,0 +1,135 @@
+"""Tests for the bitwise triangle-counting kernels (paper Section III)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.core.bitwise import (
+    DENSE_VERTEX_LIMIT,
+    BitwiseCounts,
+    triangle_count_bitwise,
+    triangle_count_dense,
+    triangle_count_sliced,
+)
+from repro.baselines.intersection import triangle_count_forward
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestPaperExample:
+    def test_two_triangles(self, paper_graph):
+        assert triangle_count_dense(paper_graph) == 2
+        assert triangle_count_sliced(paper_graph) == 2
+        assert triangle_count_bitwise(paper_graph) == 2
+
+    def test_symmetric_orientation_agrees(self, paper_graph):
+        assert triangle_count_dense(paper_graph, orientation="symmetric") == 2
+        assert triangle_count_sliced(paper_graph, orientation="symmetric") == 2
+
+    def test_step_count_matches_figure(self, paper_graph):
+        """Fig. 2 processes exactly the 5 non-zero elements."""
+        counts = BitwiseCounts()
+        triangle_count_dense(paper_graph, counts=counts)
+        assert counts.edges_processed == 5
+        assert counts.bitcount_operations == 5
+        assert counts.triangles == 2
+
+
+class TestEdgeCases:
+    def test_empty_graph(self, empty_graph):
+        assert triangle_count_dense(empty_graph) == 0
+        assert triangle_count_sliced(empty_graph) == 0
+
+    def test_isolated_vertices(self, isolated_vertices):
+        assert triangle_count_dense(isolated_vertices) == 0
+
+    def test_single_edge(self):
+        graph = Graph(2, [(0, 1)])
+        assert triangle_count_dense(graph) == 0
+        assert triangle_count_sliced(graph) == 0
+
+    def test_k5(self, k5):
+        assert triangle_count_dense(k5) == 10
+        assert triangle_count_sliced(k5) == 10
+
+    def test_triangle_free(self):
+        graph = generators.complete_bipartite(6, 6)
+        assert triangle_count_dense(graph) == 0
+        assert triangle_count_sliced(graph) == 0
+
+    def test_dense_guard(self):
+        graph = Graph(DENSE_VERTEX_LIMIT + 1)
+        with pytest.raises(GraphError, match="dense kernel refused"):
+            triangle_count_dense(graph)
+
+    def test_bad_orientation(self, paper_graph):
+        with pytest.raises(GraphError):
+            triangle_count_dense(paper_graph, orientation="lower")
+        with pytest.raises(GraphError):
+            triangle_count_sliced(paper_graph, orientation="lower")
+
+
+class TestAgreement:
+    def test_random_battery(self, random_graphs):
+        for graph in random_graphs:
+            expected = triangle_count_forward(graph)
+            assert triangle_count_dense(graph) == expected
+            assert triangle_count_dense(graph, orientation="symmetric") == expected
+            for slice_bits in (8, 16, 64, 128):
+                assert (
+                    triangle_count_sliced(graph, slice_bits=slice_bits) == expected
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=120),
+        st.sampled_from([8, 32, 64]),
+    )
+    def test_sliced_equals_dense_property(self, edges, slice_bits):
+        graph = Graph(25, edges)
+        assert triangle_count_sliced(graph, slice_bits=slice_bits) == (
+            triangle_count_dense(graph)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=120))
+    def test_orientations_agree_property(self, edges):
+        graph = Graph(25, edges)
+        assert triangle_count_dense(graph) == triangle_count_dense(
+            graph, orientation="symmetric"
+        )
+
+
+class TestOperationCounts:
+    def test_sliced_does_less_work_on_sparse_graphs(self):
+        graph = generators.road_network(30, 30, seed=0)
+        counts = BitwiseCounts()
+        triangle_count_sliced(graph, counts=counts)
+        assert counts.and_operations < counts.dense_pair_operations
+        assert counts.computation_reduction_percent > 50.0
+
+    def test_counts_consistency(self):
+        graph = generators.erdos_renyi(100, 400, seed=1)
+        counts = BitwiseCounts()
+        triangles = triangle_count_sliced(graph, counts=counts)
+        assert counts.triangles == triangles
+        assert counts.edges_processed == graph.num_edges
+        assert counts.bitcount_operations == counts.and_operations
+
+    def test_prebuilt_slices_reused(self):
+        from repro.core.slicing import SlicedMatrix
+
+        graph = generators.erdos_renyi(60, 200, seed=2)
+        rows = SlicedMatrix.from_graph(graph, "upper")
+        cols = SlicedMatrix.from_graph(graph, "lower")
+        assert triangle_count_sliced(
+            graph, row_sliced=rows, col_sliced=cols
+        ) == triangle_count_forward(graph)
+
+    def test_relabelling_invariance(self):
+        graph = generators.powerlaw_cluster(150, 4, 0.6, seed=3)
+        relabelled = graph.relabel_by_degree()
+        assert triangle_count_sliced(relabelled) == triangle_count_sliced(graph)

@@ -1,0 +1,102 @@
+"""Tests for the tcim command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main, resolve_graph
+from repro.errors import ReproError
+from repro.graph.io import write_edge_list
+
+
+class TestResolveGraph:
+    def test_dataset_spec(self):
+        graph = resolve_graph("dataset:roadnet-pa@0.005")
+        assert graph.num_vertices > 0
+
+    def test_dataset_default_scale_is_full(self):
+        graph = resolve_graph("dataset:ego-facebook@0.1")
+        assert graph.num_vertices < 4039
+
+    def test_bad_scale(self):
+        with pytest.raises(ReproError, match="invalid scale"):
+            resolve_graph("dataset:roadnet-pa@fast")
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError):
+            resolve_graph("dataset:com-orkut")
+
+    def test_file_path(self, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert resolve_graph(str(path)) == paper_graph
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "com-LiveJournal" in output
+        assert "88,234" in output
+
+    def test_count(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["count", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "triangles (tcim): 2" in output
+
+    def test_count_methods(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        for method in ("sliced", "dense", "forward", "edge-iterator", "matmul"):
+            assert main(["count", str(path), "--method", method]) == 0
+            assert "triangles" in capsys.readouterr().out
+
+    def test_slice_stats(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["slice-stats", str(path), "--slice-bits", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "valid slice percentage" in output
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "dataset:roadnet-pa@0.005"]) == 0
+        output = capsys.readouterr().out
+        assert "modelled TCIM latency" in output
+        assert "cache hit %" in output
+
+    def test_device(self, capsys):
+        assert main(["device"]) == 0
+        output = capsys.readouterr().out
+        assert "R_P" in output
+        assert "625.0 ohm" in output
+
+    def test_validate(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["validate", str(path)]) == 0
+        assert "all implementations agree" in capsys.readouterr().out
+
+    def test_truss(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["truss", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "maximum trussness: 3" in output
+
+    def test_approx(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["approx", str(path), "--samples", "500"]) == 0
+        assert "estimate:" in capsys.readouterr().out
+
+    def test_slice_stats_with_ordering(self, capsys):
+        assert main(
+            ["slice-stats", "dataset:roadnet-pa@0.005", "--ordering", "bfs"]
+        ) == 0
+        assert "ordering=bfs" in capsys.readouterr().out
+
+    def test_error_path_returns_nonzero(self, capsys):
+        assert main(["count", "dataset:unknown-graph"]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,99 @@
+"""Tests for the dataset registry and the calibration of its stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paperdata
+from repro.errors import GraphError
+from repro.graph import datasets
+from repro.baselines.intersection import triangle_count_forward
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(datasets.SPECS) == set(paperdata.DATASET_ORDER)
+
+    def test_order_matches_paper(self):
+        assert datasets.list_datasets() == paperdata.DATASET_ORDER
+
+    def test_unknown_dataset(self):
+        with pytest.raises(GraphError, match="unknown dataset"):
+            datasets.get_dataset("com-orkut")
+
+    def test_published_stats_wired_through(self):
+        spec = datasets.get_dataset("ego-facebook")
+        assert spec.stats.num_vertices == 4039
+        assert spec.stats.num_edges == 88234
+        assert spec.stats.num_triangles == 1612010
+
+    def test_average_degree(self):
+        spec = datasets.get_dataset("roadnet-ca")
+        assert spec.average_degree == pytest.approx(2.816, abs=0.01)
+
+    def test_display_names(self):
+        assert datasets.get_dataset("com-lj").display_name == "com-LiveJournal"
+
+    def test_default_seed_stable(self):
+        spec = datasets.get_dataset("com-dblp")
+        assert spec.default_seed() == spec.default_seed()
+
+
+class TestSynthesis:
+    def test_deterministic(self):
+        a = datasets.synthesize("roadnet-pa", scale=0.01)
+        b = datasets.synthesize("roadnet-pa", scale=0.01)
+        assert a is b  # memoised
+
+    def test_scale_bounds(self):
+        with pytest.raises(GraphError):
+            datasets.synthesize("roadnet-pa", scale=0.0)
+        with pytest.raises(GraphError):
+            datasets.synthesize("roadnet-pa", scale=1.5)
+
+    def test_scale_shrinks_vertices(self):
+        small = datasets.synthesize("com-amazon", scale=0.01)
+        larger = datasets.synthesize("com-amazon", scale=0.03)
+        assert small.num_vertices < larger.num_vertices
+
+    def test_explicit_seed_changes_graph(self):
+        a = datasets.synthesize("roadnet-pa", scale=0.01, seed=1)
+        b = datasets.synthesize("roadnet-pa", scale=0.01, seed=2)
+        assert a != b
+
+
+@pytest.mark.parametrize("key", paperdata.DATASET_ORDER)
+def test_calibration_average_degree(key):
+    """Stand-ins must land within 25 % of the published average degree."""
+    spec = datasets.get_dataset(key)
+    scale = min(spec.default_bench_scale, 0.02 if spec.stats.num_vertices > 100000 else 1.0)
+    graph = datasets.synthesize(key, scale=scale)
+    measured = 2 * graph.num_edges / graph.num_vertices
+    assert measured == pytest.approx(spec.average_degree, rel=0.25)
+
+
+@pytest.mark.parametrize(
+    "key", ["ego-facebook", "email-enron", "com-dblp", "roadnet-pa", "com-lj"]
+)
+def test_calibration_triangle_density(key):
+    """Triangles-per-edge must match the published density within 3x.
+
+    (The slicing/caching behaviour TCIM exploits depends on this density,
+    so the stand-ins must be the right *kind* of graph, not just the right
+    size.)
+    """
+    spec = datasets.get_dataset(key)
+    scale = min(spec.default_bench_scale, 0.02 if spec.stats.num_vertices > 100000 else 0.2)
+    graph = datasets.synthesize(key, scale=scale)
+    measured = triangle_count_forward(graph) / graph.num_edges
+    published = spec.triangles_per_edge
+    assert measured > published / 3
+    assert measured < published * 3
+
+
+def test_road_family_has_far_fewer_triangles_than_social():
+    road = datasets.synthesize("roadnet-tx", scale=0.01)
+    social = datasets.synthesize("email-enron", scale=0.3)
+    road_density = triangle_count_forward(road) / road.num_edges
+    social_density = triangle_count_forward(social) / social.num_edges
+    assert social_density > 10 * road_density

@@ -1,0 +1,110 @@
+"""Tests for the 1T1R bit-cell and the READ/AND/OR sense amplifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.device.bitcell import BitCell, BitCellParams
+from repro.device.mtj import MTJDevice, MTJState
+from repro.device.params import MTJParameters
+from repro.device.sense_amp import SenseAmplifier
+
+
+class TestBitCell:
+    def test_path_resistance_includes_transistor(self):
+        cell = BitCell()
+        assert cell.path_resistance(MTJState.PARALLEL) == pytest.approx(
+            cell.mtj.resistance_parallel + cell.params.access_resistance_ohm
+        )
+
+    def test_read_current_distinguishes_states(self):
+        cell = BitCell()
+        assert cell.read_current(MTJState.PARALLEL) > cell.read_current(
+            MTJState.ANTI_PARALLEL
+        )
+
+    def test_write_voltage_supplies_path(self):
+        cell = BitCell()
+        assert cell.write_voltage_v() > cell.write_current_a * (
+            cell.mtj.resistance_parallel
+        )
+
+    def test_write_energy_exceeds_mtj_only(self):
+        cell = BitCell()
+        assert cell.write_energy_j() > cell.mtj.write_energy_j()
+
+    def test_read_energy_scales_with_time(self):
+        cell = BitCell()
+        assert cell.read_energy_j(2e-9) == pytest.approx(2 * cell.read_energy_j(1e-9))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(DeviceError):
+            BitCellParams(access_resistance_ohm=0.0)
+
+
+class TestSenseReferences:
+    def test_read_reference_between_states(self):
+        amplifier = SenseAmplifier()
+        r_p = amplifier.resistance_single["1"]
+        r_ap = amplifier.resistance_single["0"]
+        assert r_p < amplifier.reference_read_ohm < r_ap
+
+    def test_and_reference_in_paper_interval(self):
+        """R_ref-AND must lie in (R_P||P , R_P||AP) — Section IV-C."""
+        amplifier = SenseAmplifier()
+        r_pp = amplifier.resistance_pair(True, True)
+        r_pap = amplifier.resistance_pair(True, False)
+        assert r_pp < amplifier.reference_and_ohm < r_pap
+
+    def test_or_reference_below_both_zero(self):
+        amplifier = SenseAmplifier()
+        r_pap = amplifier.resistance_pair(True, False)
+        r_apap = amplifier.resistance_pair(False, False)
+        assert r_pap < amplifier.reference_or_ohm < r_apap
+
+    def test_pair_resistance_symmetric(self):
+        amplifier = SenseAmplifier()
+        assert amplifier.resistance_pair(True, False) == pytest.approx(
+            amplifier.resistance_pair(False, True)
+        )
+
+    def test_degenerate_tmr_rejected(self):
+        cell = BitCell(MTJDevice(MTJParameters(tmr=0.0)))
+        with pytest.raises(DeviceError):
+            SenseAmplifier(cell)
+
+
+class TestSensing:
+    @pytest.fixture
+    def amplifier(self) -> SenseAmplifier:
+        return SenseAmplifier()
+
+    def test_read_truth(self, amplifier):
+        assert amplifier.sense_read(True) is True
+        assert amplifier.sense_read(False) is False
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(False, False, False), (False, True, False), (True, False, False), (True, True, True)],
+    )
+    def test_and_truth_table(self, amplifier, a, b, expected):
+        assert amplifier.sense_and(a, b) is expected
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [(False, False, False), (False, True, True), (True, False, True), (True, True, True)],
+    )
+    def test_or_truth_table(self, amplifier, a, b, expected):
+        assert amplifier.sense_or(a, b) is expected
+
+    def test_margins_positive_for_table_i_device(self, amplifier):
+        margins = amplifier.margins()
+        assert margins.all_positive()
+        # Microamp-scale margins are what real SAs need.
+        assert margins.and_margin_a > 1e-7
+
+    def test_margins_shrink_with_lower_tmr(self):
+        strong = SenseAmplifier(BitCell(MTJDevice(MTJParameters(tmr=1.0))))
+        weak = SenseAmplifier(BitCell(MTJDevice(MTJParameters(tmr=0.3))))
+        assert weak.margins().and_margin_a < strong.margins().and_margin_a

@@ -1,0 +1,109 @@
+"""Tests for the LLG macrospin solver and its consistency with the
+analytic STT model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.device.llg import (
+    critical_current_llg,
+    solve_llg,
+    stt_field_a_per_m,
+    switching_time_llg,
+)
+from repro.device.mtj import MTJDevice, MTJState
+
+
+@pytest.fixture(scope="module")
+def device() -> MTJDevice:
+    return MTJDevice()
+
+
+class TestInputValidation:
+    def test_bad_duration(self, device):
+        with pytest.raises(DeviceError):
+            solve_llg(device, 1e-4, duration_s=-1.0)
+
+    def test_bad_time_step(self, device):
+        with pytest.raises(DeviceError):
+            solve_llg(device, 1e-4, time_step_s=0.0)
+
+    def test_bad_initial_angle(self, device):
+        with pytest.raises(DeviceError):
+            solve_llg(device, 1e-4, initial_angle_rad=2.0)
+
+
+class TestSwitchingDynamics:
+    def test_no_current_no_switch(self, device):
+        result = solve_llg(device, current_a=0.0, duration_s=5e-9)
+        assert not result.switched
+        # Damping must relax the tilt back towards +z.
+        assert result.final_magnetization[2] > 0.99
+
+    def test_subcritical_current_no_switch(self, device):
+        result = solve_llg(device, current_a=0.8 * device.critical_current_a)
+        assert not result.switched
+
+    def test_overdriven_current_switches(self, device):
+        result = solve_llg(device, current_a=2.0 * device.critical_current_a)
+        assert result.switched
+        assert result.final_magnetization[2] < -0.4
+
+    def test_switching_time_nanoseconds(self, device):
+        time_llg = switching_time_llg(device, 1.5 * device.critical_current_a)
+        assert 1e-10 < time_llg < 3e-8
+
+    def test_switching_time_monotonic(self, device):
+        slow = switching_time_llg(device, 1.3 * device.critical_current_a)
+        fast = switching_time_llg(device, 2.5 * device.critical_current_a)
+        assert fast < slow
+
+    def test_no_switch_raises_in_time_helper(self, device):
+        with pytest.raises(DeviceError, match="no switching"):
+            switching_time_llg(device, 0.1 * device.critical_current_a, duration_s=2e-9)
+
+    def test_magnetization_stays_normalised(self, device):
+        result = solve_llg(device, current_a=1.5 * device.critical_current_a)
+        m = result.final_magnetization
+        assert m[0] ** 2 + m[1] ** 2 + m[2] ** 2 == pytest.approx(1.0, abs=1e-9)
+
+    def test_trajectory_recorded(self, device):
+        result = solve_llg(device, current_a=2.0 * device.critical_current_a)
+        assert len(result.trajectory) >= 2
+        assert result.trajectory[0][1] > 0.9  # starts near +z
+
+    def test_target_parallel_direction(self, device):
+        """Driving towards P (+z) from the +z start: no switch, stays up."""
+        result = solve_llg(
+            device,
+            current_a=2.0 * device.critical_current_a,
+            target_state=MTJState.PARALLEL,
+            duration_s=5e-9,
+        )
+        assert not result.switched
+        assert result.final_magnetization[2] > 0.9
+
+
+class TestAnalyticConsistency:
+    def test_llg_threshold_matches_analytic_critical_current(self, device):
+        """The emergent LLG instability must sit within 10 % of I_c0 =
+        4 e alpha E_b / (hbar eta) — the two models share no code path, so
+        this is a genuine physics cross-check."""
+        threshold = critical_current_llg(device)
+        assert threshold == pytest.approx(device.critical_current_a, rel=0.10)
+
+    def test_llg_time_same_order_as_analytic(self, device):
+        current = 1.8 * device.critical_current_a
+        analytic = device.switching_time_s(current)
+        dynamic = switching_time_llg(device, current)
+        assert dynamic == pytest.approx(analytic, rel=3.0)
+
+    def test_stt_field_linear_in_current(self, device):
+        assert stt_field_a_per_m(device, 2e-4) == pytest.approx(
+            2 * stt_field_a_per_m(device, 1e-4)
+        )
+
+    def test_critical_bracket_failure(self, device):
+        with pytest.raises(DeviceError, match="bracket"):
+            critical_current_llg(device, high_a=1e-6)

@@ -1,0 +1,129 @@
+"""Tests for the MTJ compact model (Brinkman transport, STT energetics)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.device.mtj import MTJDevice, MTJState
+from repro.device.params import MTJParameters
+
+
+@pytest.fixture
+def device() -> MTJDevice:
+    return MTJDevice()
+
+
+class TestParameters:
+    def test_table_i_defaults(self):
+        params = MTJParameters()
+        assert params.surface_length_m == 40e-9
+        assert params.surface_width_m == 40e-9
+        assert params.spin_hall_angle == 0.3
+        assert params.resistance_area_product_ohm_m2 == 1e-12
+        assert params.oxide_thickness_m == 0.82e-9
+        assert params.tmr == 1.0
+        assert params.temperature_k == 300.0
+
+    def test_area_and_volume(self):
+        params = MTJParameters()
+        assert params.surface_area_m2 == pytest.approx(1.6e-15)
+        assert params.free_layer_volume_m3 == pytest.approx(1.6e-15 * 1.3e-9)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DeviceError):
+            MTJParameters(surface_length_m=-1e-9)
+        with pytest.raises(DeviceError):
+            MTJParameters(tmr=-0.5)
+        with pytest.raises(DeviceError):
+            MTJParameters(write_overdrive=0.9)
+
+
+class TestResistance:
+    def test_parallel_resistance_from_ra(self, device):
+        # RA = 1e-12 ohm*m^2 over 40x40 nm -> 625 ohm.
+        assert device.resistance_parallel == pytest.approx(625.0)
+
+    def test_antiparallel_is_tmr_scaled(self, device):
+        assert device.resistance_antiparallel == pytest.approx(1250.0)
+
+    def test_brinkman_droop_with_bias(self, device):
+        at_zero = device.resistance(MTJState.PARALLEL, 0.0)
+        at_bias = device.resistance(MTJState.PARALLEL, 0.4)
+        assert at_bias < at_zero  # conductance rises quadratically with V
+
+    def test_tmr_rolloff(self, device):
+        assert device.tmr_at_bias(0.0) == pytest.approx(1.0)
+        assert device.tmr_at_bias(0.5) == pytest.approx(0.5)  # half-bias point
+        assert device.tmr_at_bias(1.0) < device.tmr_at_bias(0.2)
+
+    def test_states_separated_at_read_bias(self, device):
+        read_v = device.params.read_voltage_v
+        assert device.resistance(MTJState.ANTI_PARALLEL, read_v) > device.resistance(
+            MTJState.PARALLEL, read_v
+        )
+
+    def test_read_current_higher_for_parallel(self, device):
+        assert device.read_current(MTJState.PARALLEL) > device.read_current(
+            MTJState.ANTI_PARALLEL
+        )
+
+
+class TestEnergetics:
+    def test_thermal_stability_retention_grade(self, device):
+        # A storage-class PMA cell needs Delta >> 40.
+        assert device.thermal_stability > 40
+
+    def test_critical_current_magnitude(self, device):
+        # STT critical currents for 40 nm cells are tens to hundreds of uA.
+        assert 1e-5 < device.critical_current_a < 1e-3
+
+    def test_no_switching_below_critical(self, device):
+        with pytest.raises(DeviceError, match="critical"):
+            device.switching_time_s(0.5 * device.critical_current_a)
+
+    def test_switching_time_monotonic_in_current(self, device):
+        i_c = device.critical_current_a
+        slow = device.switching_time_s(1.2 * i_c)
+        fast = device.switching_time_s(3.0 * i_c)
+        assert fast < slow
+
+    def test_switching_time_nanosecond_scale(self, device):
+        assert 1e-10 < device.write_pulse_s < 1e-7
+
+    def test_write_energy_positive_and_picojoule_scale(self, device):
+        energy = device.write_energy_j()
+        assert 1e-15 < energy < 1e-10
+
+    def test_write_energy_grows_with_duration(self, device):
+        current = device.write_current_a
+        assert device.write_energy_j(current, 2e-9) > device.write_energy_j(
+            current, 1e-9
+        )
+
+    def test_higher_damping_raises_critical_current(self):
+        low = MTJDevice(MTJParameters(gilbert_damping=0.01))
+        high = MTJDevice(MTJParameters(gilbert_damping=0.05))
+        assert high.critical_current_a > low.critical_current_a
+
+    def test_state_from_bit_convention(self):
+        # '1' must map to the low-resistance parallel state (AND sensing).
+        assert MTJState.from_bit(True) is MTJState.PARALLEL
+        assert MTJState.from_bit(False) is MTJState.ANTI_PARALLEL
+
+
+class TestScaling:
+    def test_larger_junction_lower_resistance(self):
+        base = MTJDevice()
+        params = dataclasses.replace(
+            MTJParameters(), surface_length_m=80e-9, surface_width_m=80e-9
+        )
+        big = MTJDevice(params)
+        assert big.resistance_parallel < base.resistance_parallel
+
+    def test_thinner_free_layer_lower_barrier(self):
+        base = MTJDevice()
+        thin = MTJDevice(MTJParameters(free_layer_thickness_m=1.0e-9))
+        assert thin.energy_barrier_j < base.energy_barrier_j

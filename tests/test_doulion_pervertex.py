@@ -1,0 +1,90 @@
+"""Tests for DOULION sparsification and per-vertex bitwise counting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.analysis.metrics import triangles_per_vertex
+from repro.baselines.doulion import sparsify, triangle_count_doulion
+from repro.baselines.intersection import triangle_count_forward
+from repro.core.accelerator import TCIMAccelerator
+from repro.core.bitwise import triangles_per_vertex_sliced
+from repro.graph import generators
+
+
+class TestSparsify:
+    def test_keep_all(self, paper_graph):
+        assert sparsify(paper_graph, 1.0) == paper_graph
+
+    def test_invalid_probability(self, paper_graph):
+        with pytest.raises(GraphError):
+            sparsify(paper_graph, 0.0)
+        with pytest.raises(GraphError):
+            sparsify(paper_graph, 1.5)
+
+    def test_keeps_roughly_p_edges(self):
+        graph = generators.erdos_renyi(200, 2000, seed=1)
+        sparse = sparsify(graph, 0.5, seed=2)
+        assert 800 <= sparse.num_edges <= 1200
+
+    def test_deterministic(self, k5):
+        assert sparsify(k5, 0.5, seed=3) == sparsify(k5, 0.5, seed=3)
+
+
+class TestDoulion:
+    def test_p_one_is_exact(self, k5):
+        result = triangle_count_doulion(k5, keep_probability=1.0)
+        assert result.estimate == 10.0
+        assert result.edge_reduction == 0.0
+
+    def test_unbiased_over_seeds(self):
+        """Average of many estimates must approach the exact count."""
+        graph = generators.powerlaw_cluster(200, 4, 0.6, seed=4)
+        exact = triangle_count_forward(graph)
+        estimates = [
+            triangle_count_doulion(graph, 0.6, seed=s).estimate for s in range(30)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean == pytest.approx(exact, rel=0.15)
+
+    def test_composes_with_accelerator(self):
+        graph = generators.erdos_renyi(150, 900, seed=5)
+        result = triangle_count_doulion(
+            graph,
+            0.7,
+            seed=6,
+            counter=lambda g: TCIMAccelerator().run(g).triangles,
+        )
+        exact = triangle_count_forward(graph)
+        assert result.estimate == pytest.approx(exact, rel=0.6)
+
+    def test_sparsification_reduces_work(self):
+        graph = generators.powerlaw_cluster(200, 5, 0.6, seed=7)
+        full = TCIMAccelerator().run(graph)
+        sparse = TCIMAccelerator().run(sparsify(graph, 0.3, seed=8))
+        assert sparse.events.and_operations < full.events.and_operations
+
+
+class TestPerVertexBitwise:
+    def test_paper_graph(self, paper_graph):
+        counts = triangles_per_vertex_sliced(paper_graph, slice_bits=8)
+        assert counts.tolist() == [1, 2, 2, 1]
+
+    def test_matches_intersection_reference(self, random_graphs):
+        for graph in random_graphs[:4]:
+            bitwise = triangles_per_vertex_sliced(graph, slice_bits=16)
+            reference = triangles_per_vertex(graph)
+            assert np.array_equal(bitwise, reference)
+
+    def test_sums_to_three_triangles(self):
+        graph = generators.powerlaw_cluster(150, 4, 0.7, seed=9)
+        counts = triangles_per_vertex_sliced(graph)
+        assert int(counts.sum()) == 3 * triangle_count_forward(graph)
+
+    def test_slice_size_invariant(self):
+        graph = generators.erdos_renyi(100, 400, seed=10)
+        small = triangles_per_vertex_sliced(graph, slice_bits=8)
+        large = triangles_per_vertex_sliced(graph, slice_bits=128)
+        assert np.array_equal(small, large)

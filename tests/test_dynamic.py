@@ -1,0 +1,121 @@
+"""Tests for the dynamic (incremental) triangle counter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.baselines.intersection import triangle_count_forward
+from repro.core.dynamic import DynamicTriangleCounter
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+
+class TestBasics:
+    def test_builds_triangle(self):
+        counter = DynamicTriangleCounter(3)
+        assert counter.insert(0, 1) == 0
+        assert counter.insert(1, 2) == 0
+        assert counter.insert(0, 2) == 1
+        assert counter.triangles == 1
+
+    def test_delete_opens_triangle(self):
+        counter = DynamicTriangleCounter(3, generators.complete_graph(3))
+        assert counter.triangles == 1
+        assert counter.delete(0, 1) == 1
+        assert counter.triangles == 0
+
+    def test_duplicate_insert_noop(self):
+        counter = DynamicTriangleCounter(3)
+        counter.insert(0, 1)
+        assert counter.insert(0, 1) == 0
+        assert counter.num_edges == 1
+
+    def test_self_loop_noop(self):
+        counter = DynamicTriangleCounter(3)
+        assert counter.insert(1, 1) == 0
+        assert counter.num_edges == 0
+
+    def test_delete_missing_noop(self):
+        counter = DynamicTriangleCounter(3)
+        assert counter.delete(0, 1) == 0
+
+    def test_vertex_bounds(self):
+        counter = DynamicTriangleCounter(3)
+        with pytest.raises(GraphError):
+            counter.insert(0, 3)
+        with pytest.raises(GraphError):
+            counter.delete(-1, 0)
+
+    def test_seed_graph(self, paper_graph):
+        counter = DynamicTriangleCounter(4, paper_graph)
+        assert counter.triangles == 2
+        assert counter.num_edges == 5
+
+    def test_seed_too_large(self, paper_graph):
+        with pytest.raises(GraphError):
+            DynamicTriangleCounter(2, paper_graph)
+
+    def test_has_edge(self):
+        counter = DynamicTriangleCounter(3)
+        counter.insert(0, 2)
+        assert counter.has_edge(2, 0)
+        assert not counter.has_edge(0, 1)
+
+
+class TestConsistencyWithRecount:
+    def test_insert_stream_matches_recount(self):
+        graph = generators.powerlaw_cluster(150, 4, 0.6, seed=1)
+        counter = DynamicTriangleCounter(graph.num_vertices)
+        for u, v in graph.edges():
+            counter.insert(u, v)
+        assert counter.triangles == triangle_count_forward(graph)
+        assert counter.to_graph() == graph
+
+    def test_mixed_stream_matches_recount(self):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        counter = DynamicTriangleCounter(40)
+        reference: set[tuple[int, int]] = set()
+        for _ in range(600):
+            u, v = int(rng.integers(0, 40)), int(rng.integers(0, 40))
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in reference and rng.random() < 0.5:
+                counter.delete(u, v)
+                reference.discard(edge)
+            else:
+                counter.insert(u, v)
+                reference.add(edge)
+        expected = triangle_count_forward(Graph(40, list(reference)))
+        assert counter.triangles == expected
+
+    def test_apply_batch_delta(self, paper_graph):
+        counter = DynamicTriangleCounter(4, paper_graph)
+        delta = counter.apply(deletions=[(1, 2)])
+        assert delta == -2  # (1,2) supports both triangles
+        assert counter.triangles == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)), max_size=80))
+    def test_insertion_stream_property(self, edges):
+        counter = DynamicTriangleCounter(15)
+        for u, v in edges:
+            counter.insert(u, v)
+        assert counter.triangles == triangle_count_forward(Graph(15, edges))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=50))
+    def test_insert_then_delete_all_returns_to_zero(self, edges):
+        counter = DynamicTriangleCounter(12)
+        inserted = [
+            (u, v) for u, v in edges if u != v and counter.insert(u, v) >= 0
+        ]
+        for u, v in inserted:
+            counter.delete(u, v)
+        assert counter.triangles == 0
+        assert counter.num_edges == 0

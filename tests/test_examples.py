@@ -1,0 +1,57 @@
+"""Smoke tests: every example script must run end-to-end.
+
+Each example is executed in a subprocess at a reduced scale so the whole
+module stays under a minute; the tests assert both a zero exit code and a
+sentinel string from the script's final output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize(
+    "script,args,sentinel",
+    [
+        ("quickstart.py", (), "accumulated BitCount = 2 triangles"),
+        ("social_network_analysis.py", ("0.05",), "transitivity"),
+        ("road_network_sweep.py", ("0.005",), "Array-capacity sweep"),
+        ("device_characterization.py", (), "STT switching characteristic"),
+        ("full_pipeline.py", ("roadnet-tx", "0.005"), "agree"),
+        ("link_prediction.py", ("0.05",), "hit rate"),
+        ("streaming_updates.py", ("0.005",), "maximum trussness"),
+    ],
+)
+def test_example_runs(script, args, sentinel):
+    output = _run(script, *args)
+    assert sentinel in output
+
+
+def test_quickstart_all_engines_agree():
+    output = _run("quickstart.py")
+    # Every implementation row in the table must report 2 triangles.
+    lines = [
+        line
+        for line in output.splitlines()
+        if line.strip().endswith(" 2") or line.rstrip().endswith("2")
+    ]
+    assert "mapped engine" in output
+    assert "2 triangles" in output
+    assert lines  # the agreement table rendered

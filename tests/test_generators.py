@@ -1,0 +1,191 @@
+"""Tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.baselines.intersection import triangle_count_forward
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        graph = generators.erdos_renyi(50, 200, seed=1)
+        assert graph.num_vertices == 50
+        assert graph.num_edges == 200
+
+    def test_deterministic(self):
+        assert generators.erdos_renyi(30, 80, seed=7) == generators.erdos_renyi(
+            30, 80, seed=7
+        )
+
+    def test_different_seeds_differ(self):
+        assert generators.erdos_renyi(30, 80, seed=1) != generators.erdos_renyi(
+            30, 80, seed=2
+        )
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            generators.erdos_renyi(4, 7)
+
+    def test_full_density(self):
+        graph = generators.erdos_renyi(6, 15, seed=0)
+        assert graph.num_edges == 15  # = C(6,2): the complete graph
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        graph = generators.barabasi_albert(100, 3, seed=0)
+        assert graph.num_vertices == 100
+        # (n - m) new vertices each add m edges.
+        assert graph.num_edges == 97 * 3
+
+    def test_degree_skew(self):
+        graph = generators.barabasi_albert(300, 2, seed=0)
+        degrees = np.sort(graph.degrees())
+        assert degrees[-1] > 4 * np.median(degrees)
+
+    def test_invalid_m(self):
+        with pytest.raises(GraphError):
+            generators.barabasi_albert(10, 0)
+        with pytest.raises(GraphError):
+            generators.barabasi_albert(10, 10)
+
+
+class TestPowerlawCluster:
+    def test_triangle_probability_raises_clustering(self):
+        flat = generators.powerlaw_cluster(300, 3, 0.0, seed=4)
+        clustered = generators.powerlaw_cluster(300, 3, 0.9, seed=4)
+        assert triangle_count_forward(clustered) > triangle_count_forward(flat)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            generators.powerlaw_cluster(10, 2, 1.5)
+
+    def test_deterministic(self):
+        a = generators.powerlaw_cluster(100, 3, 0.5, seed=9)
+        b = generators.powerlaw_cluster(100, 3, 0.5, seed=9)
+        assert a == b
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_ring(self):
+        graph = generators.watts_strogatz(20, 4, 0.0, seed=0)
+        assert graph.num_edges == 40
+        assert set(graph.degrees().tolist()) == {4}
+
+    def test_rewiring_preserves_edge_count_roughly(self):
+        graph = generators.watts_strogatz(100, 4, 0.3, seed=0)
+        assert graph.num_edges >= 190
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(GraphError):
+            generators.watts_strogatz(20, 3, 0.1)
+
+
+class TestRmat:
+    def test_vertex_count_is_power_of_two(self):
+        graph = generators.rmat(8, 1000, seed=0)
+        assert graph.num_vertices == 256
+
+    def test_skewed_partition_concentrates_edges(self):
+        graph = generators.rmat(8, 1000, seed=0)
+        degrees = np.sort(graph.degrees())
+        assert degrees[-1] >= 4 * max(np.median(degrees), 1)
+
+    def test_bad_partition_rejected(self):
+        with pytest.raises(GraphError):
+            generators.rmat(5, 10, partition=(0.5, 0.5, 0.5, 0.5))
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(GraphError):
+            generators.rmat(0, 10)
+
+
+class TestRoadNetwork:
+    def test_low_degree(self):
+        # The roadNet-calibrated parameters (see datasets._build_road).
+        graph = generators.road_network(40, 40, removal_probability=0.30, seed=0)
+        average_degree = 2 * graph.num_edges / graph.num_vertices
+        assert 2.0 < average_degree < 3.5
+
+    def test_low_triangle_density(self):
+        graph = generators.road_network(40, 40, seed=0)
+        triangles = triangle_count_forward(graph)
+        assert triangles < 0.1 * graph.num_edges
+
+    def test_pure_grid_triangle_free(self):
+        graph = generators.road_network(
+            10, 10, shortcut_probability=0.0, removal_probability=0.0, seed=0
+        )
+        assert triangle_count_forward(graph) == 0
+        assert graph.num_edges == 2 * 10 * 9
+
+
+class TestCommunityCliques:
+    def test_triangle_rich(self):
+        graph = generators.community_cliques(200, 60, mean_community_size=4.0, seed=0)
+        assert triangle_count_forward(graph) > 0.3 * graph.num_edges
+
+    def test_fixed_sizes(self):
+        graph = generators.community_cliques(
+            500, 10, mean_community_size=6.0, size_distribution="fixed", seed=0
+        )
+        # 10 disjoint-ish K6 cliques: close to 10 * C(6,2) edges.
+        assert graph.num_edges <= 10 * 15
+        assert graph.num_edges >= 0.8 * 10 * 15
+
+    def test_unknown_distribution(self):
+        with pytest.raises(GraphError):
+            generators.community_cliques(10, 2, size_distribution="zipf")
+
+    def test_background_edges_added(self):
+        quiet = generators.community_cliques(300, 20, seed=3)
+        noisy = generators.community_cliques(300, 20, background_edges=200, seed=3)
+        assert noisy.num_edges > quiet.num_edges
+
+
+class TestEgoNetwork:
+    def test_high_density(self):
+        graph = generators.ego_network(400, num_circles=8, seed=0)
+        average_degree = 2 * graph.num_edges / graph.num_vertices
+        assert average_degree > 10
+
+    def test_triangle_rich(self):
+        graph = generators.ego_network(400, num_circles=8, seed=0)
+        assert triangle_count_forward(graph) > graph.num_edges
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            generators.ego_network(10, intra_circle_probability=0.0)
+
+
+class TestFixtures:
+    def test_complete_graph(self):
+        k6 = generators.complete_graph(6)
+        assert k6.num_edges == 15
+        assert triangle_count_forward(k6) == 20
+
+    def test_cycle_graph(self):
+        assert triangle_count_forward(generators.cycle_graph(3)) == 1
+        assert triangle_count_forward(generators.cycle_graph(5)) == 0
+
+    def test_path_and_star_triangle_free(self):
+        assert triangle_count_forward(generators.path_graph(10)) == 0
+        assert triangle_count_forward(generators.star_graph(10)) == 0
+
+    def test_bipartite_triangle_free(self):
+        graph = generators.complete_bipartite(5, 7)
+        assert graph.num_edges == 35
+        assert triangle_count_forward(graph) == 0
+
+    def test_triangle_free_random(self):
+        graph = generators.triangle_free_graph(40, 100, seed=2)
+        assert graph.num_edges == 100
+        assert triangle_count_forward(graph) == 0
+
+    def test_triangle_free_rejects_overfull(self):
+        with pytest.raises(GraphError):
+            generators.triangle_free_graph(4, 100)

@@ -1,0 +1,115 @@
+"""End-to-end integration tests across all layers of the reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paperdata
+from repro.analysis.metrics import transitivity, wedge_count
+from repro.analysis.validation import validate_implementations
+from repro.arch.perf import (
+    FpgaReferenceModel,
+    GraphXCpuModel,
+    SoftwareSlicedModel,
+    default_pim_model,
+)
+from repro.baselines.approximate import triangle_count_wedge_sampling
+from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
+from repro.core.slicing import slice_statistics
+from repro.graph import datasets
+from repro.memory.mapped import MappedTCIMEngine
+from repro.memory.nvsim import ArrayOrganization
+
+
+TINY_SCALES = {
+    "ego-facebook": 0.15,
+    "email-enron": 0.03,
+    "com-amazon": 0.004,
+    "com-dblp": 0.004,
+    "com-youtube": 0.001,
+    "roadnet-pa": 0.001,
+    "roadnet-tx": 0.001,
+    "roadnet-ca": 0.0006,
+    "com-lj": 0.0004,
+}
+
+
+@pytest.mark.parametrize("key", paperdata.DATASET_ORDER)
+def test_every_dataset_family_counts_consistently(key):
+    """Tiny copy of every dataset through the full validation battery."""
+    graph = datasets.synthesize(key, scale=TINY_SCALES[key])
+    results = validate_implementations(graph)
+    assert len(set(results.values())) == 1
+
+
+@pytest.mark.parametrize("key", ["ego-facebook", "roadnet-pa", "com-dblp"])
+def test_mapped_engine_matches_accelerator_per_family(key):
+    graph = datasets.synthesize(key, scale=TINY_SCALES[key])
+    organization = ArrayOrganization(
+        banks=1, mats_per_bank=2, subarrays_per_mat=2,
+        rows_per_subarray=256, cols_per_subarray=512,
+    )
+    mapped = MappedTCIMEngine(organization).run(graph)
+    statistical = TCIMAccelerator().run(graph)
+    assert mapped.triangles == statistical.triangles
+    assert mapped.and_operations == statistical.events.and_operations
+
+
+def test_performance_stack_produces_table5_ordering():
+    """Device -> array -> behavioural stack: TCIM < w/o PIM < CPU."""
+    graph = datasets.synthesize("email-enron", scale=0.1)
+    result = TCIMAccelerator().run(graph)
+    pim_seconds = default_pim_model().evaluate(result.events).latency_s
+    software_seconds = SoftwareSlicedModel().evaluate_seconds(result.events)
+    graphx_seconds = GraphXCpuModel().evaluate_seconds(graph.num_edges, 1e6)
+    assert 0 < pim_seconds < software_seconds < graphx_seconds
+
+
+def test_energy_stack_beats_fpga_reference():
+    """Fig. 6 direction: TCIM system energy below FPGA at published runtime."""
+    graph = datasets.synthesize("email-enron", scale=0.1)
+    result = TCIMAccelerator().run(graph)
+    report = default_pim_model().evaluate(result.events)
+    # FPGA energy for a comparable-runtime job dwarfs the TCIM system energy.
+    fpga = FpgaReferenceModel().energy_j(report.latency_s * 20)
+    assert report.system_energy_j < fpga
+
+
+def test_slicing_claims_hold_on_road_family():
+    """>=99 % computation reduction on a sparse road network (Table IV).
+
+    The reduction grows with graph size (valid pairs stay ~constant per
+    edge while dense pairs grow with n/|S|), so even this modest scale
+    clears 99 %; the full-size graphs sit at 99.99 % (see EXPERIMENTS.md).
+    """
+    graph = datasets.synthesize("roadnet-tx", scale=0.01)
+    result = TCIMAccelerator().run(graph)
+    assert result.events.computation_reduction_percent > 99.0
+    stats = slice_statistics(graph)
+    assert stats.valid_percent < 1.0
+
+
+def test_transitivity_pipeline_on_accelerator_output():
+    """The motivating use-case: clustering metrics from the TC result."""
+    graph = datasets.synthesize("ego-facebook", scale=0.15)
+    result = TCIMAccelerator().run(graph)
+    ratio = transitivity(graph, result.triangles)
+    assert 0.0 < ratio <= 1.0
+    assert wedge_count(graph) > 0
+
+
+def test_approximate_counter_brackets_accelerator():
+    """Wedge sampling must agree with the exact accelerator count."""
+    graph = datasets.synthesize("email-enron", scale=0.05)
+    exact = TCIMAccelerator().run(graph).triangles
+    approx = triangle_count_wedge_sampling(graph, samples=30_000, seed=11)
+    assert abs(approx.estimate - exact) <= 3 * approx.half_interval + 1
+
+
+def test_scaled_array_preserves_count_under_pressure():
+    """Shrinking the array to force exchanges never alters the count."""
+    graph = datasets.synthesize("com-dblp", scale=0.01)
+    comfortable = TCIMAccelerator(AcceleratorConfig(array_bytes=1 << 22)).run(graph)
+    squeezed = TCIMAccelerator(AcceleratorConfig(array_bytes=1 << 13)).run(graph)
+    assert comfortable.triangles == squeezed.triangles
+    assert squeezed.cache_stats.exchanges >= comfortable.cache_stats.exchanges

@@ -1,0 +1,96 @@
+"""Tests for SNAP edge-list and npz graph I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    load_graph,
+    read_edge_list,
+    read_npz,
+    write_edge_list,
+    write_npz,
+)
+
+
+SNAP_SAMPLE = """\
+# Directed graph (each unordered pair of nodes is saved once)
+# Nodes: 4 Edges: 5
+0\t1
+0\t2
+1\t2
+1\t3
+2\t3
+"""
+
+
+class TestEdgeListParsing:
+    def test_parse_snap_sample(self):
+        graph = read_edge_list(io.StringIO(SNAP_SAMPLE))
+        assert graph.num_vertices == 4
+        assert graph.num_edges == 5
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n% other comment\n\n0 1\n"
+        graph = read_edge_list(io.StringIO(text))
+        assert graph.num_edges == 1
+
+    def test_non_contiguous_ids_compacted(self):
+        text = "100 200\n200 4000\n"
+        graph = read_edge_list(io.StringIO(text))
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_duplicate_and_reverse_edges_merged(self):
+        text = "0 1\n1 0\n0 1\n"
+        graph = read_edge_list(io.StringIO(text))
+        assert graph.num_edges == 1
+
+    def test_empty_stream(self):
+        graph = read_edge_list(io.StringIO(""))
+        assert graph.num_vertices == 0
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(io.StringIO("0\n"))
+
+    def test_non_integer_raises(self):
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edge_list(io.StringIO("a b\n"))
+
+
+class TestRoundtrips:
+    def test_edge_list_roundtrip(self, tmp_path, paper_graph):
+        path = tmp_path / "graph.txt"
+        write_edge_list(paper_graph, path, header="paper graph")
+        assert read_edge_list(path) == paper_graph
+
+    def test_npz_roundtrip(self, tmp_path, paper_graph):
+        path = tmp_path / "graph.npz"
+        write_npz(paper_graph, path)
+        assert read_npz(path) == paper_graph
+
+    def test_npz_missing_field(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, wrong_field=np.arange(3))
+        with pytest.raises(GraphFormatError):
+            read_npz(path)
+
+    def test_load_graph_dispatch(self, tmp_path, paper_graph):
+        text_path = tmp_path / "g.txt"
+        npz_path = tmp_path / "g.npz"
+        write_edge_list(paper_graph, text_path)
+        write_npz(paper_graph, npz_path)
+        assert load_graph(text_path) == paper_graph
+        assert load_graph(npz_path) == paper_graph
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        write_npz(Graph(0), path)
+        assert read_npz(path).num_vertices == 0

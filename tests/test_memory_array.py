@@ -1,0 +1,140 @@
+"""Tests for the functional computational array (multi-row activation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.device.sense_amp import SenseAmplifier
+from repro.memory.array import ComputationalArray, SliceAddress, SubArray
+from repro.memory.nvsim import ArrayOrganization
+
+
+SMALL_ORG = ArrayOrganization(
+    banks=1, mats_per_bank=1, subarrays_per_mat=2,
+    rows_per_subarray=8, cols_per_subarray=128,
+)
+
+
+class TestSubArray:
+    def test_rejects_single_row(self):
+        with pytest.raises(ArchitectureError):
+            SubArray(1, 64)
+
+    def test_rejects_unaligned_cols(self):
+        with pytest.raises(ArchitectureError):
+            SubArray(4, 63)
+
+    def test_write_read_roundtrip(self):
+        sub = SubArray(4, 64)
+        payload = np.arange(8, dtype=np.uint8)
+        sub.write_bits(2, 0, payload)
+        assert np.array_equal(sub.read_bits(2, 0, 64), payload)
+
+    def test_and_rows_is_bitwise_and(self):
+        sub = SubArray(4, 64)
+        sub.write_bits(0, 0, np.array([0b1100] + [0] * 7, dtype=np.uint8))
+        sub.write_bits(1, 0, np.array([0b1010] + [0] * 7, dtype=np.uint8))
+        result = sub.and_rows(0, 1, 0, 64)
+        assert result[0] == 0b1000
+
+    def test_and_same_row_rejected(self):
+        sub = SubArray(4, 64)
+        with pytest.raises(ArchitectureError, match="distinct"):
+            sub.and_rows(1, 1, 0, 64)
+
+    def test_analog_path_agrees(self):
+        sub = SubArray(4, 32, sense_amplifier=SenseAmplifier())
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, 256, size=4, dtype=np.uint8)
+        b = rng.integers(0, 256, size=4, dtype=np.uint8)
+        sub.write_bits(0, 0, a)
+        sub.write_bits(1, 0, b)
+        assert np.array_equal(sub.and_rows(0, 1, 0, 32), a & b)
+
+    def test_span_bounds(self):
+        sub = SubArray(4, 64)
+        with pytest.raises(ArchitectureError):
+            sub.read_bits(0, 32, 64)
+        with pytest.raises(ArchitectureError):
+            sub.read_bits(9, 0, 8)
+
+    def test_clear_row(self):
+        sub = SubArray(4, 64)
+        sub.write_bits(0, 0, np.full(8, 0xFF, dtype=np.uint8))
+        sub.clear_row(0)
+        assert sub.read_bits(0, 0, 64).sum() == 0
+
+
+class TestComputationalArray:
+    def test_geometry(self):
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        assert array.slots_per_row == 2
+        assert array.num_lanes == 4
+        assert array.rows_per_lane == 8
+        assert array.capacity_slices == 32
+
+    def test_slice_must_fit(self):
+        with pytest.raises(ArchitectureError):
+            ComputationalArray(SMALL_ORG, slice_bits=256)
+
+    def test_lane_addressing(self):
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        address = array.lane_address(3, 5)
+        assert address.subarray == 1
+        assert address.slot == 1
+        assert address.row == 5
+        assert address.lane == (1, 1)
+
+    def test_lane_bounds(self):
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        with pytest.raises(ArchitectureError):
+            array.lane_address(4, 0)
+        with pytest.raises(ArchitectureError):
+            array.lane_address(0, 8)
+
+    def test_slice_roundtrip(self):
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        address = array.lane_address(2, 1)
+        payload = np.arange(8, dtype=np.uint8)
+        array.write_slice(address, payload)
+        assert np.array_equal(array.read_slice(address), payload)
+
+    def test_payload_size_enforced(self):
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        with pytest.raises(ArchitectureError):
+            array.write_slice(array.lane_address(0, 0), np.zeros(4, dtype=np.uint8))
+
+    def test_and_requires_same_lane(self):
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        first = array.lane_address(0, 0)
+        other_lane = array.lane_address(1, 1)
+        with pytest.raises(ArchitectureError, match="lane"):
+            array.and_slices(first, other_lane)
+
+    def test_and_slices_functional(self):
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        a_addr = array.lane_address(1, 0)
+        b_addr = array.lane_address(1, 3)
+        a = np.array([0xF0] * 8, dtype=np.uint8)
+        b = np.array([0x3C] * 8, dtype=np.uint8)
+        array.write_slice(a_addr, a)
+        array.write_slice(b_addr, b)
+        assert np.array_equal(array.and_slices(a_addr, b_addr), a & b)
+
+    def test_clear_slice(self):
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        address = array.lane_address(0, 0)
+        array.write_slice(address, np.full(8, 0xFF, dtype=np.uint8))
+        array.clear_slice(address)
+        assert array.read_slice(address).sum() == 0
+
+    def test_slots_isolated(self):
+        """Writing slot 1 must not disturb slot 0 of the same row."""
+        array = ComputationalArray(SMALL_ORG, slice_bits=64)
+        slot0 = SliceAddress(subarray=0, row=0, slot=0)
+        slot1 = SliceAddress(subarray=0, row=0, slot=1)
+        array.write_slice(slot0, np.full(8, 0xAA, dtype=np.uint8))
+        array.write_slice(slot1, np.full(8, 0x55, dtype=np.uint8))
+        assert np.array_equal(array.read_slice(slot0), np.full(8, 0xAA, dtype=np.uint8))

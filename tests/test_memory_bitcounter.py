@@ -1,0 +1,89 @@
+"""Tests for the 8-256 LUT bit counter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ArchitectureError
+from repro.memory.bitcounter import BitCounter, BitCounterDesign
+
+
+class TestStructure:
+    def test_64_bit_decomposition(self):
+        counter = BitCounter(64)
+        assert counter.num_luts == 8
+        assert counter.adder_tree_depth == 3
+        assert counter.num_adders == 7
+
+    def test_single_lut_no_tree(self):
+        counter = BitCounter(8)
+        assert counter.num_luts == 1
+        assert counter.adder_tree_depth == 0
+        assert counter.num_adders == 0
+
+    def test_wide_counter(self):
+        counter = BitCounter(256)
+        assert counter.num_luts == 32
+        assert counter.adder_tree_depth == 5
+
+    def test_invalid_width(self):
+        with pytest.raises(ArchitectureError):
+            BitCounter(12)
+        with pytest.raises(ArchitectureError):
+            BitCounter(0)
+
+    def test_paper_design_fixes_lut_width(self):
+        with pytest.raises(ArchitectureError):
+            BitCounterDesign(lut_input_bits=4)
+
+
+class TestTimingEnergy:
+    def test_latency_grows_with_width(self):
+        assert BitCounter(256).latency_s > BitCounter(16).latency_s
+
+    def test_latency_composition(self):
+        counter = BitCounter(64)
+        design = counter.design
+        assert counter.latency_s == pytest.approx(
+            design.lut_delay_s + 3 * design.adder_delay_s
+        )
+
+    def test_energy_composition(self):
+        counter = BitCounter(64)
+        design = counter.design
+        expected = 8 * design.lut_energy_j + 7 * design.adder_energy_j + (
+            design.register_energy_j
+        )
+        assert counter.energy_per_count_j == pytest.approx(expected)
+
+
+class TestFunction:
+    def test_paper_example(self):
+        # BitCount(0110) = 2.
+        counter = BitCounter(8)
+        assert counter.count_bytes(np.array([0b0110], dtype=np.uint8)) == 2
+
+    def test_zero_and_full(self):
+        counter = BitCounter(64)
+        assert counter.count_bytes(np.zeros(8, dtype=np.uint8)) == 0
+        assert counter.count_bytes(np.full(8, 0xFF, dtype=np.uint8)) == 64
+
+    def test_width_enforced(self):
+        counter = BitCounter(16)
+        with pytest.raises(ArchitectureError):
+            counter.count_bytes(np.zeros(3, dtype=np.uint8))
+
+    def test_count_words_matches_bytes(self):
+        counter = BitCounter(64)
+        word = np.array([0xDEADBEEFCAFEF00D], dtype=np.uint64)
+        assert counter.count_words(word) == int(np.bitwise_count(word)[0])
+
+    @given(st.lists(st.integers(0, 255), min_size=0, max_size=8))
+    def test_matches_popcount_reference(self, byte_values):
+        counter = BitCounter(64)
+        data = np.array(byte_values, dtype=np.uint8)
+        expected = sum(int(b).bit_count() for b in byte_values)
+        assert counter.count_bytes(data) == expected

@@ -1,0 +1,106 @@
+"""Integration tests: Algorithm 1 end-to-end on the functional array."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ArchitectureError
+from repro.baselines.intersection import triangle_count_forward
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.memory.buffer import DataBuffer
+from repro.memory.mapped import MappedTCIMEngine
+from repro.memory.nvsim import ArrayOrganization
+
+
+SMALL_ORG = ArrayOrganization(
+    banks=1, mats_per_bank=1, subarrays_per_mat=2,
+    rows_per_subarray=32, cols_per_subarray=256,
+)
+
+
+class TestDataBuffer:
+    def test_lookup_counts(self):
+        buffer = DataBuffer()
+        assert buffer.lookup("x") is None
+        assert buffer.lookups == 1
+
+    def test_record_and_evict(self):
+        from repro.memory.array import SliceAddress
+
+        buffer = DataBuffer()
+        address = SliceAddress(0, 1, 2)
+        buffer.record("x", address)
+        assert "x" in buffer
+        assert buffer.evict("x") == address
+        assert "x" not in buffer
+
+    def test_double_record_rejected(self):
+        from repro.memory.array import SliceAddress
+
+        buffer = DataBuffer()
+        buffer.record("x", SliceAddress(0, 0, 0))
+        with pytest.raises(ArchitectureError):
+            buffer.record("x", SliceAddress(0, 1, 0))
+
+    def test_evict_missing_rejected(self):
+        with pytest.raises(ArchitectureError):
+            DataBuffer().evict("ghost")
+
+
+class TestMappedEngine:
+    def test_paper_example(self, paper_graph):
+        result = MappedTCIMEngine(SMALL_ORG).run(paper_graph)
+        assert result.triangles == 2
+
+    def test_exact_on_random_graphs(self):
+        for seed in range(4):
+            graph = generators.erdos_renyi(150, 700, seed=seed)
+            result = MappedTCIMEngine(SMALL_ORG).run(graph)
+            assert result.triangles == triangle_count_forward(graph)
+
+    def test_exact_under_heavy_eviction(self):
+        tiny = ArrayOrganization(
+            banks=1, mats_per_bank=1, subarrays_per_mat=1,
+            rows_per_subarray=4, cols_per_subarray=128,
+        )
+        graph = generators.erdos_renyi(100, 500, seed=5)
+        result = MappedTCIMEngine(tiny).run(graph)
+        assert result.triangles == triangle_count_forward(graph)
+        assert result.evictions > 0
+
+    def test_analog_path_end_to_end(self):
+        graph = generators.erdos_renyi(40, 150, seed=6)
+        result = MappedTCIMEngine(SMALL_ORG, analog_check=True).run(graph)
+        assert result.triangles == triangle_count_forward(graph)
+
+    def test_empty_graph(self):
+        result = MappedTCIMEngine(SMALL_ORG).run(Graph(0))
+        assert result.triangles == 0
+        assert result.and_operations == 0
+
+    def test_statistics_consistency(self):
+        graph = generators.powerlaw_cluster(120, 4, 0.6, seed=7)
+        result = MappedTCIMEngine(SMALL_ORG).run(graph)
+        # Every AND touched one column slice: hit or freshly written.
+        assert result.and_operations == result.buffer_lookups
+        assert result.lanes_touched <= 4
+        assert result.slice_writes > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=120))
+    def test_exactness_property(self, edges):
+        graph = Graph(31, edges)
+        result = MappedTCIMEngine(SMALL_ORG).run(graph)
+        assert result.triangles == triangle_count_forward(graph)
+
+    def test_agrees_with_statistical_accelerator(self):
+        from repro.core.accelerator import TCIMAccelerator
+
+        graph = generators.ego_network(200, num_circles=5, seed=8)
+        mapped = MappedTCIMEngine(SMALL_ORG).run(graph)
+        statistical = TCIMAccelerator().run(graph)
+        assert mapped.triangles == statistical.triangles
+        assert mapped.and_operations == statistical.events.and_operations

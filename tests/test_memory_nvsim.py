@@ -1,0 +1,103 @@
+"""Tests for the NVSim-style array performance model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.memory.nvsim import ArrayOrganization, NVSimModel, PeripheralParams
+
+
+class TestOrganization:
+    def test_default_is_16_mib(self):
+        organization = ArrayOrganization()
+        assert organization.total_bytes == 16 * 2**20
+        assert organization.num_subarrays == 128
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ArrayOrganization(banks=0)
+        with pytest.raises(ArchitectureError):
+            ArrayOrganization(rows_per_subarray=-4)
+
+    def test_total_bits_product(self):
+        organization = ArrayOrganization(
+            banks=2, mats_per_bank=2, subarrays_per_mat=2, rows_per_subarray=16,
+            cols_per_subarray=32,
+        )
+        assert organization.total_bits == 8 * 16 * 32
+
+
+class TestModelValidation:
+    def test_slice_must_fit_row(self):
+        organization = ArrayOrganization(cols_per_subarray=32)
+        with pytest.raises(ArchitectureError):
+            NVSimModel(organization=organization, slice_bits=64)
+
+    def test_negative_margin_rejected(self):
+        model = NVSimModel()
+        with pytest.raises(ArchitectureError):
+            model.sense_delay_s(-1e-6)
+
+
+class TestPerformanceFigures:
+    @pytest.fixture(scope="class")
+    def performance(self):
+        return NVSimModel().evaluate()
+
+    def test_latencies_nanosecond_scale(self, performance):
+        assert 1e-10 < performance.read_latency_s < 1e-8
+        assert 1e-10 < performance.and_latency_s < 1e-8
+        assert 1e-10 < performance.write_latency_s < 1e-7
+
+    def test_write_slower_than_read(self, performance):
+        # STT switching dominates: writes must be slower than reads.
+        assert performance.write_latency_s > performance.read_latency_s
+
+    def test_write_energy_dominates(self, performance):
+        assert performance.write_energy_j > performance.and_energy_j
+        assert performance.write_energy_j > performance.read_energy_j
+
+    def test_and_energy_exceeds_read(self, performance):
+        # Two activated word-lines draw roughly twice the cell current.
+        assert performance.and_energy_j > performance.read_energy_j
+
+    def test_energies_picojoule_scale(self, performance):
+        assert 1e-14 < performance.read_energy_j < 1e-11
+        assert 1e-13 < performance.write_energy_j < 1e-9
+
+    def test_area_millimetre_scale(self, performance):
+        assert 0.5 < performance.area_mm2 < 100.0
+
+    def test_parallel_units(self, performance):
+        assert performance.parallel_units == 128
+
+
+class TestScalingBehaviour:
+    def test_longer_rows_slower_wordline(self):
+        fast = NVSimModel(organization=ArrayOrganization(cols_per_subarray=256))
+        slow = NVSimModel(organization=ArrayOrganization(cols_per_subarray=1024))
+        assert slow.wordline_delay_s() > fast.wordline_delay_s()
+
+    def test_more_rows_slower_bitline(self):
+        fast = NVSimModel(organization=ArrayOrganization(rows_per_subarray=256))
+        slow = NVSimModel(organization=ArrayOrganization(rows_per_subarray=2048))
+        assert slow.bitline_delay_s() > fast.bitline_delay_s()
+
+    def test_leakage_scales_with_subarrays(self):
+        small = NVSimModel(organization=ArrayOrganization(banks=1)).evaluate()
+        large = NVSimModel(organization=ArrayOrganization(banks=8)).evaluate()
+        assert large.leakage_power_w == pytest.approx(8 * small.leakage_power_w)
+
+    def test_cell_area_drives_chip_area(self):
+        lean = PeripheralParams()
+        fat = dataclasses.replace(lean, cell_area_f2=80.0)
+        lean_area = NVSimModel(peripherals=lean).evaluate().area_mm2
+        fat_area = NVSimModel(peripherals=fat).evaluate().area_mm2
+        assert fat_area == pytest.approx(2 * lean_area)
+
+    def test_read_currents_exposed(self):
+        i_p, i_ap = NVSimModel().read_current_pair()
+        assert i_p > i_ap > 0

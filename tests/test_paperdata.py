@@ -1,0 +1,117 @@
+"""Consistency tests for the published numbers transcribed from the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import paperdata
+
+
+class TestTableII:
+    def test_all_datasets_present(self):
+        assert set(paperdata.TABLE_II) == set(paperdata.DATASET_ORDER)
+
+    def test_row_order_matches_paper(self):
+        assert paperdata.DATASET_ORDER[0] == "ego-facebook"
+        assert paperdata.DATASET_ORDER[-1] == "com-lj"
+
+    def test_stats_positive(self):
+        for stats in paperdata.TABLE_II.values():
+            assert stats.num_vertices > 0
+            assert stats.num_edges > 0
+            assert stats.num_triangles > 0
+
+    def test_edges_bounded_by_complete_graph(self):
+        for stats in paperdata.TABLE_II.values():
+            max_edges = stats.num_vertices * (stats.num_vertices - 1) // 2
+            assert stats.num_edges <= max_edges
+
+    def test_largest_is_livejournal(self):
+        largest = max(paperdata.TABLE_II.values(), key=lambda s: s.num_edges)
+        assert largest is paperdata.TABLE_II["com-lj"]
+
+
+class TestTablesIIIandIV:
+    def test_keys_cover_all_datasets(self):
+        assert set(paperdata.TABLE_III_VALID_SLICE_MB) == set(paperdata.DATASET_ORDER)
+        assert set(paperdata.TABLE_IV_VALID_SLICE_PERCENT) == set(
+            paperdata.DATASET_ORDER
+        )
+
+    def test_sizes_bounded_by_array_context(self):
+        # The paper notes the largest graphs need 16.8 MB.
+        assert max(paperdata.TABLE_III_VALID_SLICE_MB.values()) == pytest.approx(16.8)
+
+    def test_average_large_graph_percentage_is_the_claim(self):
+        """Section V-C: 'the average percentage of valid slices in the five
+        largest graphs is only 0.01%'."""
+        five_largest = sorted(
+            paperdata.DATASET_ORDER,
+            key=lambda k: paperdata.TABLE_II[k].num_vertices,
+        )[-5:]
+        average = sum(
+            paperdata.TABLE_IV_VALID_SLICE_PERCENT[k] for k in five_largest
+        ) / 5
+        assert average == pytest.approx(0.01, abs=0.005)
+
+
+class TestTableV:
+    def test_all_rows_present(self):
+        assert set(paperdata.TABLE_V_RUNTIME_SECONDS) == set(paperdata.DATASET_ORDER)
+
+    def test_tcim_always_fastest(self):
+        for row in paperdata.TABLE_V_RUNTIME_SECONDS.values():
+            assert row.tcim < row.without_pim < row.cpu
+            if row.gpu is not None:
+                assert row.tcim < row.gpu
+            if row.fpga is not None:
+                assert row.tcim < row.fpga
+
+    def test_na_entries_match_figure6_availability(self):
+        for key in paperdata.DATASET_ORDER:
+            row = paperdata.TABLE_V_RUNTIME_SECONDS[key]
+            if key in paperdata.FIG6_DATASETS:
+                assert row.fpga is not None
+            else:
+                assert row.fpga is None
+
+    def test_headline_speedups_derivable(self):
+        """The abstract's 9x / 23.4x are the mean TCIM-vs-GPU / FPGA ratios."""
+        gpu_ratios = [
+            row.gpu / row.tcim
+            for row in paperdata.TABLE_V_RUNTIME_SECONDS.values()
+            if row.gpu is not None
+        ]
+        fpga_ratios = [
+            row.fpga / row.tcim
+            for row in paperdata.TABLE_V_RUNTIME_SECONDS.values()
+            if row.fpga is not None
+        ]
+        gpu_mean = sum(gpu_ratios) / len(gpu_ratios)
+        fpga_mean = sum(fpga_ratios) / len(fpga_ratios)
+        assert gpu_mean == pytest.approx(
+            paperdata.HEADLINE_CLAIMS["speedup_tcim_vs_gpu"], rel=0.6
+        )
+        assert fpga_mean == pytest.approx(
+            paperdata.HEADLINE_CLAIMS["speedup_tcim_vs_fpga"], rel=0.6
+        )
+
+
+class TestFig6:
+    def test_ratio_datasets_subset_of_table(self):
+        assert set(paperdata.FIG6_FPGA_ENERGY_RATIO) == set(paperdata.FIG6_DATASETS)
+
+    def test_mean_energy_improvement_matches_claim(self):
+        ratios = list(paperdata.FIG6_FPGA_ENERGY_RATIO.values())
+        assert sum(ratios) / len(ratios) == pytest.approx(
+            paperdata.HEADLINE_CLAIMS["energy_improvement_vs_fpga"], rel=0.05
+        )
+
+
+class TestTableI:
+    def test_si_units_sane(self):
+        params = paperdata.TABLE_I_MTJ_PARAMETERS
+        assert params["surface_length_m"] == 40e-9
+        assert params["temperature_k"] == 300.0
+        assert 0 < params["gilbert_damping"] < 1
+        assert params["tmr"] == 1.0

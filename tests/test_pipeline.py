@@ -1,0 +1,97 @@
+"""Tests for the bank-parallelism performance model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.arch.perf import default_pim_model
+from repro.arch.pipeline import ParallelConfig, ParallelPimModel
+from repro.core.accelerator import EventCounts, TCIMAccelerator
+from repro.graph import generators
+
+
+def _events() -> EventCounts:
+    events = EventCounts()
+    events.and_operations = 1_000_000
+    events.bitcount_operations = 1_000_000
+    events.row_slice_writes = 50_000
+    events.col_slice_writes = 150_000
+    events.col_slice_hits = 600_000
+    events.index_lookups = 400_000
+    events.edges_processed = 400_000
+    events.dense_pair_operations = 10_000_000
+    return events
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            ParallelConfig(compute_units=0)
+        with pytest.raises(ArchitectureError):
+            ParallelConfig(write_ports=0)
+
+    def test_default_matches_serial_baseline(self):
+        base = default_pim_model()
+        parallel = ParallelPimModel(base, ParallelConfig())
+        events = _events()
+        assert parallel.evaluate(events).latency_s == pytest.approx(
+            base.evaluate(events).latency_s
+        )
+
+
+class TestScaling:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return default_pim_model()
+
+    def test_more_units_never_slower(self, base):
+        events = _events()
+        latencies = [
+            ParallelPimModel(base, ParallelConfig(compute_units=units))
+            .evaluate(events)
+            .latency_s
+            for units in (1, 2, 4, 8, 16)
+        ]
+        assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+
+    def test_amdahl_saturation(self, base):
+        """Control overhead is serial: speedup must saturate below the
+        ideal linear scaling."""
+        events = _events()
+        model = ParallelPimModel(base, ParallelConfig(compute_units=1024))
+        speedup = model.speedup_over_serial(events)
+        serial = base.evaluate(events)
+        control = serial.latency_breakdown_s["control"]
+        ideal_bound = serial.latency_s / control
+        assert 1.0 < speedup < ideal_bound
+
+    def test_write_overlap_helps(self, base):
+        events = _events()
+        no_overlap = ParallelPimModel(
+            base, ParallelConfig(compute_units=4, write_ports=4)
+        )
+        overlap = ParallelPimModel(
+            base,
+            ParallelConfig(compute_units=4, write_ports=4, overlap_write_with_compute=True),
+        )
+        assert overlap.evaluate(events).latency_s < no_overlap.evaluate(events).latency_s
+
+    def test_dynamic_energy_invariant_under_parallelism(self, base):
+        """Parallelism shortens time but does the same operations: only
+        the time-proportional terms (leakage, host) may change."""
+        events = _events()
+        serial = ParallelPimModel(base, ParallelConfig()).evaluate(events)
+        wide = ParallelPimModel(base, ParallelConfig(compute_units=16)).evaluate(events)
+        assert wide.energy_breakdown_j["dynamic"] == pytest.approx(
+            serial.energy_breakdown_j["dynamic"]
+        )
+        assert wide.energy_breakdown_j["leakage"] < serial.energy_breakdown_j["leakage"]
+
+    def test_on_real_accelerator_run(self, base):
+        graph = generators.powerlaw_cluster(200, 4, 0.6, seed=3)
+        run = TCIMAccelerator().run(graph)
+        model = ParallelPimModel(base, ParallelConfig(compute_units=8, write_ports=4))
+        report = model.evaluate(run.events)
+        assert report.latency_s > 0
+        assert report.system_energy_j > report.array_energy_j

@@ -1,0 +1,158 @@
+"""Tests for MRAM reliability models and the endurance tracker."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ArchitectureError, DeviceError
+from repro.core.accelerator import TCIMAccelerator
+from repro.device.mtj import MTJDevice
+from repro.device.params import MTJParameters
+from repro.device.reliability import ReliabilityModel
+from repro.graph import generators
+from repro.memory.endurance import EnduranceTracker
+
+
+@pytest.fixture(scope="module")
+def model() -> ReliabilityModel:
+    return ReliabilityModel()
+
+
+class TestRetention:
+    def test_ten_year_retention_at_table_i_delta(self, model):
+        """Delta = 142 is deep storage grade: essentially zero flips in
+        10 years."""
+        ten_years = 10 * 365.25 * 24 * 3600
+        assert model.retention_failure_probability(ten_years) < 1e-30
+
+    def test_probability_monotone_in_time(self, model):
+        assert model.retention_failure_probability(
+            1e6
+        ) >= model.retention_failure_probability(1e3)
+
+    def test_negative_window_rejected(self, model):
+        with pytest.raises(DeviceError):
+            model.retention_failure_probability(-1.0)
+
+    def test_low_delta_device_fails_fast(self):
+        weak = ReliabilityModel(
+            MTJDevice(MTJParameters(anisotropy_field_a_per_m=1e4))
+        )
+        strong = ReliabilityModel()
+        year = 365.25 * 24 * 3600
+        assert weak.retention_failure_probability(
+            year
+        ) > strong.retention_failure_probability(year)
+
+    def test_retention_years_inverse(self, model):
+        years = model.retention_years(target_failure_probability=1e-9)
+        seconds = years * 365.25 * 24 * 3600
+        assert model.retention_failure_probability(seconds) == pytest.approx(
+            1e-9, rel=0.01
+        )
+
+    def test_bad_target_rejected(self, model):
+        with pytest.raises(DeviceError):
+            model.retention_years(0.0)
+
+
+class TestReadDisturb:
+    def test_read_current_is_harmless(self, model):
+        """Sense currents (~50 uA) are far below I_c0 (~360 uA):
+        effectively infinite reads per disturb."""
+        reads = model.reads_per_disturb(50e-6, 2e-9)
+        assert reads > 1e15
+
+    def test_disturb_grows_with_current(self, model):
+        i_c = model.device.critical_current_a
+        low = model.read_disturb_probability(0.3 * i_c, 2e-9)
+        high = model.read_disturb_probability(0.9 * i_c, 2e-9)
+        assert high > low
+
+    def test_critical_current_disturbs_deterministically(self, model):
+        i_c = model.device.critical_current_a
+        assert model.read_disturb_probability(i_c, 1e-9) == 1.0
+
+    def test_negative_inputs_rejected(self, model):
+        with pytest.raises(DeviceError):
+            model.read_disturb_probability(-1e-6, 1e-9)
+
+
+class TestWriteErrorRate:
+    def test_default_write_pulse_has_finite_wer(self, model):
+        wer = model.write_error_rate()
+        assert 0.0 < wer < 1.0
+
+    def test_longer_pulse_lower_wer(self, model):
+        current = model.device.write_current_a
+        base = model.device.switching_time_s(current)
+        short = model.write_error_rate(current, 1.1 * base)
+        long = model.write_error_rate(current, 3.0 * base)
+        assert long < short
+
+    def test_subcritical_write_always_fails(self, model):
+        assert model.write_error_rate(0.5 * model.device.critical_current_a) == 1.0
+
+    def test_too_short_pulse_fails(self, model):
+        current = model.device.write_current_a
+        base = model.device.switching_time_s(current)
+        assert model.write_error_rate(current, 0.5 * base) == 1.0
+
+    def test_required_pulse_achieves_target(self, model):
+        current = model.device.write_current_a
+        pulse = model.required_pulse_s(target_wer=1e-9, write_current_a=current)
+        assert model.write_error_rate(current, pulse) == pytest.approx(1e-9, rel=0.01)
+
+    def test_bad_target_rejected(self, model):
+        with pytest.raises(DeviceError):
+            model.required_pulse_s(target_wer=2.0)
+
+
+class TestEnduranceTracker:
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            EnduranceTracker(0)
+        with pytest.raises(ArchitectureError):
+            EnduranceTracker(4, endurance_cycles=0)
+
+    def test_empty_report(self):
+        report = EnduranceTracker(8).report()
+        assert report.total_writes == 0
+        assert math.isinf(report.runs_to_wearout)
+
+    def test_records_accelerator_run(self):
+        graph = generators.powerlaw_cluster(150, 4, 0.6, seed=1)
+        run = TCIMAccelerator().run(graph)
+        tracker = EnduranceTracker(16)
+        tracker.record_run(run.events)
+        report = tracker.report()
+        assert report.total_writes > 0
+        assert report.hottest_lane_writes >= report.mean_lane_writes
+        assert report.imbalance >= 1.0
+
+    def test_lifetime_enormous_for_mram(self):
+        """The paper's endurance argument: >1e12 cycles means this workload
+        could repeat for millions of runs before wearing out a lane."""
+        graph = generators.erdos_renyi(100, 400, seed=2)
+        run = TCIMAccelerator().run(graph)
+        tracker = EnduranceTracker(16)
+        tracker.record_run(run.events)
+        assert tracker.report().runs_to_wearout > 1e6
+
+    def test_explicit_slice_writes_mapping(self):
+        tracker = EnduranceTracker(4)
+        tracker.record_slice_writes([0, 4, 8, 1])
+        lanes = tracker.lane_writes()
+        assert lanes[0] == 3  # slices 0, 4, 8 all map to lane 0
+        assert lanes[1] == 1
+
+    def test_flash_grade_endurance_wears_out(self):
+        graph = generators.erdos_renyi(100, 400, seed=3)
+        run = TCIMAccelerator().run(graph)
+        flash = EnduranceTracker(16, endurance_cycles=1e5)
+        mram = EnduranceTracker(16)
+        flash.record_run(run.events)
+        mram.record_run(run.events)
+        assert flash.report().runs_to_wearout < mram.report().runs_to_wearout

@@ -1,0 +1,105 @@
+"""Tests for the locality-restoring vertex orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.baselines.intersection import triangle_count_forward
+from repro.core.slicing import slice_statistics
+from repro.graph import generators
+from repro.graph.graph import Graph
+from repro.graph.reorder import (
+    ORDERINGS,
+    apply_ordering,
+    bfs_order,
+    degree_order,
+    reverse_cuthill_mckee,
+)
+
+
+def _bandwidth(graph: Graph) -> int:
+    edges = graph.edge_array()
+    if edges.size == 0:
+        return 0
+    return int((edges[:, 1] - edges[:, 0]).max())
+
+
+class TestPermutationValidity:
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_is_bijection(self, name):
+        graph = generators.powerlaw_cluster(120, 3, 0.5, seed=1)
+        permutation = ORDERINGS[name](graph)
+        assert np.array_equal(np.sort(permutation), np.arange(120))
+
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_empty_graph(self, name):
+        assert ORDERINGS[name](Graph(0)).size == 0
+
+    def test_unknown_ordering(self, paper_graph):
+        with pytest.raises(GraphError, match="unknown ordering"):
+            apply_ordering(paper_graph, "hilbert")
+
+
+class TestStructuralInvariance:
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_triangles_preserved(self, name):
+        graph = generators.powerlaw_cluster(150, 4, 0.6, seed=2)
+        relabelled = apply_ordering(graph, name)
+        assert triangle_count_forward(relabelled) == triangle_count_forward(graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 24), st.integers(0, 24)), max_size=80))
+    def test_degree_multiset_preserved(self, edges):
+        graph = Graph(25, edges)
+        for name in ORDERINGS:
+            relabelled = apply_ordering(graph, name)
+            assert sorted(relabelled.degrees().tolist()) == sorted(
+                graph.degrees().tolist()
+            )
+
+
+class TestLocalityRecovery:
+    @pytest.fixture
+    def scrambled_road(self) -> Graph:
+        """A road network whose natural grid ids have been shuffled."""
+        graph = generators.road_network(40, 40, removal_probability=0.3, seed=3)
+        rng = np.random.default_rng(7)
+        permutation = rng.permutation(graph.num_vertices)
+        return graph.relabel(permutation)
+
+    def test_bfs_reduces_bandwidth(self, scrambled_road):
+        reordered = apply_ordering(scrambled_road, "bfs")
+        assert _bandwidth(reordered) < _bandwidth(scrambled_road) / 2
+
+    def test_rcm_reduces_bandwidth(self, scrambled_road):
+        reordered = apply_ordering(scrambled_road, "rcm")
+        assert _bandwidth(reordered) < _bandwidth(scrambled_road) / 2
+
+    def test_bfs_improves_slice_compression(self, scrambled_road):
+        """The data-mapping payoff: fewer valid slices after reordering."""
+        before = slice_statistics(scrambled_road).num_valid_slices
+        after = slice_statistics(apply_ordering(scrambled_road, "bfs")).num_valid_slices
+        assert after < before
+
+    def test_degree_order_directions(self):
+        graph = generators.barabasi_albert(100, 3, seed=4)
+        ascending = graph.relabel(degree_order(graph))
+        descending = graph.relabel(degree_order(graph, descending=True))
+        assert np.all(np.diff(ascending.degrees()) >= 0)
+        assert np.all(np.diff(descending.degrees()) <= 0)
+
+    def test_bfs_labels_neighbours_nearby(self):
+        path = generators.path_graph(50)
+        rng = np.random.default_rng(1)
+        scrambled = path.relabel(rng.permutation(50))
+        reordered = scrambled.relabel(bfs_order(scrambled))
+        assert _bandwidth(reordered) <= 2
+
+    def test_rcm_handles_disconnected_components(self):
+        graph = Graph(6, [(0, 1), (2, 3), (4, 5)])
+        permutation = reverse_cuthill_mckee(graph)
+        assert np.array_equal(np.sort(permutation), np.arange(6))

@@ -1,0 +1,163 @@
+"""Tests for the slice cache: LRU / FIFO / RANDOM / Belady (Section IV-A)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CacheError
+from repro.core.reuse import (
+    AccessOutcome,
+    CacheStatistics,
+    ReplacementPolicy,
+    SliceCache,
+    belady_trace_statistics,
+    simulate_trace,
+)
+
+
+traces = st.lists(st.integers(0, 15), max_size=200)
+
+
+class TestConstruction:
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(CacheError):
+            SliceCache(0)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(CacheError):
+            SliceCache(4, policy="mru")
+
+    def test_policy_accepts_string(self):
+        assert SliceCache(4, policy="fifo").policy is ReplacementPolicy.FIFO
+
+
+class TestBasicBehaviour:
+    def test_first_access_is_miss(self):
+        cache = SliceCache(2)
+        assert cache.access("a") is AccessOutcome.MISS
+
+    def test_second_access_is_hit(self):
+        cache = SliceCache(2)
+        cache.access("a")
+        assert cache.access("a") is AccessOutcome.HIT
+
+    def test_eviction_classified_as_exchange(self):
+        cache = SliceCache(2)
+        cache.access("a")
+        cache.access("b")
+        assert cache.access("c") is AccessOutcome.EXCHANGE
+        assert len(cache) == 2
+
+    def test_lru_evicts_least_recent(self):
+        cache = SliceCache(2, policy="lru")
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # refresh a; b is now LRU
+        cache.access("c")  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_fifo_ignores_recency(self):
+        cache = SliceCache(2, policy="fifo")
+        cache.access("a")
+        cache.access("b")
+        cache.access("a")  # hit does not refresh under FIFO
+        cache.access("c")  # evicts a (first in)
+        assert "a" not in cache
+        assert "b" in cache
+
+    def test_reset(self):
+        cache = SliceCache(2)
+        cache.access("a")
+        cache.reset()
+        assert len(cache) == 0
+        assert cache.stats.accesses == 0
+
+    def test_invalidate(self):
+        cache = SliceCache(4)
+        cache.access("a")
+        cache.access("b")
+        assert cache.invalidate(["a", "zz"]) == 1
+        assert "a" not in cache
+
+    def test_resident_keys_order(self):
+        cache = SliceCache(3, policy="lru")
+        for key in ("a", "b", "c"):
+            cache.access(key)
+        cache.access("a")
+        assert cache.resident_keys() == ["b", "c", "a"]
+
+
+class TestStatistics:
+    def test_percentages_sum_to_100(self):
+        stats = simulate_trace(list("abcabcabc"), capacity=2)
+        total = stats.hit_percent + stats.miss_percent + stats.exchange_percent
+        assert total == pytest.approx(100.0)
+
+    def test_write_savings_equals_hit_rate(self):
+        stats = simulate_trace(list("aaaa"), capacity=2)
+        assert stats.write_savings_percent == pytest.approx(75.0)
+        assert stats.writes == 1
+
+    def test_empty_stats(self):
+        stats = CacheStatistics()
+        assert stats.hit_percent == 0.0
+        assert stats.write_savings_percent == 0.0
+
+    def test_merge(self):
+        a = CacheStatistics(hits=1, misses=2, exchanges=3)
+        b = CacheStatistics(hits=10, misses=20, exchanges=30)
+        merged = a.merge(b)
+        assert (merged.hits, merged.misses, merged.exchanges) == (11, 22, 33)
+
+    def test_no_exchanges_when_working_set_fits(self):
+        stats = simulate_trace(list("abab") * 10, capacity=2)
+        assert stats.exchanges == 0
+        assert stats.misses == 2
+
+
+class TestPolicies:
+    @given(traces, st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_invariants(self, trace, capacity):
+        for policy in ReplacementPolicy:
+            cache = SliceCache(capacity, policy=policy, seed=1)
+            for key in trace:
+                cache.access(key)
+            assert len(cache) <= capacity
+            stats = cache.stats
+            assert stats.accesses == len(trace)
+            # Cold misses are bounded by the number of distinct keys.
+            assert stats.misses <= len(set(trace))
+            # Misses can never exceed capacity (after that it's exchanges).
+            assert stats.misses <= capacity
+
+    @given(traces, st.integers(1, 8))
+    @settings(max_examples=50)
+    def test_belady_is_optimal(self, trace, capacity):
+        """Belady must have at least as many hits as every online policy."""
+        optimal = belady_trace_statistics(trace, capacity)
+        for policy in ReplacementPolicy:
+            online = simulate_trace(trace, capacity, policy=policy, seed=0)
+            assert optimal.hits >= online.hits
+
+    @given(traces)
+    def test_infinite_capacity_never_exchanges(self, trace):
+        stats = simulate_trace(trace, capacity=10_000)
+        assert stats.exchanges == 0
+        assert stats.misses == len(set(trace))
+
+    def test_belady_rejects_bad_capacity(self):
+        with pytest.raises(CacheError):
+            belady_trace_statistics(["a"], 0)
+
+    def test_belady_known_sequence(self):
+        # Classic example: with capacity 2, LRU thrashes on a,b,c,a,b,c...
+        trace = list("abcabc")
+        lru = simulate_trace(trace, 2, policy="lru")
+        optimal = belady_trace_statistics(trace, 2)
+        assert lru.hits == 0
+        assert optimal.hits > 0

@@ -1,0 +1,67 @@
+"""Tests for column-slice access-trace extraction and policy replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ArchitectureError
+from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
+from repro.core.trace import compare_policies, extract_column_trace
+from repro.graph import generators
+
+
+class TestExtraction:
+    def test_paper_example_trace(self, paper_graph):
+        trace = extract_column_trace(paper_graph)
+        # Five edges, each with exactly one valid pair (n=4 -> one slice).
+        assert len(trace) == 5
+        assert trace.row_region_slices == 1
+
+    def test_trace_matches_accelerator_events(self):
+        """The trace must replay to exactly the accelerator's cache stats."""
+        graph = generators.powerlaw_cluster(200, 4, 0.6, seed=1)
+        config = AcceleratorConfig(array_bytes=8192)
+        run = TCIMAccelerator(config).run(graph)
+        trace = extract_column_trace(graph)
+        assert len(trace) == run.events.and_operations
+        capacity = trace.column_cache_capacity(8192)
+        assert capacity == run.column_cache_slices
+        replayed = compare_policies(trace, 8192)["lru"]
+        assert replayed.hits == run.cache_stats.hits
+        assert replayed.misses == run.cache_stats.misses
+        assert replayed.exchanges == run.cache_stats.exchanges
+
+    def test_distinct_slices_bounded(self):
+        graph = generators.erdos_renyi(100, 400, seed=2)
+        trace = extract_column_trace(graph)
+        assert trace.distinct_slices <= len(trace)
+
+    def test_empty_graph(self, empty_graph):
+        trace = extract_column_trace(empty_graph)
+        assert len(trace) == 0
+        assert trace.row_region_slices == 0
+
+    def test_capacity_error_when_too_small(self):
+        graph = generators.complete_graph(128)
+        trace = extract_column_trace(graph)
+        with pytest.raises(ArchitectureError):
+            trace.column_cache_capacity(trace.row_region_slices * 8)
+
+
+class TestPolicyComparison:
+    def test_all_policies_present(self):
+        graph = generators.erdos_renyi(80, 300, seed=3)
+        results = compare_policies(extract_column_trace(graph), 4096)
+        assert set(results) == {"lru", "fifo", "random", "belady"}
+
+    def test_belady_never_worse(self):
+        graph = generators.powerlaw_cluster(150, 4, 0.7, seed=4)
+        results = compare_policies(extract_column_trace(graph), 1024)
+        for name in ("lru", "fifo", "random"):
+            assert results["belady"].hits >= results[name].hits
+
+    def test_accesses_equal_across_policies(self):
+        graph = generators.erdos_renyi(80, 300, seed=5)
+        results = compare_policies(extract_column_trace(graph), 1024)
+        accesses = {stats.accesses for stats in results.values()}
+        assert len(accesses) == 1
