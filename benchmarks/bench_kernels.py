@@ -68,3 +68,48 @@ def bench_kernel_sliced_triangle_count(benchmark, enron_graph):
         iterations=1,
     )
     assert triangles > 0
+
+
+def bench_kernel_vectorized_engine(benchmark, enron_graph):
+    """Full accelerator run on the batched engine (the production path)."""
+    from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
+
+    accelerator = TCIMAccelerator(AcceleratorConfig(engine="vectorized"))
+    result = benchmark.pedantic(
+        lambda: accelerator.run(enron_graph), rounds=3, iterations=1
+    )
+    assert result.triangles > 0
+
+
+def bench_kernel_engine_speedup(benchmark, enron_graph):
+    """Vectorized vs legacy engine: identical results, large speedup.
+
+    Guards the engine against perf regressions: if the batched dataflow
+    ever drops under 3x the per-edge oracle loop on email-enron, something
+    in the fast path broke.  (The strict acceptance gate — best-of-N at
+    20k vertices with an 8x floor — is benchmarks/smoke_engine_speedup.py,
+    wired into CI; this keeps a cheap in-suite signal with a threshold
+    loose enough for noisy runners.)
+    """
+    import time as _time
+
+    from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
+
+    def run(engine):
+        best, result = float("inf"), None
+        for _ in range(3):
+            start = _time.perf_counter()
+            result = TCIMAccelerator(AcceleratorConfig(engine=engine)).run(
+                enron_graph
+            )
+            best = min(best, _time.perf_counter() - start)
+        return best, result
+
+    run("vectorized")  # warm numpy before timing either engine
+    legacy_s, legacy = run("legacy")
+    vectorized_s, vectorized = benchmark.pedantic(
+        lambda: run("vectorized"), rounds=1, iterations=1
+    )
+    assert vectorized.triangles == legacy.triangles
+    assert vectorized.events == legacy.events
+    assert legacy_s / vectorized_s > 3.0

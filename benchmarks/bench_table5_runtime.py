@@ -23,12 +23,14 @@ from repro.analysis.metrics import degree_statistics
 from repro.analysis.reporting import Table, format_seconds, geometric_mean
 from repro.arch.perf import GraphXCpuModel, SoftwareSlicedModel, default_pim_model
 from repro.baselines.intersection import triangle_count_edge_iterator
+from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
 from repro.core.bitwise import triangle_count_sliced
 
 from _helpers import (
     accelerator_run,
     graph_for,
     scale_for,
+    scaled_array_bytes,
     nonempty_rows,
     scale_events,
     wall_clock,
@@ -54,6 +56,7 @@ def bench_table5_runtime_comparison(benchmark, emit):
             "scale",
             "CPU wall (edge-iter)",
             "w/o PIM wall (sliced)",
+            "TCIM sim wall (vectorized)",
             "TCIM modelled",
             "CPU model full",
             "w/o PIM model full",
@@ -92,7 +95,18 @@ def bench_table5_runtime_comparison(benchmark, emit):
 
         cpu_wall, cpu_triangles = wall_clock(triangle_count_edge_iterator, graph)
         sliced_wall, sliced_triangles = wall_clock(triangle_count_sliced, graph)
+        # Wall-clock of the full functional simulation itself on the
+        # vectorized batch engine (the production execution path).
+        sim_wall, sim_result = wall_clock(
+            TCIMAccelerator(
+                AcceleratorConfig(
+                    array_bytes=scaled_array_bytes(key), engine="vectorized"
+                )
+            ).run,
+            graph,
+        )
         assert cpu_triangles == sliced_triangles == run.triangles
+        assert sim_result.triangles == run.triangles
 
         tcim_scaled = pim_model.evaluate(events, rows).latency_s
         full_events = scale_events(events, factor)
@@ -109,6 +123,7 @@ def bench_table5_runtime_comparison(benchmark, emit):
                 scale_for(key),
                 format_seconds(cpu_wall),
                 format_seconds(sliced_wall),
+                format_seconds(sim_wall),
                 format_seconds(tcim_scaled),
                 format_seconds(graphx_full),
                 format_seconds(software_full),

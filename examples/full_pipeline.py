@@ -58,7 +58,15 @@ def main(key: str = "com-dblp", scale: float = 0.05) -> None:
     cache.add_row(["hit %", f"{result.cache_stats.hit_percent:.1f}"])
     cache.add_row(["miss %", f"{result.cache_stats.miss_percent:.1f}"])
     cache.add_row(["exchange %", f"{result.cache_stats.exchange_percent:.1f}"])
-    cache.add_row(["WRITE savings", f"{result.events.write_savings_percent:.1f} %"])
+    cache.add_row(
+        ["WRITE savings (reuse)", f"{result.events.write_savings_percent:.1f} %"]
+    )
+    cache.add_row(
+        [
+            "WRITE savings (incl. rows)",
+            f"{result.events.total_write_savings_percent:.1f} %",
+        ]
+    )
     cache.add_row(["computation reduction",
                    f"{result.events.computation_reduction_percent:.3f} %"])
     print(cache.render())

@@ -18,11 +18,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.perf import PerfReport, PimPerformanceModel
-from repro.core.accelerator import EventCounts
-from repro.errors import ArchitectureError
+import numpy as np
 
-__all__ = ["ParallelConfig", "ParallelPimModel"]
+from repro.arch.perf import PerfReport, PimPerformanceModel, default_pim_model
+from repro.core.accelerator import (
+    AcceleratorConfig,
+    EventCounts,
+    TCIMAccelerator,
+    TCIMRunResult,
+)
+from repro.errors import ArchitectureError
+from repro.graph.graph import Graph
+
+__all__ = ["ParallelConfig", "ParallelPimModel", "simulate_parallel"]
 
 
 @dataclass(frozen=True)
@@ -121,3 +129,31 @@ class ParallelPimModel:
         serial = self.base.evaluate(events, num_rows_processed).latency_s
         parallel = self.evaluate(events, num_rows_processed).latency_s
         return serial / parallel if parallel else float("inf")
+
+
+def simulate_parallel(
+    graph: Graph,
+    accelerator_config: AcceleratorConfig | None = None,
+    parallel_config: ParallelConfig | None = None,
+    base_model: PimPerformanceModel | None = None,
+) -> tuple[TCIMRunResult, PerfReport]:
+    """Run the accelerator on ``graph`` and price it under ``parallel_config``.
+
+    One-call entry point for the architecture studies: the functional run
+    uses whichever execution engine ``accelerator_config`` selects (the
+    vectorized batch engine by default), and the resulting event counts
+    feed the parallel performance model.  Returns the functional result
+    alongside the priced report.
+    """
+    from repro.core.engine import oriented_edges
+
+    accelerator_config = accelerator_config or AcceleratorConfig()
+    result = TCIMAccelerator(accelerator_config).run(graph)
+    model = ParallelPimModel(base_model or default_pim_model(), parallel_config)
+    # Rows of the *oriented* matrix the controller actually streams (the
+    # same convention the Table V benchmarks use), not all non-isolated
+    # vertices: under "upper" only rows with successors are loaded.
+    sources, _ = oriented_edges(graph, accelerator_config.orientation)
+    rows_processed = int(np.unique(sources).size)
+    report = model.evaluate(result.events, rows_processed)
+    return result, report

@@ -164,12 +164,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         slice_bits=args.slice_bits,
         array_bytes=int(args.array_mb * 2**20),
         policy=args.policy,
+        engine=args.engine,
     )
     start = time.perf_counter()
     result = TCIMAccelerator(config).run(graph)
     elapsed = time.perf_counter() - start
     report = default_pim_model().evaluate(result.events)
     table = Table(["metric", "value"], title="TCIM simulation")
+    table.add_row(["engine", args.engine])
     table.add_row(["triangles", format_count(result.triangles)])
     table.add_row(["edges processed", format_count(result.events.edges_processed)])
     table.add_row(["AND operations", format_count(result.events.and_operations)])
@@ -178,7 +180,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     table.add_row(["cache miss %", f"{result.cache_stats.miss_percent:.2f} %"])
     table.add_row(["cache exchange %", f"{result.cache_stats.exchange_percent:.2f} %"])
     table.add_row(
-        ["write savings", f"{result.events.write_savings_percent:.2f} %"]
+        ["write savings (reuse)", f"{result.events.write_savings_percent:.2f} %"]
+    )
+    table.add_row(
+        [
+            "write savings (incl. rows)",
+            f"{result.events.total_write_savings_percent:.2f} %",
+        ]
     )
     table.add_row(
         [
@@ -271,6 +279,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--policy", choices=["lru", "fifo", "random"], default="lru"
+    )
+    simulate.add_argument(
+        "--engine",
+        choices=["vectorized", "legacy"],
+        default="vectorized",
+        help="execution engine (legacy = per-edge oracle loop)",
     )
 
     device = subparsers.add_parser("device", help="MTJ characterisation")

@@ -42,6 +42,11 @@ class AcceleratorConfig:
 
     Defaults mirror the paper's evaluation setup: 64-bit slices and a
     16 MB computational STT-MRAM array with LRU replacement.
+
+    ``engine`` selects the execution engine: ``"vectorized"`` (default)
+    runs the batched numpy dataflow of :mod:`repro.core.engine`;
+    ``"legacy"`` runs the original per-edge Python loop, kept as the
+    differential-testing oracle.  Both produce bit-identical results.
     """
 
     slice_bits: int = 64
@@ -49,6 +54,7 @@ class AcceleratorConfig:
     policy: ReplacementPolicy | str = ReplacementPolicy.LRU
     orientation: str = "upper"
     seed: int = 0
+    engine: str = "vectorized"
 
     @property
     def slice_bytes(self) -> int:
@@ -94,7 +100,24 @@ class EventCounts:
 
     @property
     def write_savings_percent(self) -> float:
-        """WRITE operations avoided by data reuse (paper: 72 % average)."""
+        """Column-slice WRITEs avoided by data reuse (paper: 72 % average).
+
+        Row slices are written exactly once per row whether or not a reuse
+        strategy exists, so the saving the paper attributes to data reuse
+        is the *column* hit rate — consistent with
+        :attr:`CacheStatistics.write_savings_percent`.  (An earlier version
+        diluted this by counting the unavoidable row writes in both the
+        baseline and the total; :attr:`total_write_savings_percent` keeps
+        that whole-run figure under its own name.)
+        """
+        accesses = self.col_slice_hits + self.col_slice_writes
+        if not accesses:
+            return 0.0
+        return 100.0 * self.col_slice_hits / accesses
+
+    @property
+    def total_write_savings_percent(self) -> float:
+        """All-WRITE saving including the unavoidable row-slice writes."""
         baseline = self.writes_without_reuse
         if not baseline:
             return 0.0
@@ -148,6 +171,12 @@ class TCIMAccelerator:
                 f"array of {self.config.array_bytes} bytes cannot hold two "
                 f"slices of {self.config.slice_bytes} bytes"
             )
+        from repro.core.engine import ENGINES
+
+        if self.config.engine not in ENGINES:
+            raise ArchitectureError(
+                f"engine must be one of {ENGINES}, got {self.config.engine!r}"
+            )
 
     def run(self, graph: Graph) -> TCIMRunResult:
         """Execute Algorithm 1 on ``graph`` and collect all statistics."""
@@ -171,6 +200,63 @@ class TCIMAccelerator:
                 f"array too small: row region needs {row_region} slices but "
                 f"capacity is {config.capacity_slices}"
             )
+        if config.engine == "vectorized":
+            accumulator, events, cache_stats = self._run_vectorized(
+                graph, row_sliced, col_sliced, column_capacity
+            )
+        else:
+            accumulator, events, cache_stats = self._run_legacy(
+                graph, row_sliced, col_sliced, column_capacity
+            )
+        triangles = accumulator if orientation == "upper" else accumulator // 6
+        stats = slice_statistics(
+            graph,
+            slice_bits=config.slice_bits,
+            orientation=orientation,
+            row_sliced=row_sliced,
+            col_sliced=col_sliced,
+        )
+        return TCIMRunResult(
+            triangles=triangles,
+            events=events,
+            cache_stats=cache_stats,
+            slice_stats=stats,
+            config=config,
+            row_region_slices=row_region,
+            column_cache_slices=column_capacity,
+        )
+
+    def _run_vectorized(
+        self,
+        graph: Graph,
+        row_sliced: SlicedMatrix,
+        col_sliced: SlicedMatrix,
+        column_capacity: int,
+    ) -> tuple[int, EventCounts, CacheStatistics]:
+        """Batched numpy dataflow (see :mod:`repro.core.engine`)."""
+        from repro.core.engine import execute_batched
+
+        accumulator, fields, cache_stats = execute_batched(
+            graph,
+            row_sliced,
+            col_sliced,
+            self.config.orientation,
+            column_capacity,
+            policy=self.config.policy,
+            seed=self.config.seed,
+        )
+        return accumulator, EventCounts(**fields), cache_stats
+
+    def _run_legacy(
+        self,
+        graph: Graph,
+        row_sliced: SlicedMatrix,
+        col_sliced: SlicedMatrix,
+        column_capacity: int,
+    ) -> tuple[int, EventCounts, CacheStatistics]:
+        """Original per-edge Python loop — the differential-testing oracle."""
+        config = self.config
+        orientation = config.orientation
         cache = SliceCache(column_capacity, policy=config.policy, seed=config.seed)
         events = EventCounts()
         accumulator = 0
@@ -206,16 +292,4 @@ class TCIMAccelerator:
                 events.bitcount_operations += int(row_pos.size)
         events.col_slice_writes = cache.stats.writes
         events.col_slice_hits = cache.stats.hits
-        triangles = accumulator if orientation == "upper" else accumulator // 6
-        stats = slice_statistics(
-            graph, slice_bits=config.slice_bits, orientation=orientation
-        )
-        return TCIMRunResult(
-            triangles=triangles,
-            events=events,
-            cache_stats=cache.stats,
-            slice_stats=stats,
-            config=config,
-            row_region_slices=row_region,
-            column_cache_slices=column_capacity,
-        )
+        return accumulator, events, cache.stats

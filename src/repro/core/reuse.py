@@ -36,6 +36,7 @@ __all__ = [
     "CacheStatistics",
     "SliceCache",
     "simulate_trace",
+    "simulate_key_trace",
     "belady_trace_statistics",
 ]
 
@@ -238,6 +239,83 @@ def simulate_trace(
     cache = SliceCache(capacity, policy=policy, seed=seed)
     for key in trace:
         cache.access(key)
+    return cache.stats
+
+
+def simulate_key_trace(
+    keys: np.ndarray,
+    capacity: int,
+    policy: ReplacementPolicy | str = ReplacementPolicy.LRU,
+    seed: int = 0,
+) -> CacheStatistics:
+    """Simulate a full integer-key access trace — the vectorized fast path.
+
+    Semantically identical to feeding every key of ``keys`` through
+    :meth:`SliceCache.access` in order (same hit / miss / exchange
+    classification, same RNG consumption for the RANDOM policy), but the
+    eviction-free prefix of the trace — on the paper's 16 MB array that is
+    usually the *whole* trace — is classified with vectorized numpy
+    instead of one dict operation per access:
+
+    * while the cache has never evicted, a key is a **hit** iff it occurred
+      earlier in the trace, so hits/misses fall out of a first-occurrence
+      scan;
+    * the first access that would evict is located exactly (the first
+      first-occurrence once ``capacity`` distinct keys are resident), the
+      resident set and its recency/insertion order are reconstructed in
+      bulk, and only the suffix runs through the serial cache.
+
+    ``keys`` is a 1-D integer array; the TCIM batch engine encodes each
+    column-slice access as ``column * slices_per_row + slice_id``.
+    """
+    if capacity <= 0:
+        raise CacheError(f"cache capacity must be positive, got {capacity}")
+    try:
+        policy = ReplacementPolicy(policy)
+    except ValueError:
+        raise CacheError(f"unknown replacement policy {policy!r}") from None
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise CacheError(f"key trace must be 1-D, got shape {keys.shape}")
+    length = int(keys.size)
+    if length == 0:
+        return CacheStatistics()
+    # Cheap distinct count first (one sort, no inverse): when the working
+    # set fits — the common case on the paper's 16 MB array — nothing ever
+    # evicts, every policy coincides, and hits are just re-accesses.
+    sorted_keys = np.sort(keys)
+    distinct = 1 + int(np.count_nonzero(sorted_keys[1:] != sorted_keys[:-1]))
+    if distinct <= capacity:
+        return CacheStatistics(hits=length - distinct, misses=distinct)
+    # ``first_position[i]`` is the first occurrence of compact key id i.
+    unique, first_position, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    # Occupancy only grows until the first eviction, one slot per first
+    # occurrence, so the first access that evicts is the first occurrence
+    # number ``capacity`` (0-based): everything before it is eviction-free.
+    boundary = int(np.sort(first_position)[capacity])
+    prefix_misses = capacity
+    stats = CacheStatistics(hits=boundary - prefix_misses, misses=prefix_misses)
+    prefix_inverse = inverse[:boundary]
+    if policy is ReplacementPolicy.LRU:
+        # Eviction order = recency order: oldest last access first.
+        last_access = np.full(unique.size, -1, dtype=np.int64)
+        np.maximum.at(last_access, prefix_inverse, np.arange(boundary, dtype=np.int64))
+        resident = np.flatnonzero(last_access >= 0)
+        resident = resident[np.argsort(last_access[resident], kind="stable")]
+    else:
+        # FIFO evicts in insertion order; RANDOM tracks insertion order in
+        # its side list.  Both reduce to first-occurrence order here.
+        resident = np.flatnonzero(first_position < boundary)
+        resident = resident[np.argsort(first_position[resident], kind="stable")]
+    cache = SliceCache(capacity, policy=policy, seed=seed)
+    for key in unique[resident].tolist():
+        cache._insert(key)
+    cache.stats = stats
+    access = cache.access
+    for key in keys[boundary:].tolist():
+        access(key)
     return cache.stats
 
 

@@ -127,11 +127,26 @@ class SlicedMatrix:
         slices_per_row = _slices_per_row(num_cols, slice_bits)
         slice_of = cols // slice_bits
         keys = rows * np.int64(slices_per_row) + slice_of
-        order = np.argsort(keys, kind="stable")
-        keys_sorted = keys[order]
-        cols_sorted = cols[order]
-        unique_keys = np.unique(keys_sorted)
-        ordinal = np.searchsorted(unique_keys, keys_sorted)
+        if keys.size and bool((keys[1:] >= keys[:-1]).all()):
+            # Already sorted (e.g. nonzeros straight off the lexicographic
+            # edge list): skip the argsort, the dominant cost at scale.
+            keys_sorted = keys
+            cols_sorted = cols
+        else:
+            order = np.argsort(keys, kind="stable")
+            keys_sorted = keys[order]
+            cols_sorted = cols[order]
+        # ``keys_sorted`` is sorted, so uniques are the group heads — a
+        # boundary scan beats a hash-based np.unique on large graphs.
+        if keys_sorted.size:
+            head = np.empty(keys_sorted.size, dtype=bool)
+            head[0] = True
+            np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=head[1:])
+            unique_keys = keys_sorted[head]
+            ordinal = np.cumsum(head) - 1
+        else:
+            unique_keys = keys_sorted
+            ordinal = np.empty(0, dtype=np.int64)
         bits = np.zeros((unique_keys.size, slice_bits), dtype=bool)
         bits[ordinal, cols_sorted % slice_bits] = True
         data = (
@@ -159,16 +174,20 @@ class SlicedMatrix:
         """
         if orientation not in _ORIENTATIONS:
             raise SlicingError(f"unknown orientation {orientation!r}")
-        edges = graph.edge_array()
-        u, v = edges[:, 0], edges[:, 1]
-        if orientation == "upper":
-            rows, cols = u, v
-        elif orientation == "lower":
-            rows, cols = v, u
-        else:
-            rows = np.concatenate([u, v])
-            cols = np.concatenate([v, u])
         n = graph.num_vertices
+        # Expand the (sorted-neighbour) CSR rather than the edge list: the
+        # resulting nonzeros arrive ordered by (row, col) for *every*
+        # orientation, so from_nonzeros skips its argsort.
+        indptr, indices = graph.csr
+        owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        if orientation == "upper":
+            keep = owners < indices
+            rows, cols = owners[keep], indices[keep]
+        elif orientation == "lower":
+            keep = owners > indices
+            rows, cols = owners[keep], indices[keep]
+        else:
+            rows, cols = owners, indices
         return cls.from_nonzeros(rows, cols, n, n, slice_bits=slice_bits)
 
     @classmethod
@@ -237,6 +256,36 @@ class SlicedMatrix:
         ids.flags.writeable = False
         payload.flags.writeable = False
         return ids, payload
+
+    def owner_rows(self) -> np.ndarray:
+        """Owning row of every valid slice, aligned with :attr:`slice_ids`.
+
+        Batch accessor for the vectorized engine: together with
+        :attr:`slice_ids` it identifies each valid slice globally without
+        per-row Python calls.
+        """
+        return np.repeat(
+            np.arange(self.num_rows, dtype=np.int64), np.diff(self.indptr)
+        )
+
+    def global_keys(self) -> np.ndarray:
+        """``row * slices_per_row + slice_id`` for every valid slice.
+
+        Because valid slices are stored row-major with ascending slice ids
+        within each row, the returned array is strictly ascending — so a
+        single :func:`np.searchsorted` can merge-join the valid slices of
+        thousands of (row, column) pairs at once.
+        """
+        return self.owner_rows() * np.int64(self.slices_per_row) + self.slice_ids
+
+    def row_slice_ranges(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(starts, counts)`` of the valid-slice runs of many rows at once."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= self.num_rows):
+            raise SlicingError(f"row index out of range [0, {self.num_rows})")
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        return starts, counts
 
     def row_valid_count(self, row: int) -> int:
         """Number of valid slices in ``row``."""
@@ -351,18 +400,28 @@ class SliceStatistics:
 
 
 def slice_statistics(
-    graph: Graph, slice_bits: int = 64, orientation: str = "upper"
+    graph: Graph,
+    slice_bits: int = 64,
+    orientation: str = "upper",
+    row_sliced: SlicedMatrix | None = None,
+    col_sliced: SlicedMatrix | None = None,
 ) -> SliceStatistics:
     """Compute the Table III / IV compression statistics for ``graph``.
 
     Slices both the rows of the oriented adjacency matrix and its columns
     (i.e. the transpose's rows), mirroring what the TCIM controller stores.
+    Callers that already hold the sliced matrices (the accelerator builds
+    them anyway) can pass them to skip the rebuild.
     """
-    row_sliced = SlicedMatrix.from_graph(graph, orientation, slice_bits=slice_bits)
-    col_orientation = {"upper": "lower", "lower": "upper", "symmetric": "symmetric"}[
-        orientation
-    ]
-    col_sliced = SlicedMatrix.from_graph(graph, col_orientation, slice_bits=slice_bits)
+    if row_sliced is None:
+        row_sliced = SlicedMatrix.from_graph(graph, orientation, slice_bits=slice_bits)
+    if col_sliced is None:
+        col_orientation = {
+            "upper": "lower", "lower": "upper", "symmetric": "symmetric"
+        }[orientation]
+        col_sliced = SlicedMatrix.from_graph(
+            graph, col_orientation, slice_bits=slice_bits
+        )
     return SliceStatistics(
         slice_bits=slice_bits,
         row_valid_slices=row_sliced.num_valid_slices,

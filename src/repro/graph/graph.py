@@ -62,6 +62,12 @@ class Graph:
                 )
         self._edges_uv = _canonicalise_edges(edge_array, self._num_vertices)
         self._indptr, self._indices = _build_csr(self._edges_uv, self._num_vertices)
+        # The graph is immutable: freeze the internal arrays so accessors
+        # (``csr``, ``edge_array``, ``neighbors``) can hand out views
+        # without risking silent corruption through a writable alias.
+        self._edges_uv.flags.writeable = False
+        self._indptr.flags.writeable = False
+        self._indices.flags.writeable = False
 
     # ------------------------------------------------------------------
     # Constructors
@@ -123,9 +129,7 @@ class Graph:
     def neighbors(self, vertex: int) -> np.ndarray:
         """Sorted array of neighbours of ``vertex`` (a read-only view)."""
         self._check_vertex(vertex)
-        view = self._indices[self._indptr[vertex]: self._indptr[vertex + 1]]
-        view.flags.writeable = False
-        return view
+        return self._indices[self._indptr[vertex]: self._indptr[vertex + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``{u, v}`` is present."""
@@ -138,10 +142,12 @@ class Graph:
         return position < neighbours.size and neighbours[position] == v
 
     def edge_array(self) -> np.ndarray:
-        """All edges as an ``(m, 2)`` array with ``u < v`` per row, sorted."""
-        view = self._edges_uv
-        view.flags.writeable = False
-        return view
+        """All edges as an ``(m, 2)`` array with ``u < v`` per row, sorted.
+
+        The returned array is read-only, like all accessors exposing the
+        internal storage.
+        """
+        return self._edges_uv
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate edges as ``(u, v)`` tuples with ``u < v``."""
@@ -153,7 +159,11 @@ class Graph:
     # ------------------------------------------------------------------
     @property
     def csr(self) -> tuple[np.ndarray, np.ndarray]:
-        """``(indptr, indices)`` of the symmetric adjacency structure."""
+        """``(indptr, indices)`` of the symmetric adjacency structure.
+
+        Both arrays are read-only views of the internal storage: writing
+        through them used to corrupt the "immutable" graph silently.
+        """
         return self._indptr, self._indices
 
     def adjacency_matrix(self, orientation: str = "symmetric") -> np.ndarray:

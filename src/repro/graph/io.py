@@ -29,19 +29,27 @@ __all__ = [
 ]
 
 
-def read_edge_list(path: str | Path | _io.TextIOBase) -> Graph:
+def read_edge_list(path: str | Path | _io.TextIOBase, strict: bool = False) -> Graph:
     """Parse a SNAP-style whitespace-separated edge list.
 
     Lines starting with ``#`` (or ``%``, used by some mirrors) are ignored.
-    Raises :class:`GraphFormatError` on malformed lines.
+    Raises :class:`GraphFormatError` on malformed lines (fewer than two
+    fields, or non-integer endpoints).
+
+    Lines with *more* than two fields — weighted or timestamped SNAP
+    exports such as ``u v weight`` — are accepted by default and the extra
+    columns are ignored, reading only the ``(u, v)`` endpoints.  Pass
+    ``strict=True`` to treat any extra column as malformed and raise
+    instead, which guards against accidentally importing a file whose
+    third column was actually part of the edge key.
     """
     if isinstance(path, (str, Path)):
         with open(path, "r", encoding="utf-8") as handle:
-            return _parse_edge_lines(handle, name=str(path))
-    return _parse_edge_lines(path, name="<stream>")
+            return _parse_edge_lines(handle, name=str(path), strict=strict)
+    return _parse_edge_lines(path, name="<stream>", strict=strict)
 
 
-def _parse_edge_lines(handle, name: str) -> Graph:
+def _parse_edge_lines(handle, name: str, strict: bool = False) -> Graph:
     sources: list[int] = []
     targets: list[int] = []
     for line_number, line in enumerate(handle, start=1):
@@ -52,6 +60,11 @@ def _parse_edge_lines(handle, name: str) -> Graph:
         if len(fields) < 2:
             raise GraphFormatError(
                 f"{name}:{line_number}: expected 'u v', got {stripped!r}"
+            )
+        if strict and len(fields) > 2:
+            raise GraphFormatError(
+                f"{name}:{line_number}: expected exactly 'u v' in strict "
+                f"mode, got {len(fields)} fields in {stripped!r}"
             )
         try:
             u, v = int(fields[0]), int(fields[1])
@@ -112,9 +125,12 @@ def read_npz(path: str | Path) -> Graph:
     return Graph(num_vertices, edges)
 
 
-def load_graph(path: str | Path) -> Graph:
-    """Load a graph, dispatching on file extension (``.npz`` vs text)."""
+def load_graph(path: str | Path, strict: bool = False) -> Graph:
+    """Load a graph, dispatching on file extension (``.npz`` vs text).
+
+    ``strict`` is forwarded to :func:`read_edge_list` for text files.
+    """
     path = Path(path)
     if path.suffix == ".npz":
         return read_npz(path)
-    return read_edge_list(path)
+    return read_edge_list(path, strict=strict)

@@ -66,6 +66,26 @@ class TestCommands:
         assert "modelled TCIM latency" in output
         assert "cache hit %" in output
 
+    def test_simulate_engine_flag(self, capsys):
+        assert main(
+            ["simulate", "dataset:roadnet-pa@0.005", "--engine", "legacy"]
+        ) == 0
+        legacy_out = capsys.readouterr().out
+        assert "legacy" in legacy_out
+        assert main(
+            ["simulate", "dataset:roadnet-pa@0.005", "--engine", "vectorized"]
+        ) == 0
+        vectorized_out = capsys.readouterr().out
+        assert "vectorized" in vectorized_out
+
+        def triangles(text):
+            for line in text.splitlines():
+                if "triangles" in line:
+                    return line
+            return None
+
+        assert triangles(legacy_out) == triangles(vectorized_out)
+
     def test_device(self, capsys):
         assert main(["device"]) == 0
         output = capsys.readouterr().out

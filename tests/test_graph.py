@@ -91,6 +91,26 @@ class TestAccessors:
     def test_edges_iterator_matches_array(self, paper_graph):
         assert list(paper_graph.edges()) == [tuple(e) for e in paper_graph.edge_array()]
 
+    def test_csr_views_read_only(self, paper_graph):
+        """Regression: writing through ``csr`` used to corrupt the graph."""
+        indptr, indices = paper_graph.csr
+        with pytest.raises(ValueError):
+            indptr[0] = 99
+        with pytest.raises(ValueError):
+            indices[0] = 99
+        # The graph is untouched even after the attempted writes.
+        assert paper_graph.neighbors(1).tolist() == [0, 2, 3]
+
+    def test_edge_array_read_only(self, paper_graph):
+        with pytest.raises(ValueError):
+            paper_graph.edge_array()[0, 0] = 99
+
+    def test_csr_slices_read_only(self, paper_graph):
+        indptr, indices = paper_graph.csr
+        view = indices[indptr[1]: indptr[2]]
+        with pytest.raises(ValueError):
+            view[0] = 7
+
 
 class TestAdjacency:
     def test_symmetric_matrix(self, paper_graph):

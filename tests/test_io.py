@@ -63,6 +63,40 @@ class TestEdgeListParsing:
             read_edge_list(io.StringIO("a b\n"))
 
 
+class TestExtraColumns:
+    """Weighted SNAP exports carry >2 fields; the behaviour is explicit."""
+
+    def test_two_fields_parse_in_both_modes(self):
+        assert read_edge_list(io.StringIO("0 1\n")).num_edges == 1
+        assert read_edge_list(io.StringIO("0 1\n"), strict=True).num_edges == 1
+
+    def test_three_fields_ignored_by_default(self):
+        graph = read_edge_list(io.StringIO("0 1 2.5\n1 2 7\n"))
+        assert graph.num_edges == 2
+        assert graph.num_vertices == 3
+
+    def test_three_fields_rejected_in_strict_mode(self):
+        with pytest.raises(GraphFormatError, match="strict"):
+            read_edge_list(io.StringIO("0 1 2.5\n"), strict=True)
+
+    def test_malformed_line_rejected_in_both_modes(self):
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(io.StringIO("0\n"))
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(io.StringIO("0\n"), strict=True)
+
+    def test_strict_error_reports_line_number(self):
+        with pytest.raises(GraphFormatError, match=":2:"):
+            read_edge_list(io.StringIO("0 1\n0 1 9\n"), strict=True)
+
+    def test_load_graph_forwards_strict(self, tmp_path):
+        path = tmp_path / "weighted.txt"
+        path.write_text("0 1 3\n", encoding="utf-8")
+        assert load_graph(path).num_edges == 1
+        with pytest.raises(GraphFormatError, match="strict"):
+            load_graph(path, strict=True)
+
+
 class TestRoundtrips:
     def test_edge_list_roundtrip(self, tmp_path, paper_graph):
         path = tmp_path / "graph.txt"

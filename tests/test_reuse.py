@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -13,6 +14,7 @@ from repro.core.reuse import (
     ReplacementPolicy,
     SliceCache,
     belady_trace_statistics,
+    simulate_key_trace,
     simulate_trace,
 )
 
@@ -161,3 +163,44 @@ class TestPolicies:
         optimal = belady_trace_statistics(trace, 2)
         assert lru.hits == 0
         assert optimal.hits > 0
+
+
+class TestKeyTraceFastPath:
+    """simulate_key_trace must match the serial cache bit for bit."""
+
+    @given(
+        st.lists(st.integers(0, 25), max_size=250),
+        st.integers(1, 12),
+        st.sampled_from(["lru", "fifo", "random"]),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_serial_cache(self, trace, capacity, policy, seed):
+        serial = simulate_trace(trace, capacity, policy=policy, seed=seed)
+        fast = simulate_key_trace(
+            np.asarray(trace, dtype=np.int64), capacity, policy=policy, seed=seed
+        )
+        assert (fast.hits, fast.misses, fast.exchanges) == (
+            serial.hits, serial.misses, serial.exchanges
+        )
+
+    def test_empty_trace(self):
+        stats = simulate_key_trace(np.empty(0, dtype=np.int64), 4)
+        assert stats.accesses == 0
+
+    def test_eviction_free_fast_path(self):
+        keys = np.asarray([3, 1, 3, 2, 1, 3], dtype=np.int64)
+        stats = simulate_key_trace(keys, capacity=10)
+        assert (stats.hits, stats.misses, stats.exchanges) == (3, 3, 0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(CacheError):
+            simulate_key_trace(np.asarray([1], dtype=np.int64), 0)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(CacheError):
+            simulate_key_trace(np.asarray([1], dtype=np.int64), 1, policy="mru")
+
+    def test_rejects_2d_trace(self):
+        with pytest.raises(CacheError):
+            simulate_key_trace(np.zeros((2, 2), dtype=np.int64), 1)
