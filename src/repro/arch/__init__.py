@@ -1,6 +1,12 @@
 """Architecture level: behavioural latency/energy simulation."""
 
-from repro.arch.pipeline import ParallelConfig, ParallelPimModel
+from repro.arch.pipeline import (
+    ParallelConfig,
+    ParallelPimModel,
+    measured_shard_report,
+    simulate_parallel,
+    simulate_sharded,
+)
 from repro.arch.perf import (
     FpgaReferenceModel,
     GraphXCpuModel,
@@ -16,6 +22,9 @@ from repro.arch.perf import (
 __all__ = [
     "ParallelConfig",
     "ParallelPimModel",
+    "measured_shard_report",
+    "simulate_parallel",
+    "simulate_sharded",
     "PimTimingParams",
     "PimEnergyParams",
     "PerfReport",

@@ -19,12 +19,16 @@ Per-operation constants for the two software models are *calibrated*
 against the paper's published columns (the substrate is a different
 machine, so absolute agreement is impossible); the calibration procedure
 and resulting paper-vs-model numbers are recorded in EXPERIMENTS.md.
+:meth:`PimPerformanceModel.evaluate_shards` additionally prices a sharded
+multi-array run from its *measured* per-shard events (critical path =
+slowest sub-array) — the methodology is documented in EXPERIMENTS.md too.
 Energy for Fig. 6 compares the TCIM system (array + controller/host)
 against the FPGA accelerator of [3] modelled as runtime x board power.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.accelerator import EventCounts
@@ -161,6 +165,74 @@ class PimPerformanceModel:
                 "control": control_energy,
                 "leakage": leakage_energy,
                 "host": energy.host_power_w * latency,
+            },
+        )
+
+    def evaluate_shards(
+        self,
+        shard_events: Sequence[EventCounts],
+        shard_rows: Sequence[int] | None = None,
+    ) -> PerfReport:
+        """Price *measured* per-shard events: critical path = slowest shard.
+
+        The analytic layer (:class:`repro.arch.pipeline.ParallelPimModel`)
+        divides a single-array run's work uniformly across units — the
+        Amdahl idealisation.  This mode instead takes the events each
+        simulated sub-array actually executed (from a sharded run, see
+        :mod:`repro.core.sharding`): every array runs concurrently with
+        its own local controller and bit counter (Fig. 4 gives each
+        sub-array private peripherals), so end-to-end latency is the
+        latency of the slowest shard, including *its* cache misses and
+        *its* serial per-edge work.  Dynamic energy sums over all shards;
+        leakage and host power accrue over the critical-path runtime (the
+        sub-arrays partition one chip, so total leakage power is
+        unchanged).
+        """
+        if not shard_events:
+            raise ArchitectureError("evaluate_shards needs at least one shard")
+        if shard_rows is None:
+            shard_rows = [0] * len(shard_events)
+        if len(shard_rows) != len(shard_events):
+            raise ArchitectureError(
+                f"{len(shard_events)} shards but {len(shard_rows)} row counts"
+            )
+        energy = self.energy
+        per_shard = [
+            self.evaluate(events, rows)
+            for events, rows in zip(shard_events, shard_rows)
+        ]
+        latencies = [report.latency_s for report in per_shard]
+        critical = max(latencies)
+        # Reuse the per-shard reports' energy accounting so this mode can
+        # never diverge from evaluate(): dynamic energy is everything that
+        # is not time-proportional (leakage/host are re-accrued over the
+        # critical path below).
+        dynamic = sum(
+            sum(report.energy_breakdown_j.values())
+            - report.energy_breakdown_j["leakage"]
+            - report.energy_breakdown_j["host"]
+            for report in per_shard
+        )
+        leakage = energy.leakage_power_w * critical
+        array_energy = dynamic + leakage
+        system_energy = array_energy + energy.host_power_w * critical
+        mean_latency = sum(latencies) / len(latencies)
+        breakdown = {
+            f"shard{index}": latency for index, latency in enumerate(latencies)
+        }
+        breakdown["critical_path"] = critical
+        # Load imbalance: 1.0 is perfect; the gap to it is latency the
+        # partitioner left on the table.
+        breakdown["imbalance"] = critical / mean_latency if mean_latency else 1.0
+        return PerfReport(
+            latency_s=critical,
+            array_energy_j=array_energy,
+            system_energy_j=system_energy,
+            latency_breakdown_s=breakdown,
+            energy_breakdown_j={
+                "dynamic": dynamic,
+                "leakage": leakage,
+                "host": energy.host_power_w * critical,
             },
         )
 

@@ -12,6 +12,19 @@ This module prices those options so the design space around the paper's
 fixed configuration can be explored (ablation A5): latency follows an
 Amdahl-style composition where only array work parallelises while the
 controller's per-edge work stays serial.
+
+Two pricing modes coexist:
+
+* **analytic** (:class:`ParallelPimModel`) — divide one single-array
+  run's event totals uniformly across ``compute_units``, the idealised
+  Amdahl curve;
+* **measured** (:func:`simulate_sharded`) — actually execute the run
+  sharded across ``num_arrays`` simulated arrays
+  (:mod:`repro.core.sharding`) and price each array's *own* events,
+  taking the slowest shard as the critical path
+  (:meth:`PimPerformanceModel.evaluate_shards`).  The gap between the
+  two curves is what uniform scaling hides: partition imbalance and
+  per-shard cache behaviour.
 """
 
 from __future__ import annotations
@@ -30,7 +43,13 @@ from repro.core.accelerator import (
 from repro.errors import ArchitectureError
 from repro.graph.graph import Graph
 
-__all__ = ["ParallelConfig", "ParallelPimModel", "simulate_parallel"]
+__all__ = [
+    "ParallelConfig",
+    "ParallelPimModel",
+    "simulate_parallel",
+    "measured_shard_report",
+    "simulate_sharded",
+]
 
 
 @dataclass(frozen=True)
@@ -156,4 +175,44 @@ def simulate_parallel(
     sources, _ = oriented_edges(graph, accelerator_config.orientation)
     rows_processed = int(np.unique(sources).size)
     report = model.evaluate(result.events, rows_processed)
+    return result, report
+
+
+def measured_shard_report(
+    result: TCIMRunResult,
+    base_model: PimPerformanceModel | None = None,
+) -> PerfReport:
+    """Price a sharded run from its measured per-shard breakdown.
+
+    ``result`` must come from a run with ``num_arrays > 1`` (its
+    ``shards`` list carries each array's events and touched-row count);
+    single-array results are priced as a one-shard critical path, which
+    degenerates to the baseline serial model.
+    """
+    model = base_model or default_pim_model()
+    if result.shards:
+        shard_events = [shard.events for shard in result.shards]
+        shard_rows = [shard.rows for shard in result.shards]
+    else:
+        shard_events = [result.events]
+        shard_rows = None
+    return model.evaluate_shards(shard_events, shard_rows)
+
+
+def simulate_sharded(
+    graph: Graph,
+    accelerator_config: AcceleratorConfig | None = None,
+    base_model: PimPerformanceModel | None = None,
+) -> tuple[TCIMRunResult, PerfReport]:
+    """Run the accelerator sharded and price the measured critical path.
+
+    The measured counterpart of :func:`simulate_parallel`: instead of
+    Amdahl-scaling one run's totals, the functional simulator executes
+    ``accelerator_config.num_arrays`` shards (each with its private row
+    region and column cache) and the report reflects the slowest shard —
+    including whatever load imbalance the chosen partitioner produced.
+    """
+    accelerator_config = accelerator_config or AcceleratorConfig(num_arrays=2)
+    result = TCIMAccelerator(accelerator_config).run(graph)
+    report = measured_shard_report(result, base_model)
     return result, report

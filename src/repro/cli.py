@@ -13,6 +13,11 @@ Sub-commands::
 
 ``GRAPH`` is either a path to an edge-list/.npz file or a dataset spec of
 the form ``dataset:<key>[@<scale>]``, e.g. ``dataset:roadnet-pa@0.02``.
+
+``count`` and ``simulate`` share the accelerator flags ``--engine``,
+``--num-arrays``, ``--shard-by`` and ``--workers``; with
+``--num-arrays > 1`` the run is sharded across simulated sub-arrays
+(Fig. 4) and ``simulate`` reports the measured per-shard critical path.
 """
 
 from __future__ import annotations
@@ -41,13 +46,52 @@ from repro.graph.io import load_graph
 __all__ = ["main", "build_parser", "resolve_graph"]
 
 _METHODS = {
-    "tcim": lambda g: TCIMAccelerator().run(g).triangles,
+    "tcim": None,  # dispatched through the accelerator with the shared flags
     "sliced": triangle_count_sliced,
     "dense": triangle_count_dense,
     "forward": triangle_count_forward,
     "edge-iterator": triangle_count_edge_iterator,
     "matmul": triangle_count_matmul,
 }
+
+
+def _add_accelerator_flags(parser: argparse.ArgumentParser) -> None:
+    """Accelerator knobs shared by ``count`` and ``simulate``."""
+    parser.add_argument(
+        "--engine",
+        choices=["vectorized", "legacy"],
+        default="vectorized",
+        help="execution engine (legacy = per-edge oracle loop)",
+    )
+    parser.add_argument(
+        "--num-arrays",
+        type=int,
+        default=1,
+        help="simulated sub-arrays to shard the run across (Fig. 4)",
+    )
+    parser.add_argument(
+        "--shard-by",
+        choices=["edges", "rows", "degree"],
+        default="edges",
+        help="edge partitioner for sharded runs",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for sharded runs (0 = serial in-process)",
+    )
+
+
+def _accelerator_config(args: argparse.Namespace, **overrides) -> AcceleratorConfig:
+    """Build an :class:`AcceleratorConfig` from the shared flags."""
+    return AcceleratorConfig(
+        engine=args.engine,
+        num_arrays=args.num_arrays,
+        shard_by=args.shard_by,
+        workers=args.workers,
+        **overrides,
+    )
 
 
 def resolve_graph(spec: str) -> Graph:
@@ -90,7 +134,11 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 def _cmd_count(args: argparse.Namespace) -> int:
     graph = resolve_graph(args.graph)
-    method = _METHODS[args.method]
+    if args.method == "tcim":
+        accelerator = TCIMAccelerator(_accelerator_config(args))
+        method = lambda g: accelerator.run(g).triangles  # noqa: E731
+    else:
+        method = _METHODS[args.method]
     start = time.perf_counter()
     triangles = method(graph)
     elapsed = time.perf_counter() - start
@@ -160,18 +208,26 @@ def _cmd_approx(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     graph = resolve_graph(args.graph)
-    config = AcceleratorConfig(
+    config = _accelerator_config(
+        args,
         slice_bits=args.slice_bits,
         array_bytes=int(args.array_mb * 2**20),
         policy=args.policy,
-        engine=args.engine,
     )
     start = time.perf_counter()
     result = TCIMAccelerator(config).run(graph)
     elapsed = time.perf_counter() - start
-    report = default_pim_model().evaluate(result.events)
+    model = default_pim_model()
+    if result.shards:
+        from repro.arch.pipeline import measured_shard_report
+
+        report = measured_shard_report(result, model)
+    else:
+        report = model.evaluate(result.events)
     table = Table(["metric", "value"], title="TCIM simulation")
     table.add_row(["engine", args.engine])
+    if config.num_arrays > 1:
+        table.add_row(["arrays", f"{config.num_arrays} (shard_by={config.shard_by})"])
     table.add_row(["triangles", format_count(result.triangles)])
     table.add_row(["edges processed", format_count(result.events.edges_processed)])
     table.add_row(["AND operations", format_count(result.events.and_operations)])
@@ -194,11 +250,49 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{result.events.computation_reduction_percent:.4f} %",
         ]
     )
-    table.add_row(["modelled TCIM latency", format_seconds(report.latency_s)])
+    if result.shards:
+        table.add_row(
+            [
+                "modelled TCIM latency (critical path)",
+                format_seconds(report.latency_s),
+            ]
+        )
+        table.add_row(
+            ["shard imbalance", f"{report.latency_breakdown_s['imbalance']:.3f}"]
+        )
+    else:
+        table.add_row(["modelled TCIM latency", format_seconds(report.latency_s)])
     table.add_row(["modelled array energy", f"{report.array_energy_j:.3e} J"])
     table.add_row(["modelled system energy", f"{report.system_energy_j:.3e} J"])
     table.add_row(["simulator wall-clock", format_seconds(elapsed)])
     print(table.render())
+    if result.shards:
+        shard_table = Table(
+            [
+                "shard",
+                "edges",
+                "rows",
+                "AND ops",
+                "cache hit %",
+                "col cache (slices)",
+                "latency",
+            ],
+            title="Per-shard breakdown (one row per simulated array)",
+        )
+        for shard in result.shards:
+            shard_report = model.evaluate(shard.events, shard.rows)
+            shard_table.add_row(
+                [
+                    shard.shard_id,
+                    format_count(shard.edges),
+                    format_count(shard.rows),
+                    format_count(shard.events.and_operations),
+                    f"{shard.cache_stats.hit_percent:.2f} %",
+                    format_count(shard.column_cache_slices),
+                    format_seconds(shard_report.latency_s),
+                ]
+            )
+        print(shard_table.render())
     return 0
 
 
@@ -247,11 +341,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("datasets", help="list the paper's datasets")
 
-    count = subparsers.add_parser("count", help="count triangles")
+    count = subparsers.add_parser(
+        "count",
+        help="count triangles",
+        description=(
+            "Count triangles.  The accelerator flags (--engine, "
+            "--num-arrays, --shard-by, --workers) apply to the default "
+            "tcim method; the software baselines ignore them."
+        ),
+    )
     count.add_argument("graph", help="file path or dataset:<key>[@scale]")
     count.add_argument(
         "--method", choices=sorted(_METHODS), default="tcim", help="algorithm"
     )
+    _add_accelerator_flags(count)
 
     stats = subparsers.add_parser("slice-stats", help="Table III/IV statistics")
     stats.add_argument("graph")
@@ -280,12 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--policy", choices=["lru", "fifo", "random"], default="lru"
     )
-    simulate.add_argument(
-        "--engine",
-        choices=["vectorized", "legacy"],
-        default="vectorized",
-        help="execution engine (legacy = per-edge oracle loop)",
-    )
+    _add_accelerator_flags(simulate)
 
     device = subparsers.add_parser("device", help="MTJ characterisation")
     device.add_argument("--llg", action="store_true", help="run the LLG transient")

@@ -22,11 +22,23 @@ from repro.core.reuse import (
     simulate_trace,
 )
 from repro.core.dynamic import DynamicTriangleCounter
+from repro.core.sharding import (
+    PARTITIONERS,
+    ShardPlan,
+    ShardResult,
+    execute_sharded,
+    plan_shards,
+)
 from repro.core.slicing import SlicedMatrix, SliceStatistics, slice_statistics
 from repro.core.trace import AccessTrace, compare_policies, extract_column_trace
 
 __all__ = [
     "DynamicTriangleCounter",
+    "PARTITIONERS",
+    "ShardPlan",
+    "ShardResult",
+    "execute_sharded",
+    "plan_shards",
     "AccessTrace",
     "compare_policies",
     "extract_column_trace",

@@ -15,7 +15,7 @@ against all baselines by the test-suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 import numpy as np
 
@@ -47,6 +47,16 @@ class AcceleratorConfig:
     runs the batched numpy dataflow of :mod:`repro.core.engine`;
     ``"legacy"`` runs the original per-edge Python loop, kept as the
     differential-testing oracle.  Both produce bit-identical results.
+
+    ``num_arrays`` splits the run across that many simulated sub-arrays
+    (the paper's Fig. 4 bank organisation, see
+    :mod:`repro.core.sharding`), each owning an equal share of
+    ``array_bytes`` with its own row region and column-slice cache.
+    ``shard_by`` picks the partitioner (``"edges"``, ``"rows"`` or
+    ``"degree"``) and ``workers`` > 0 fans shards out over a process
+    pool (0 = serial in-process).  ``num_arrays=1`` is bit-identical to
+    the plain vectorized engine; sharded runs require it (the legacy
+    loop stays single-array).
     """
 
     slice_bits: int = 64
@@ -55,6 +65,9 @@ class AcceleratorConfig:
     orientation: str = "upper"
     seed: int = 0
     engine: str = "vectorized"
+    num_arrays: int = 1
+    shard_by: str = "edges"
+    workers: int = 0
 
     @property
     def slice_bytes(self) -> int:
@@ -130,6 +143,30 @@ class EventCounts:
             return 0.0
         return 100.0 * (1.0 - self.and_operations / self.dense_pair_operations)
 
+    def merge(self, other: "EventCounts") -> "EventCounts":
+        """Field-wise sum — aggregating shards or independent runs.
+
+        Mirrors :meth:`CacheStatistics.merge`.  Every field is an additive
+        event counter, so merging the per-shard counts of a sharded run
+        reconstructs the totals the hardware would observe (row-slice
+        writes may legitimately exceed the single-array total when a
+        partitioner splits a row's edges across arrays — each array loads
+        the row once).
+        """
+        if not isinstance(other, EventCounts):
+            raise TypeError(f"cannot merge EventCounts with {type(other).__name__}")
+        return EventCounts(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __add__(self, other: "EventCounts") -> "EventCounts":
+        if not isinstance(other, EventCounts):
+            return NotImplemented
+        return self.merge(other)
+
 
 @dataclass
 class TCIMRunResult:
@@ -140,10 +177,15 @@ class TCIMRunResult:
     cache_stats: CacheStatistics
     slice_stats: SliceStatistics
     config: AcceleratorConfig
-    #: Slices reserved for the row region (max valid slices of any row).
+    #: Slices reserved for the row region (max valid slices of any row; for
+    #: sharded runs, the largest row region of any shard).
     row_region_slices: int = 0
-    #: Column-cache capacity in slices after the row-region reservation.
+    #: Column-cache capacity in slices after the row-region reservation
+    #: (for sharded runs, the tightest column cache of any shard).
     column_cache_slices: int = 0
+    #: Per-shard breakdown (:class:`~repro.core.sharding.ShardResult`)
+    #: when ``config.num_arrays > 1``; empty for single-array runs.
+    shards: list = field(default_factory=list)
     notes: dict = field(default_factory=dict)
 
 
@@ -172,10 +214,29 @@ class TCIMAccelerator:
                 f"slices of {self.config.slice_bytes} bytes"
             )
         from repro.core.engine import ENGINES
+        from repro.core.sharding import PARTITIONERS
 
         if self.config.engine not in ENGINES:
             raise ArchitectureError(
                 f"engine must be one of {ENGINES}, got {self.config.engine!r}"
+            )
+        if self.config.num_arrays < 1:
+            raise ArchitectureError(
+                f"num_arrays must be >= 1, got {self.config.num_arrays}"
+            )
+        if self.config.shard_by not in PARTITIONERS:
+            raise ArchitectureError(
+                f"shard_by must be one of {PARTITIONERS}, "
+                f"got {self.config.shard_by!r}"
+            )
+        if self.config.workers < 0:
+            raise ArchitectureError(
+                f"workers must be >= 0, got {self.config.workers}"
+            )
+        if self.config.num_arrays > 1 and self.config.engine != "vectorized":
+            raise ArchitectureError(
+                "sharded execution (num_arrays > 1) requires the "
+                f"vectorized engine, got engine={self.config.engine!r}"
             )
 
     def run(self, graph: Graph) -> TCIMRunResult:
@@ -193,21 +254,32 @@ class TCIMAccelerator:
         col_sliced = SlicedMatrix.from_graph(
             graph, col_orientation, slice_bits=config.slice_bits
         )
-        row_region = int(row_sliced.row_valid_counts().max(initial=0))
-        column_capacity = config.capacity_slices - row_region
-        if column_capacity < 1:
-            raise ArchitectureError(
-                f"array too small: row region needs {row_region} slices but "
-                f"capacity is {config.capacity_slices}"
+        shards: list = []
+        if config.num_arrays > 1:
+            accumulator, events, cache_stats, shards = self._run_sharded(
+                graph, row_sliced, col_sliced
             )
-        if config.engine == "vectorized":
-            accumulator, events, cache_stats = self._run_vectorized(
-                graph, row_sliced, col_sliced, column_capacity
+            row_region = max((s.row_region_slices for s in shards), default=0)
+            column_capacity = min(
+                (s.column_cache_slices for s in shards),
+                default=config.capacity_slices,
             )
         else:
-            accumulator, events, cache_stats = self._run_legacy(
-                graph, row_sliced, col_sliced, column_capacity
-            )
+            row_region = int(row_sliced.row_valid_counts().max(initial=0))
+            column_capacity = config.capacity_slices - row_region
+            if column_capacity < 1:
+                raise ArchitectureError(
+                    f"array too small: row region needs {row_region} slices but "
+                    f"capacity is {config.capacity_slices}"
+                )
+            if config.engine == "vectorized":
+                accumulator, events, cache_stats = self._run_vectorized(
+                    graph, row_sliced, col_sliced, column_capacity
+                )
+            else:
+                accumulator, events, cache_stats = self._run_legacy(
+                    graph, row_sliced, col_sliced, column_capacity
+                )
         triangles = accumulator if orientation == "upper" else accumulator // 6
         stats = slice_statistics(
             graph,
@@ -224,6 +296,7 @@ class TCIMAccelerator:
             config=config,
             row_region_slices=row_region,
             column_cache_slices=column_capacity,
+            shards=shards,
         )
 
     def _run_vectorized(
@@ -246,6 +319,46 @@ class TCIMAccelerator:
             seed=self.config.seed,
         )
         return accumulator, EventCounts(**fields), cache_stats
+
+    def _run_sharded(
+        self,
+        graph: Graph,
+        row_sliced: SlicedMatrix,
+        col_sliced: SlicedMatrix,
+    ) -> tuple[int, EventCounts, CacheStatistics, list]:
+        """Multi-array dataflow (see :mod:`repro.core.sharding`)."""
+        from repro.core.engine import oriented_edges
+        from repro.core.sharding import execute_sharded, plan_shards
+
+        config = self.config
+        # Materialise the oriented edge list once; the planner and the
+        # orchestrator both consume it.
+        sources, destinations = oriented_edges(graph, config.orientation)
+        plan = plan_shards(
+            graph,
+            config.orientation,
+            config.num_arrays,
+            config.shard_by,
+            sources=sources,
+        )
+        outcome = execute_sharded(
+            graph,
+            row_sliced,
+            col_sliced,
+            config.orientation,
+            plan,
+            config.capacity_slices,
+            policy=config.policy,
+            seed=config.seed,
+            workers=config.workers,
+            edge_arrays=(sources, destinations),
+        )
+        return (
+            outcome.accumulator,
+            outcome.events,
+            outcome.cache_stats,
+            outcome.shards,
+        )
 
     def _run_legacy(
         self,

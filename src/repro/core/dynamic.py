@@ -107,12 +107,67 @@ class DynamicTriangleCounter:
         return opened
 
     def apply(self, insertions=(), deletions=()) -> int:
-        """Apply a batch of updates; returns the net triangle delta."""
+        """Apply a two-list batch of updates; returns the net triangle delta.
+
+        **Ordering semantics**: *all* insertions are applied first, then
+        *all* deletions — regardless of how the caller interleaved the
+        operations before splitting them into the two lists.  Inserting
+        and deleting the same edge in one batch therefore nets to the
+        edge being absent.  When the relative order of mixed operations
+        matters (e.g. delete ``{u, v}`` *then* re-insert it), use
+        :meth:`apply_ops`, which consumes a single ordered stream.
+        """
         before = self._triangles
         for u, v in insertions:
             self.insert(u, v)
         for u, v in deletions:
             self.delete(u, v)
+        return self._triangles - before
+
+    #: Accepted operation codes for :meth:`apply_ops`.
+    _OP_CODES = {
+        "+": "insert",
+        "insert": "insert",
+        "-": "delete",
+        "delete": "delete",
+    }
+
+    def apply_ops(self, ops) -> int:
+        """Apply one ordered stream of updates; returns the net delta.
+
+        ``ops`` is an iterable of ``(op, u, v)`` triples where ``op`` is
+        ``"+"``/``"insert"`` or ``"-"``/``"delete"``.  Operations are
+        applied exactly in the given order, so
+        ``[("+", u, v), ("-", u, v)]`` ends with the edge absent while
+        ``[("-", u, v), ("+", u, v)]`` ends with it present — the
+        distinction :meth:`apply`'s two-list form cannot express.
+
+        >>> counter = DynamicTriangleCounter(3)
+        >>> counter.apply_ops([("+", 0, 1), ("+", 1, 2), ("+", 0, 2),
+        ...                    ("-", 0, 1)])
+        0
+        >>> counter.apply_ops([("+", 0, 1)])
+        1
+        """
+        before = self._triangles
+        for index, op in enumerate(ops):
+            try:
+                code, u, v = op
+            except (TypeError, ValueError):
+                raise GraphError(
+                    f"op {index} must be an (op, u, v) triple, got {op!r}"
+                ) from None
+            try:
+                action = self._OP_CODES[code]
+            except (KeyError, TypeError):
+                raise GraphError(
+                    f"op {index}: unknown operation {code!r}; "
+                    "expected '+'/'insert' or '-'/'delete'"
+                ) from None
+            if action == "insert":
+                self.insert(u, v)
+            else:
+                self.delete(u, v)
         return self._triangles - before
 
     # ------------------------------------------------------------------

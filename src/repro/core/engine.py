@@ -28,6 +28,12 @@ side is probed, so the join direction never changes the trace.  The
 differential test-suite in ``tests/test_engine.py`` asserts all of this
 across generators, orientations, slice widths and capacity-starved
 caches; the legacy loop stays in the tree as the oracle.
+
+:func:`execute_batched` also serves as the per-array kernel of the
+sharded multi-array subsystem (:mod:`repro.core.sharding`, modelling the
+paper's Fig. 4 bank organisation): passing ``edges`` restricts the run to
+one shard's slice of the oriented edge list, with its own private column
+cache trace and a row region sized to the rows that shard touches.
 """
 
 from __future__ import annotations
@@ -86,6 +92,8 @@ def execute_batched(
     policy,
     seed: int,
     batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+    edges: tuple[np.ndarray, np.ndarray] | None = None,
+    row_writes: int | None = None,
 ) -> tuple[int, dict, CacheStatistics]:
     """Run the batched dataflow.
 
@@ -94,16 +102,41 @@ def execute_batched(
     ``event_fields`` holds every :class:`EventCounts` field.  Kept free of
     an ``EventCounts`` import so :mod:`repro.core.accelerator` can import
     this module without a cycle.
+
+    ``edges`` restricts the run to one shard: a ``(sources, destinations)``
+    pair holding a subset of the oriented edge list *in the legacy
+    iteration order* (rows ascending, successors ascending within a row).
+    The shard pays row-slice WRITEs only for the rows it actually touches
+    and runs its own private column-cache trace — exactly the behaviour of
+    one sub-array of the paper's Fig. 4 organisation.  ``edges=None``
+    (the default) processes the whole oriented edge list.  ``row_writes``
+    optionally passes the shard's precomputed row-slice WRITE count
+    (callers like the orchestrator already hold the touched-row slice
+    counts); ignored without ``edges``.
     """
     if batch_candidates < 1:
         batch_candidates = 1
-    sources, destinations = oriented_edges(graph, orientation)
+    if edges is None:
+        sources, destinations = oriented_edges(graph, orientation)
+        # Rows without successors carry no valid slices, so the per-row sum
+        # of the legacy loop equals the total valid-slice count.
+        row_writes = row_sliced.num_valid_slices
+    else:
+        if orientation not in ("upper", "symmetric"):
+            raise ArchitectureError(
+                f"orientation must be 'upper' or 'symmetric', got {orientation!r}"
+            )
+        sources, destinations = edges
+        sources = np.asarray(sources, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if row_writes is None:
+            # A shard loads only the rows it owns edges for, once each.
+            _, touched_counts = row_sliced.row_slice_ranges(np.unique(sources))
+            row_writes = int(touched_counts.sum())
     num_edges = int(sources.size)
     slices_per_row = row_sliced.slices_per_row
     events = {
-        # Rows without successors carry no valid slices, so the per-row sum
-        # of the legacy loop equals the total valid-slice count.
-        "row_slice_writes": row_sliced.num_valid_slices,
+        "row_slice_writes": row_writes,
         "edges_processed": num_edges,
         "index_lookups": num_edges,
         "dense_pair_operations": num_edges * slices_per_row,

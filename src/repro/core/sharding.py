@@ -1,0 +1,378 @@
+"""Sharded multi-array execution (paper Fig. 4 bank organisation).
+
+The TCIM chip is not one monolithic array: Fig. 4 organises it as banks of
+mats of sub-arrays — 128 sub-arrays in the paper's configuration — each
+with its own row buffer and local bit counter.  The analytic layer
+(:mod:`repro.arch.pipeline`) has always *priced* that parallelism by
+Amdahl-scaling a single-array run; this module makes the functional
+simulator actually execute it:
+
+1. a pluggable **partitioner** splits the oriented edge list across
+   ``num_arrays`` simulated arrays (a :class:`ShardPlan`);
+2. each shard runs the vectorized kernel
+   (:func:`repro.core.engine.execute_batched`) over its own edge range,
+   with a private row region sized to the rows it touches and a private
+   column-slice cache covering its share of the array capacity;
+3. per-shard results are merged: the triangle accumulator and the
+   additive :class:`~repro.core.accelerator.EventCounts` sum exactly,
+   cache statistics merge element-wise, and the per-shard breakdown is
+   kept so the architecture model can price the *measured* critical path
+   (slowest shard) instead of a uniform analytic scaling.
+
+Partitioning strategy matters as much as unit count — real-PIM follow-up
+work (Asquini et al.) shows per-bank load balance dominates multi-array
+triangle-counting performance — so three partitioners are provided:
+
+* ``"edges"`` — contiguous edge ranges, the cheapest split (a row's edges
+  may straddle a boundary, costing duplicate row-slice loads);
+* ``"rows"`` — row round-robin (``row % num_arrays``), keeping each row's
+  edges on one array;
+* ``"degree"`` — greedy longest-processing-time assignment of whole rows
+  by successor count, balancing expected AND work across arrays.
+
+Invariants (asserted by ``tests/test_sharding.py``): ``num_arrays=1``
+reproduces the single-array vectorized engine bit for bit, and for any
+``num_arrays`` the merged triangle count is exact while the additive
+event counters (``edges_processed``, ``and_operations``,
+``dense_pair_operations``, ...) conserve their single-array totals.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import execute_batched, oriented_edges
+from repro.core.reuse import CacheStatistics
+from repro.core.slicing import SlicedMatrix
+from repro.errors import ArchitectureError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "PARTITIONERS",
+    "ShardPlan",
+    "ShardResult",
+    "ShardedOutcome",
+    "plan_shards",
+    "execute_sharded",
+]
+
+#: Recognised values of ``AcceleratorConfig.shard_by``.
+PARTITIONERS = ("edges", "rows", "degree")
+
+
+@dataclass(frozen=True, eq=False)
+class ShardPlan:
+    """Assignment of every oriented-edge position to one simulated array.
+
+    ``assignments[s]`` holds the positions (indices into the oriented
+    edge arrays) owned by shard ``s``, ascending — so each shard walks its
+    edges in the legacy iteration order and its private cache trace stays
+    deterministic.  Shards may be empty (more arrays than edges).
+
+    ``orientation`` records which oriented edge list the positions index
+    into; :func:`execute_sharded` rejects a plan built for a different
+    orientation or a different edge count (the position spaces differ, so
+    reusing one silently selects the wrong edges).
+
+    ``eq=False``: ndarray fields make the generated ``__eq__`` ambiguous,
+    so plans compare (and hash) by identity.
+    """
+
+    num_arrays: int
+    shard_by: str
+    assignments: tuple[np.ndarray, ...]
+    orientation: str = "upper"
+
+    def __post_init__(self) -> None:
+        if self.num_arrays < 1:
+            raise ArchitectureError(
+                f"num_arrays must be >= 1, got {self.num_arrays}"
+            )
+        if self.shard_by not in PARTITIONERS:
+            raise ArchitectureError(
+                f"shard_by must be one of {PARTITIONERS}, got {self.shard_by!r}"
+            )
+        if len(self.assignments) != self.num_arrays:
+            raise ArchitectureError(
+                f"plan has {len(self.assignments)} shards for "
+                f"{self.num_arrays} arrays"
+            )
+
+    @property
+    def num_edges(self) -> int:
+        """Total edges across all shards."""
+        return sum(int(positions.size) for positions in self.assignments)
+
+    def edges_per_shard(self) -> list[int]:
+        """Edge count of each shard (load-balance diagnostic)."""
+        return [int(positions.size) for positions in self.assignments]
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one simulated array's run over its shard."""
+
+    shard_id: int
+    edges: int
+    rows: int
+    accumulator: int
+    events: "EventCounts"  # noqa: F821 - imported lazily to avoid a cycle
+    cache_stats: CacheStatistics
+    row_region_slices: int
+    column_cache_slices: int
+
+
+@dataclass
+class ShardedOutcome:
+    """Merged result of a sharded execution plus the per-shard breakdown."""
+
+    accumulator: int
+    events: "EventCounts"  # noqa: F821
+    cache_stats: CacheStatistics
+    shards: list[ShardResult] = field(default_factory=list)
+
+
+def _partition_edges(sources: np.ndarray, num_arrays: int) -> list[np.ndarray]:
+    """Contiguous edge ranges of near-equal size."""
+    return list(np.array_split(np.arange(sources.size, dtype=np.int64), num_arrays))
+
+def _partition_rows(sources: np.ndarray, num_arrays: int) -> list[np.ndarray]:
+    """Row round-robin: shard ``row % num_arrays`` owns all of a row's edges."""
+    shard_of = sources % num_arrays
+    positions = np.arange(sources.size, dtype=np.int64)
+    return [positions[shard_of == s] for s in range(num_arrays)]
+
+def _partition_degree(sources: np.ndarray, num_arrays: int) -> list[np.ndarray]:
+    """Greedy LPT over whole rows, weighted by oriented out-degree.
+
+    Rows are assigned heaviest-first to the currently lightest shard —
+    the classic longest-processing-time heuristic, deterministic via
+    stable sorting.  Out-degree (successor count) is proportional to the
+    candidate slice-pair work a row generates, so this balances expected
+    AND operations, not just edge counts.
+    """
+    if sources.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return [empty.copy() for _ in range(num_arrays)]
+    import heapq
+
+    rows, counts = np.unique(sources, return_counts=True)
+    order = np.argsort(counts, kind="stable")[::-1]
+    shard_of_row = np.empty(rows.size, dtype=np.int64)
+    heap = [(0, s) for s in range(num_arrays)]
+    for r in order.tolist():
+        load, target = heapq.heappop(heap)
+        shard_of_row[r] = target
+        heapq.heappush(heap, (load + int(counts[r]), target))
+    # Edge positions are sorted by row, so mapping each edge to its row's
+    # shard and selecting per shard preserves ascending position order.
+    row_index = np.searchsorted(rows, sources)
+    shard_of = shard_of_row[row_index]
+    positions = np.arange(sources.size, dtype=np.int64)
+    return [positions[shard_of == s] for s in range(num_arrays)]
+
+
+_PARTITIONER_FUNCS = {
+    "edges": _partition_edges,
+    "rows": _partition_rows,
+    "degree": _partition_degree,
+}
+
+
+def plan_shards(
+    graph: Graph,
+    orientation: str,
+    num_arrays: int,
+    shard_by: str = "edges",
+    sources: np.ndarray | None = None,
+) -> ShardPlan:
+    """Split the oriented edge list of ``graph`` across ``num_arrays``.
+
+    ``sources`` optionally passes the already-materialised oriented
+    source array (``oriented_edges(graph, orientation)[0]``) so callers
+    that hold it anyway skip a second O(m) expansion.
+    """
+    if num_arrays < 1:
+        raise ArchitectureError(f"num_arrays must be >= 1, got {num_arrays}")
+    if shard_by not in PARTITIONERS:
+        raise ArchitectureError(
+            f"shard_by must be one of {PARTITIONERS}, got {shard_by!r}"
+        )
+    if sources is None:
+        sources, _ = oriented_edges(graph, orientation)
+    assignments = _PARTITIONER_FUNCS[shard_by](sources, num_arrays)
+    return ShardPlan(
+        num_arrays=num_arrays,
+        shard_by=shard_by,
+        assignments=tuple(assignments),
+        orientation=orientation,
+    )
+
+
+def _run_one_shard(
+    shard_id: int,
+    shard_sources: np.ndarray,
+    shard_destinations: np.ndarray,
+    graph: Graph,
+    row_sliced: SlicedMatrix,
+    col_sliced: SlicedMatrix,
+    orientation: str,
+    per_array_capacity: int,
+    policy,
+    seed: int,
+    batch_candidates: int | None,
+) -> ShardResult:
+    """Execute one shard on its private simulated array.
+
+    Top-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
+    it along with its arguments.
+    """
+    from repro.core.accelerator import EventCounts
+    from repro.core.engine import DEFAULT_BATCH_CANDIDATES
+
+    touched_rows = np.unique(shard_sources)
+    _, touched_counts = row_sliced.row_slice_ranges(touched_rows)
+    row_region = int(touched_counts.max(initial=0))
+    column_capacity = per_array_capacity - row_region
+    if column_capacity < 1:
+        raise ArchitectureError(
+            f"shard {shard_id}: per-array capacity {per_array_capacity} "
+            f"slices cannot hold its row region ({row_region} slices) plus "
+            f"a column cache; use fewer arrays or a larger array"
+        )
+    accumulator, fields, cache_stats = execute_batched(
+        graph,
+        row_sliced,
+        col_sliced,
+        orientation,
+        column_capacity,
+        policy=policy,
+        seed=seed,
+        batch_candidates=(
+            batch_candidates if batch_candidates else DEFAULT_BATCH_CANDIDATES
+        ),
+        edges=(shard_sources, shard_destinations),
+        row_writes=int(touched_counts.sum()),
+    )
+    return ShardResult(
+        shard_id=shard_id,
+        edges=int(shard_sources.size),
+        rows=int(touched_rows.size),
+        accumulator=accumulator,
+        events=EventCounts(**fields),
+        cache_stats=cache_stats,
+        row_region_slices=row_region,
+        column_cache_slices=column_capacity,
+    )
+
+
+def execute_sharded(
+    graph: Graph,
+    row_sliced: SlicedMatrix,
+    col_sliced: SlicedMatrix,
+    orientation: str,
+    plan: ShardPlan,
+    capacity_slices: int,
+    policy,
+    seed: int,
+    workers: int = 0,
+    batch_candidates: int | None = None,
+    edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
+) -> ShardedOutcome:
+    """Fan the shards of ``plan`` out over simulated arrays and merge.
+
+    ``capacity_slices`` is the *total* computational-array capacity; each
+    of the ``plan.num_arrays`` arrays owns an equal share, mirroring the
+    fixed 16 MB budget the paper splits across its 128 sub-arrays.  Each
+    shard reserves its own row region (sized to the rows it touches) out
+    of that share and runs a private column-cache trace.
+
+    ``workers=0`` runs shards serially in-process; ``workers>0`` fans
+    them out over a :class:`ProcessPoolExecutor` — results are identical
+    because shards share no mutable state.  ``edge_arrays`` optionally
+    passes the already-materialised ``(sources, destinations)`` pair.
+    """
+    from repro.core.accelerator import EventCounts
+
+    if workers < 0:
+        raise ArchitectureError(f"workers must be >= 0, got {workers}")
+    if plan.orientation != orientation:
+        raise ArchitectureError(
+            f"plan was built for orientation {plan.orientation!r} but the "
+            f"run uses {orientation!r}; shard positions index different "
+            "edge lists — rebuild the plan with plan_shards"
+        )
+    per_array_capacity = capacity_slices // plan.num_arrays
+    if per_array_capacity < 2:
+        raise ArchitectureError(
+            f"array of {capacity_slices} slices split {plan.num_arrays} ways "
+            f"leaves {per_array_capacity} slices per array; need at least 2"
+        )
+    if edge_arrays is None:
+        sources, destinations = oriented_edges(graph, orientation)
+    else:
+        sources, destinations = edge_arrays
+    if plan.num_edges != int(sources.size):
+        raise ArchitectureError(
+            f"plan covers {plan.num_edges} edges but the oriented edge list "
+            f"has {sources.size}; the plan was built for a different graph "
+            "— rebuild it with plan_shards"
+        )
+    shared = (
+        graph,
+        row_sliced,
+        col_sliced,
+        orientation,
+        per_array_capacity,
+        policy,
+        seed,
+        batch_candidates,
+    )
+    jobs = [
+        (shard_id, sources[positions], destinations[positions])
+        for shard_id, positions in enumerate(plan.assignments)
+    ]
+    if workers > 0 and len(jobs) > 1:
+        # The graph and both slice structures are identical for every
+        # shard: ship them once per worker via the initializer instead of
+        # pickling them into each job (O(n + m) per shard otherwise).
+        max_workers = min(workers, len(jobs), os.cpu_count() or 1)
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_shard_worker,
+            initargs=shared,
+        ) as pool:
+            shard_results = list(pool.map(_run_pooled_shard, jobs))
+    else:
+        shard_results = [_run_one_shard(*job, *shared) for job in jobs]
+    accumulator = sum(result.accumulator for result in shard_results)
+    events = EventCounts()
+    cache_stats = CacheStatistics()
+    for result in shard_results:
+        events = events + result.events
+        cache_stats = cache_stats.merge(result.cache_stats)
+    return ShardedOutcome(
+        accumulator=accumulator,
+        events=events,
+        cache_stats=cache_stats,
+        shards=shard_results,
+    )
+
+
+#: Per-process shared state installed by :func:`_init_shard_worker`.
+_WORKER_SHARED: tuple | None = None
+
+
+def _init_shard_worker(*shared) -> None:
+    """Pool initializer: stash the run-wide read-only state once."""
+    global _WORKER_SHARED
+    _WORKER_SHARED = shared
+
+
+def _run_pooled_shard(job: tuple) -> ShardResult:
+    """Run one ``(shard_id, sources, destinations)`` job in a pool worker."""
+    return _run_one_shard(*job, *_WORKER_SHARED)

@@ -120,3 +120,73 @@ class TestCommands:
     def test_error_path_returns_nonzero(self, capsys):
         assert main(["count", "dataset:unknown-graph"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestShardedFlags:
+    """--engine/--num-arrays/--shard-by/--workers are shared by count
+    and simulate."""
+
+    def test_count_engine_flag(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        for engine in ("vectorized", "legacy"):
+            assert main(["count", str(path), "--engine", engine]) == 0
+            assert "triangles (tcim): 2" in capsys.readouterr().out
+
+    def test_count_sharded_matches_single_array(self, capsys):
+        spec = "dataset:roadnet-pa@0.005"
+        assert main(["count", spec]) == 0
+        single = capsys.readouterr().out
+        assert main(
+            ["count", spec, "--num-arrays", "4", "--shard-by", "degree"]
+        ) == 0
+        sharded = capsys.readouterr().out
+
+        def triangles(text):
+            for line in text.splitlines():
+                if "triangles" in line:
+                    return line
+            return None
+
+        assert triangles(single) == triangles(sharded)
+
+    def test_simulate_sharded_breakdown(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "dataset:roadnet-pa@0.005",
+                "--num-arrays",
+                "4",
+                "--shard-by",
+                "rows",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "critical path" in output
+        assert "Per-shard breakdown" in output
+        assert "shard imbalance" in output
+
+    def test_simulate_single_array_output_unchanged(self, capsys):
+        assert main(["simulate", "dataset:roadnet-pa@0.005"]) == 0
+        output = capsys.readouterr().out
+        assert "modelled TCIM latency" in output
+        assert "Per-shard breakdown" not in output
+
+    def test_legacy_engine_rejects_sharding(self, capsys):
+        assert main(
+            [
+                "count",
+                "dataset:roadnet-pa@0.005",
+                "--engine",
+                "legacy",
+                "--num-arrays",
+                "2",
+            ]
+        ) == 1
+        assert "vectorized" in capsys.readouterr().err
+
+    def test_bad_num_arrays_is_an_error(self, capsys):
+        assert main(
+            ["count", "dataset:roadnet-pa@0.005", "--num-arrays", "0"]
+        ) == 1
+        assert "num_arrays" in capsys.readouterr().err

@@ -119,3 +119,89 @@ class TestConsistencyWithRecount:
             counter.delete(u, v)
         assert counter.triangles == 0
         assert counter.num_edges == 0
+
+
+class TestApplyOps:
+    """The single ordered op stream (and apply()'s two-list contrast)."""
+
+    def test_order_preserved(self, paper_graph):
+        counter = DynamicTriangleCounter(4, paper_graph)
+        # Delete then re-insert: the edge (and both triangles) survive.
+        delta = counter.apply_ops([("-", 1, 2), ("+", 1, 2)])
+        assert delta == 0
+        assert counter.has_edge(1, 2)
+        assert counter.triangles == 2
+
+    def test_insert_then_delete_removes(self, paper_graph):
+        counter = DynamicTriangleCounter(4, paper_graph)
+        counter.delete(1, 2)
+        delta = counter.apply_ops([("+", 1, 2), ("-", 1, 2)])
+        assert delta == 0
+        assert not counter.has_edge(1, 2)
+
+    def test_apply_two_list_semantics_differ_from_stream(self):
+        """apply() replays insertions before deletions regardless of the
+        caller's interleaving; apply_ops honours the stream order."""
+        two_list = DynamicTriangleCounter(3, generators.complete_graph(3))
+        # Caller "meant" delete-then-insert, but the two-list API cannot
+        # express it: the insert is a no-op, then the delete removes.
+        two_list.apply(insertions=[(0, 1)], deletions=[(0, 1)])
+        assert not two_list.has_edge(0, 1)
+
+        stream = DynamicTriangleCounter(3, generators.complete_graph(3))
+        stream.apply_ops([("-", 0, 1), ("+", 0, 1)])
+        assert stream.has_edge(0, 1)
+
+    def test_word_aliases(self):
+        counter = DynamicTriangleCounter(3)
+        delta = counter.apply_ops(
+            [("insert", 0, 1), ("insert", 1, 2), ("insert", 0, 2),
+             ("delete", 0, 2)]
+        )
+        assert delta == 0
+        assert counter.num_edges == 2
+
+    def test_net_delta(self):
+        counter = DynamicTriangleCounter(4)
+        delta = counter.apply_ops(
+            [("+", 0, 1), ("+", 1, 2), ("+", 0, 2), ("+", 2, 3)]
+        )
+        assert delta == 1
+        assert counter.triangles == 1
+
+    def test_rejects_unknown_op(self):
+        counter = DynamicTriangleCounter(3)
+        with pytest.raises(GraphError, match="unknown operation"):
+            counter.apply_ops([("insert", 0, 1), ("toggle", 1, 2)])
+        # The valid prefix was applied before the failure.
+        assert counter.has_edge(0, 1)
+
+    def test_rejects_malformed_op(self):
+        counter = DynamicTriangleCounter(3)
+        with pytest.raises(GraphError, match="triple"):
+            counter.apply_ops([(0, 1)])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["+", "-"]),
+                st.integers(0, 9),
+                st.integers(0, 9),
+            ),
+            max_size=60,
+        )
+    )
+    def test_stream_matches_serial_calls(self, ops):
+        streamed = DynamicTriangleCounter(10)
+        serial = DynamicTriangleCounter(10)
+        delta = streamed.apply_ops(ops)
+        before = serial.triangles
+        for code, u, v in ops:
+            if code == "+":
+                serial.insert(u, v)
+            else:
+                serial.delete(u, v)
+        assert streamed.triangles == serial.triangles
+        assert streamed.num_edges == serial.num_edges
+        assert delta == serial.triangles - before

@@ -145,12 +145,124 @@ class TestDifferentialProperty:
             assert_identical(graph, slice_bits=slice_bits, orientation=orientation)
 
 
+class TestEngineEdgeCases:
+    """Degenerate inputs through the batched kernel and the trace sim."""
+
+    def test_empty_graph_through_execute_batched(self):
+        graph = Graph(0)
+        row_sliced = SlicedMatrix.from_graph(graph, "upper")
+        col_sliced = SlicedMatrix.from_graph(graph, "lower")
+        accumulator, fields, cache_stats = engine.execute_batched(
+            graph, row_sliced, col_sliced, "upper", 16, "lru", 0
+        )
+        assert accumulator == 0
+        assert fields["edges_processed"] == 0
+        assert fields["and_operations"] == 0
+        assert fields["row_slice_writes"] == 0
+        assert cache_stats.accesses == 0
+
+    def test_edgeless_graph_through_execute_batched(self):
+        graph = Graph(12)
+        row_sliced = SlicedMatrix.from_graph(graph, "upper")
+        col_sliced = SlicedMatrix.from_graph(graph, "lower")
+        accumulator, fields, _ = engine.execute_batched(
+            graph, row_sliced, col_sliced, "upper", 16, "lru", 0
+        )
+        assert accumulator == 0
+        assert fields["dense_pair_operations"] == 0
+
+    def test_no_valid_slice_pairs(self):
+        """Edges whose row and column slices never share a slice index.
+
+        With 8-bit slices, vertex 16's predecessors {0, 1} live in slice
+        0 of the column structure while rows 0/1's successor {16} lives
+        in slice 2 of the row structure — every join probe misses, so no
+        AND fires and the cache trace stays empty, yet the per-edge
+        counters still tick.
+        """
+        graph = Graph(17, [(0, 16), (1, 16)])
+        row_sliced = SlicedMatrix.from_graph(graph, "upper", slice_bits=8)
+        col_sliced = SlicedMatrix.from_graph(graph, "lower", slice_bits=8)
+        accumulator, fields, cache_stats = engine.execute_batched(
+            graph, row_sliced, col_sliced, "upper", 16, "lru", 0
+        )
+        assert accumulator == 0
+        assert fields["and_operations"] == 0
+        assert fields["edges_processed"] == 2
+        assert cache_stats.accesses == 0
+        assert_identical(graph, slice_bits=8)
+
+    def test_simulate_key_trace_capacity_one(self):
+        from repro.core.reuse import simulate_key_trace, simulate_trace
+
+        trace = np.array([3, 3, 5, 3, 5, 5, 3], dtype=np.int64)
+        for policy in ("lru", "fifo", "random"):
+            fast = simulate_key_trace(trace, 1, policy=policy, seed=2)
+            serial = simulate_trace(trace.tolist(), 1, policy=policy, seed=2)
+            assert dataclasses.asdict(fast) == dataclasses.asdict(serial)
+        # Capacity 1 can never hit on an alternating trace.
+        stats = simulate_key_trace(np.array([1, 2, 1, 2]), 1)
+        assert stats.hits == 0
+        assert stats.writes == 4
+
+    def test_simulate_key_trace_empty_trace_capacity_one(self):
+        from repro.core.reuse import simulate_key_trace
+
+        stats = simulate_key_trace(np.empty(0, dtype=np.int64), 1)
+        assert stats.accesses == 0
+        assert stats.writes == 0
+
+    def test_shard_edges_subset(self):
+        """``edges=`` runs a subset with row writes for touched rows only."""
+        graph = generators.barabasi_albert(80, 4, seed=13)
+        row_sliced = SlicedMatrix.from_graph(graph, "upper")
+        col_sliced = SlicedMatrix.from_graph(graph, "lower")
+        sources, destinations = engine.oriented_edges(graph, "upper")
+        half = sources.size // 2
+        full = engine.execute_batched(
+            graph, row_sliced, col_sliced, "upper", 1 << 16, "lru", 0
+        )
+        first = engine.execute_batched(
+            graph, row_sliced, col_sliced, "upper", 1 << 16, "lru", 0,
+            edges=(sources[:half], destinations[:half]),
+        )
+        second = engine.execute_batched(
+            graph, row_sliced, col_sliced, "upper", 1 << 16, "lru", 0,
+            edges=(sources[half:], destinations[half:]),
+        )
+        assert first[0] + second[0] == full[0]
+        assert (
+            first[1]["and_operations"] + second[1]["and_operations"]
+            == full[1]["and_operations"]
+        )
+        assert first[1]["edges_processed"] == half
+
+    def test_shard_edges_rejects_bad_orientation(self):
+        from repro.errors import ArchitectureError
+
+        graph = generators.complete_graph(5)
+        row_sliced = SlicedMatrix.from_graph(graph, "upper")
+        col_sliced = SlicedMatrix.from_graph(graph, "lower")
+        with pytest.raises(ArchitectureError, match="orientation"):
+            engine.execute_batched(
+                graph, row_sliced, col_sliced, "lower", 16, "lru", 0,
+                edges=(np.array([0]), np.array([1])),
+            )
+
+
 class TestEngineConfig:
     def test_unknown_engine_rejected(self):
         from repro.errors import ArchitectureError
 
         with pytest.raises(ArchitectureError, match="engine"):
             TCIMAccelerator(AcceleratorConfig(engine="warp-drive"))
+
+    def test_bad_num_arrays_rejected(self):
+        from repro.errors import ArchitectureError
+
+        for bad in (0, -3):
+            with pytest.raises(ArchitectureError, match="num_arrays"):
+                TCIMAccelerator(AcceleratorConfig(num_arrays=bad))
 
     def test_default_is_vectorized(self):
         assert AcceleratorConfig().engine == "vectorized"

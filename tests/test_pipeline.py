@@ -121,3 +121,77 @@ class TestSimulateParallel:
         _, legacy = simulate_parallel(graph, AcceleratorConfig(engine="legacy"))
         assert vectorized.latency_s == pytest.approx(legacy.latency_s)
         assert vectorized.system_energy_j == pytest.approx(legacy.system_energy_j)
+
+
+class TestMeasuredShardPricing:
+    """evaluate_shards: the measured per-shard critical-path mode."""
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        return default_pim_model()
+
+    def test_one_shard_degenerates_to_serial(self, base):
+        events = _events()
+        serial = base.evaluate(events, 500)
+        sharded = base.evaluate_shards([events], [500])
+        assert sharded.latency_s == pytest.approx(serial.latency_s)
+        assert sharded.latency_breakdown_s["imbalance"] == pytest.approx(1.0)
+
+    def test_critical_path_is_slowest_shard(self, base):
+        light = _events()
+        heavy = _events()
+        heavy.and_operations *= 3
+        heavy.edges_processed *= 3
+        report = base.evaluate_shards([light, heavy], [100, 300])
+        assert report.latency_s == pytest.approx(
+            base.evaluate(heavy, 300).latency_s
+        )
+        assert report.latency_breakdown_s["imbalance"] > 1.0
+
+    def test_dynamic_energy_sums_over_shards(self, base):
+        events = _events()
+        single = base.evaluate_shards([events], [0])
+        double = base.evaluate_shards([events, events], [0, 0])
+        assert double.energy_breakdown_j["dynamic"] == pytest.approx(
+            2 * single.energy_breakdown_j["dynamic"]
+        )
+        # Same critical path, so the time-proportional terms match.
+        assert double.energy_breakdown_j["leakage"] == pytest.approx(
+            single.energy_breakdown_j["leakage"]
+        )
+
+    def test_validation(self, base):
+        with pytest.raises(ArchitectureError, match="at least one"):
+            base.evaluate_shards([])
+        with pytest.raises(ArchitectureError, match="row counts"):
+            base.evaluate_shards([_events()], [1, 2])
+
+    def test_measured_report_from_sharded_run(self, base):
+        from repro.arch.pipeline import measured_shard_report
+        from repro.core.accelerator import AcceleratorConfig
+
+        graph = generators.powerlaw_cluster(300, 5, 0.5, seed=6)
+        run = TCIMAccelerator(
+            AcceleratorConfig(num_arrays=4, shard_by="degree")
+        ).run(graph)
+        report = measured_shard_report(run, base)
+        per_shard = [
+            report.latency_breakdown_s[f"shard{i}"] for i in range(4)
+        ]
+        assert report.latency_s == pytest.approx(max(per_shard))
+        # Sharding a run across 4 arrays beats pricing it on one.
+        serial = base.evaluate(run.events).latency_s
+        assert report.latency_s < serial
+
+    def test_simulate_sharded_one_call(self):
+        from repro.arch.pipeline import simulate_sharded
+        from repro.core.accelerator import AcceleratorConfig
+
+        graph = generators.powerlaw_cluster(200, 4, 0.6, seed=3)
+        result, report = simulate_sharded(
+            graph, AcceleratorConfig(num_arrays=4, shard_by="rows")
+        )
+        assert result.triangles == TCIMAccelerator().run(graph).triangles
+        assert len(result.shards) == 4
+        assert report.latency_s > 0
+        assert "imbalance" in report.latency_breakdown_s
