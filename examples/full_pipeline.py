@@ -14,18 +14,17 @@ from __future__ import annotations
 
 import sys
 
-from repro import paperdata
+from repro import open_session, paperdata
 from repro.analysis.reporting import Table, format_bytes, format_count, format_seconds
-from repro.arch.perf import GraphXCpuModel, SoftwareSlicedModel, default_pim_model
+from repro.arch.perf import GraphXCpuModel, SoftwareSlicedModel
 from repro.analysis.metrics import degree_statistics
-from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
-from repro.core.slicing import slice_statistics
-from repro.graph import datasets
 from repro.memory.mapped import MappedTCIMEngine
 from repro.memory.nvsim import ArrayOrganization
 
 
 def main(key: str = "com-dblp", scale: float = 0.05) -> None:
+    from repro.graph import datasets
+
     spec = datasets.get_dataset(key)
     graph = datasets.synthesize(key, scale=scale)
 
@@ -38,8 +37,16 @@ def main(key: str = "com-dblp", scale: float = 0.05) -> None:
     overview.add_row(["triangles", format_count(spec.stats.num_triangles), "see below"])
     print(overview.render())
 
+    # One session serves every layer below: the graph is compressed once
+    # and the slice stats, the functional run, and the priced report all
+    # come from the same resident structures.
+    array_bytes = max(int(16 * 2**20 * scale), 64 * 1024)
+    session = open_session(
+        graph, slice_bits=paperdata.SLICE_BITS, array_bytes=array_bytes
+    )
+
     # Compression (Tables III / IV).
-    stats = slice_statistics(graph, slice_bits=paperdata.SLICE_BITS)
+    stats = session.slice_stats()
     compression = Table(["metric", "value"], title="\nCompression (|S| = 64)")
     compression.add_row(["valid slices (rows)", format_count(stats.row_valid_slices)])
     compression.add_row(["row-structure data", format_bytes(stats.row_data_bytes)])
@@ -48,10 +55,9 @@ def main(key: str = "com-dblp", scale: float = 0.05) -> None:
                          f"{stats.paper_valid_percent:.4f} %"])
     print(compression.render())
 
-    # The accelerator run (Algorithm 1) with a proportionally scaled array.
-    array_bytes = max(int(16 * 2**20 * scale), 64 * 1024)
-    config = AcceleratorConfig(array_bytes=array_bytes)
-    result = TCIMAccelerator(config).run(graph)
+    # The priced run (Algorithm 1 + architecture model) off the session.
+    report = session.simulate()
+    result = report.result
     cache = Table(["metric", "value"], title="\nDataflow (Fig. 5 quantities)")
     cache.add_row(["triangles", format_count(result.triangles)])
     cache.add_row(["AND operations", format_count(result.events.and_operations)])
@@ -72,7 +78,7 @@ def main(key: str = "com-dblp", scale: float = 0.05) -> None:
     print(cache.render())
 
     # Performance / energy models (Table V / Fig. 6 quantities).
-    pim = default_pim_model().evaluate(result.events)
+    pim = report.perf
     software_s = SoftwareSlicedModel().evaluate_seconds(result.events)
     graphx_s = GraphXCpuModel().evaluate_seconds(
         graph.num_edges, degree_statistics(graph)["sum_squared"]
@@ -95,11 +101,11 @@ def main(key: str = "com-dblp", scale: float = 0.05) -> None:
         rows_per_subarray=256, cols_per_subarray=512,
     )
     mapped = MappedTCIMEngine(organization).run(small)
-    check = TCIMAccelerator().run(small)
-    agreement = "agree" if mapped.triangles == check.triangles else "MISMATCH"
+    check = open_session(small).count()
+    agreement = "agree" if mapped.triangles == check else "MISMATCH"
     print(f"\nmapped functional array vs statistical simulator on a "
           f"{small.num_vertices:,}-vertex copy: "
-          f"{mapped.triangles} vs {check.triangles} ({agreement})")
+          f"{mapped.triangles} vs {check} ({agreement})")
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import Graph, TCIMAccelerator, triangle_count_dense, triangle_count_sliced
+from repro import Graph, open_session, triangle_count_dense, triangle_count_sliced
 from repro.analysis.reporting import Table
 from repro.analysis.validation import validate_implementations
 from repro.baselines import triangle_count_forward, triangle_count_matmul
@@ -50,14 +50,31 @@ def main() -> None:
     counts.add_row(["matmul", triangle_count_matmul(graph)])
     print(counts.render())
 
-    # The statistical accelerator: Algorithm 1 with event accounting.
-    result = TCIMAccelerator().run(graph)
+    # The session facade: the graph is compressed once and held resident
+    # (Fig. 4's controller); count/simulate/apply all serve from it.
+    session = open_session(graph)
+    result = session.run()
     print(
-        f"\nTCIM accelerator: {result.triangles} triangles, "
+        f"\nTCIM session: {result.triangles} triangles, "
         f"{result.events.edges_processed} edges processed, "
         f"{result.events.and_operations} AND ops, "
         f"{result.events.total_slice_writes} slice writes"
     )
+    report = session.simulate()
+    print(
+        f"modelled latency {report.perf.latency_s * 1e6:.2f} us, "
+        f"array energy {report.perf.array_energy_j * 1e9:.2f} nJ"
+    )
+
+    # Incremental updates ride the same vectorized engine: adding {0, 3}
+    # completes K4, closing two more triangles; removing it restores.
+    update = session.apply([("+", 0, 3)])
+    print(
+        f"insert {{0, 3}}: {update.delta_triangles:+d} triangles "
+        f"-> {session.count()} (incremental delta re-join)"
+    )
+    session.apply([("-", 0, 3)])
+    print(f"delete {{0, 3}}: back to {session.count()} triangles")
 
     # The fully mapped engine: slices stored in the functional STT-MRAM
     # array, ANDs through multi-row activation, popcounts through the

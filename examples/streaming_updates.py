@@ -1,11 +1,14 @@
-"""Streaming graph updates: incremental counting + truss structure.
+"""Streaming graph updates: the session's incremental fast path.
 
 Graphs in production arrive as edge streams.  This example feeds a
-synthetic co-authorship stream through the incremental counter
-(:class:`repro.core.dynamic.DynamicTriangleCounter`), periodically
-cross-checks against a full TCIM accelerator recount, and finishes with
-the k-truss decomposition of the final graph — the companion kernel of
-the paper's GPU/FPGA comparison targets [2, 3].
+synthetic co-authorship stream through a :class:`repro.api.TCIMSession`
+— each chunk of insertions runs as a delta re-join of only the affected
+rows' slice pairs on the vectorized engine — cross-checks every
+checkpoint against the pure-Python oracle
+(:class:`repro.core.dynamic.DynamicTriangleCounter`) and a full TCIM
+recount, stresses a delete/re-insert churn window, and finishes with the
+k-truss decomposition of the final graph — the companion kernel of the
+paper's GPU/FPGA comparison targets [2, 3].
 
 Run:  python examples/streaming_updates.py [scale]
 """
@@ -16,14 +19,16 @@ import sys
 
 import numpy as np
 
+from repro import Graph, open_session
 from repro.analysis.reporting import Table, format_count
 from repro.analysis.truss import max_trussness, truss_decomposition
 from repro.core.accelerator import TCIMAccelerator
 from repro.core.dynamic import DynamicTriangleCounter
-from repro.graph import datasets
 
 
 def main(scale: float = 0.02, seed: int = 5) -> None:
+    from repro.graph import datasets
+
     target = datasets.synthesize("com-dblp", scale=scale)
     rng = np.random.default_rng(seed)
     edges = target.edge_array().copy()
@@ -34,44 +39,49 @@ def main(scale: float = 0.02, seed: int = 5) -> None:
         f"(com-dblp stand-in @ {scale})"
     )
 
-    counter = DynamicTriangleCounter(target.num_vertices)
+    # The session starts empty and ingests the stream in chunks; the
+    # oracle shadows it op for op.
+    session = open_session(Graph(target.num_vertices))
+    oracle = DynamicTriangleCounter(target.num_vertices)
     checkpoints = [len(edges) // 4, len(edges) // 2, 3 * len(edges) // 4, len(edges)]
     table = Table(
-        ["edges streamed", "incremental count", "TCIM recount", "agree"],
-        title="\nIncremental vs full recount at checkpoints",
+        ["edges streamed", "session (incremental)", "oracle", "TCIM recount", "agree"],
+        title="\nIncremental vs oracle vs full recount at checkpoints",
     )
     accelerator = TCIMAccelerator()
     position = 0
     for checkpoint in checkpoints:
-        while position < checkpoint:
-            u, v = edges[position]
-            counter.insert(int(u), int(v))
-            position += 1
-        snapshot = counter.to_graph()
-        recount = accelerator.run(snapshot).triangles
+        chunk = [(int(u), int(v)) for u, v in edges[position:checkpoint]]
+        position = checkpoint
+        session.apply_edges(insertions=chunk)
+        oracle.apply(insertions=chunk)
+        recount = accelerator.run(session.graph).triangles
         table.add_row(
             [
                 format_count(checkpoint),
-                format_count(counter.triangles),
+                format_count(session.count()),
+                format_count(oracle.triangles),
                 format_count(recount),
-                counter.triangles == recount,
+                session.count() == oracle.triangles == recount,
             ]
         )
     print(table.render())
 
     # Churn: delete and re-insert a random window, count must return.
-    window = edges[: len(edges) // 10]
-    before = counter.triangles
-    counter.apply(deletions=[tuple(edge) for edge in window.tolist()])
-    counter.apply(insertions=[tuple(edge) for edge in window.tolist()])
+    window = [tuple(edge) for edge in edges[: len(edges) // 10].tolist()]
+    before = session.count()
+    deletion = session.apply_edges(deletions=window)
+    reinsertion = session.apply_edges(insertions=window)
     print(
         f"\nchurn test (delete + re-insert {len(window):,} edges): "
-        f"{before:,} -> {counter.triangles:,} "
-        f"({'stable' if before == counter.triangles else 'MISMATCH'})"
+        f"{before:,} -> {session.count():,} "
+        f"({'stable' if before == session.count() else 'MISMATCH'}; "
+        f"deletion delta {deletion.delta_triangles:+,}, "
+        f"re-insertion delta {reinsertion.delta_triangles:+,})"
     )
 
     # Truss structure of the final graph.
-    final = counter.to_graph()
+    final = session.graph
     trussness = truss_decomposition(final)
     histogram: dict[int, int] = {}
     for value in trussness.values():

@@ -4,18 +4,32 @@ Full-system reproduction of Wang, Xueyan et al. (DAC 2020,
 arXiv:2007.10702).  See DESIGN.md for the system inventory and
 EXPERIMENTS.md for paper-vs-measured results.
 
-Quickstart::
+Quickstart (the session facade is the primary entry point)::
 
-    from repro import Graph, TCIMAccelerator, triangle_count_bitwise
+    from repro import Graph, open_session
 
     graph = Graph(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
-    assert triangle_count_bitwise(graph) == 2
-    result = TCIMAccelerator().run(graph)
-    assert result.triangles == 2
+    session = open_session(graph)
+    assert session.count() == 2
+    report = session.simulate()          # functional result + pricing
+    update = session.apply([("+", 0, 3)])  # incremental, vectorized
+    assert update.triangles == session.count()
+
+The pre-session entry points (:class:`TCIMAccelerator`,
+:func:`repro.arch.pipeline.simulate_sharded`, ...) remain supported; see
+docs/API.md for the public surface and the deprecation shims.
 """
 
+from repro.api import (
+    RunReport,
+    TCIMSession,
+    UpdateReport,
+    open_session,
+    resolve_graph,
+)
 from repro.core import (
     AcceleratorConfig,
+    DynamicTriangleCounter,
     EventCounts,
     ReplacementPolicy,
     SliceCache,
@@ -30,8 +44,9 @@ from repro.core import (
 )
 from repro.errors import ReproError
 from repro.graph import BitMatrix, Graph, load_graph
+from repro import registry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -40,13 +55,20 @@ __all__ = [
     "load_graph",
     "ReproError",
     "AcceleratorConfig",
+    "DynamicTriangleCounter",
     "EventCounts",
     "ReplacementPolicy",
+    "RunReport",
     "SliceCache",
     "SlicedMatrix",
     "SliceStatistics",
     "TCIMAccelerator",
     "TCIMRunResult",
+    "TCIMSession",
+    "UpdateReport",
+    "open_session",
+    "registry",
+    "resolve_graph",
     "slice_statistics",
     "triangle_count_bitwise",
     "triangle_count_dense",

@@ -1,0 +1,596 @@
+"""Unified session facade: one stateful entry point for the reproduction.
+
+The paper's controller (Fig. 4) holds the sliced, compressed graph
+resident in the MRAM array and serves queries against it.  Before this
+module, every caller re-created that residency by hand: functional runs
+went through :meth:`TCIMAccelerator.run` (re-slicing per call), priced
+runs through :func:`repro.arch.pipeline.simulate_sharded`, and dynamic
+workloads through :class:`~repro.core.dynamic.DynamicTriangleCounter`
+(pure-Python set intersections).  :class:`TCIMSession` models the
+resident controller directly:
+
+* the graph is loaded **once** — the oriented edge list, both
+  :class:`SlicedMatrix` structures, the slice statistics, and the shard
+  plan are cached and reused across queries;
+* :meth:`TCIMSession.count` / :meth:`TCIMSession.simulate` /
+  :meth:`TCIMSession.slice_stats` / :meth:`TCIMSession.baseline` serve
+  repeated queries without re-slicing;
+* :meth:`TCIMSession.apply` / :meth:`TCIMSession.apply_edges` stream
+  edge insertions/deletions through the **vectorized engine** as a
+  delta re-join of only the affected rows' slice pairs
+  (:mod:`repro.core.incremental`), shard-aware and with per-shard
+  :class:`EventCounts` deltas merged — dynamic workloads get the same
+  speedup as full runs.
+
+Engine and baseline dispatch goes through :mod:`repro.registry`, so new
+backends plug in without touching this facade.
+
+Usage::
+
+    from repro import open_session
+
+    session = open_session("dataset:com-dblp@0.05", num_arrays=4)
+    print(session.count())                   # cached compressed graph
+    report = session.simulate()              # unified RunReport
+    update = session.apply([("+", 0, 1), ("-", 2, 3)])
+    print(update.triangles, update.delta_triangles)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro import registry
+from repro.core import incremental
+from repro.core.accelerator import (
+    AcceleratorConfig,
+    EventCounts,
+    TCIMAccelerator,
+    TCIMRunResult,
+)
+from repro.core.engine import oriented_edges
+from repro.core.reuse import CacheStatistics
+from repro.core.sharding import plan_shards
+from repro.core.slicing import SlicedMatrix, SliceStatistics, slice_statistics
+from repro.errors import GraphError, ReproError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "RunReport",
+    "UpdateReport",
+    "TCIMSession",
+    "open_session",
+    "resolve_graph",
+]
+
+
+def resolve_graph(spec) -> Graph:
+    """Resolve a graph source: a :class:`Graph`, a file path, or a
+    ``dataset:<key>[@<scale>]`` spec (e.g. ``dataset:roadnet-pa@0.02``)."""
+    if isinstance(spec, Graph):
+        return spec
+    if not isinstance(spec, str):
+        raise ReproError(
+            f"graph source must be a Graph, a path, or a dataset spec, "
+            f"got {type(spec).__name__}"
+        )
+    if spec.startswith("dataset:"):
+        from repro.graph import datasets
+
+        remainder = spec[len("dataset:"):]
+        if "@" in remainder:
+            key, _, scale_text = remainder.partition("@")
+            try:
+                scale = float(scale_text)
+            except ValueError:
+                raise ReproError(f"invalid scale {scale_text!r} in {spec!r}") from None
+        else:
+            key, scale = remainder, 1.0
+        return datasets.synthesize(key, scale=scale)
+    from repro.graph.io import load_graph
+
+    return load_graph(spec)
+
+
+@dataclass
+class RunReport:
+    """Unified outcome of one priced session query.
+
+    Combines the functional result (:class:`TCIMRunResult` — triangles,
+    events, cache and slice statistics, per-shard breakdown) with the
+    architecture model's pricing (a :class:`~repro.arch.perf.PerfReport`;
+    for sharded runs the measured critical path — slowest shard — plus
+    one :class:`PerfReport` per simulated array).
+    """
+
+    result: TCIMRunResult
+    perf: "PerfReport"  # noqa: F821 - repro.arch.perf, imported lazily
+    shard_perf: list = field(default_factory=list)
+
+    @property
+    def triangles(self) -> int:
+        return self.result.triangles
+
+    @property
+    def events(self) -> EventCounts:
+        return self.result.events
+
+    @property
+    def cache_stats(self) -> CacheStatistics:
+        return self.result.cache_stats
+
+    @property
+    def slice_stats(self) -> SliceStatistics:
+        return self.result.slice_stats
+
+    @property
+    def shards(self) -> list:
+        return self.result.shards
+
+    @property
+    def latency_s(self) -> float:
+        return self.perf.latency_s
+
+    def to_mapping(self) -> dict:
+        """JSON-able summary (the CLI's ``--json`` payload)."""
+        config = self.result.config
+        payload = {
+            "triangles": self.result.triangles,
+            "engine": config.engine,
+            "num_arrays": config.num_arrays,
+            "shard_by": config.shard_by,
+            "events": asdict(self.result.events),
+            "cache": asdict(self.result.cache_stats),
+            "cache_hit_percent": self.result.cache_stats.hit_percent,
+            "write_savings_percent": self.result.events.write_savings_percent,
+            "computation_reduction_percent":
+                self.result.events.computation_reduction_percent,
+            "latency_s": self.perf.latency_s,
+            "array_energy_j": self.perf.array_energy_j,
+            "system_energy_j": self.perf.system_energy_j,
+        }
+        if self.result.shards:
+            payload["shards"] = [
+                {
+                    "shard_id": shard.shard_id,
+                    "edges": shard.edges,
+                    "rows": shard.rows,
+                    "events": asdict(shard.events),
+                    "latency_s": report.latency_s,
+                }
+                for shard, report in zip(self.result.shards, self.shard_perf)
+            ]
+        return payload
+
+
+@dataclass
+class UpdateReport:
+    """Outcome of one incremental update batch/stream.
+
+    ``events`` / ``cache_stats`` account the engine work of the delta
+    re-joins (merged across segments, terms, and shards) — the numbers
+    the performance model prices, exactly as for full runs.
+    """
+
+    #: Operations submitted (including no-ops).
+    requested: int
+    #: Edges actually inserted (submitted minus no-ops/duplicates).
+    inserted: int
+    #: Edges actually deleted.
+    deleted: int
+    #: Net triangle-count change of the whole batch.
+    delta_triangles: int
+    #: Exact triangle count after the batch.
+    triangles: int
+    #: Engine batches executed (consecutive same-type ops coalesce).
+    segments: int
+    events: EventCounts = field(default_factory=EventCounts)
+    cache_stats: CacheStatistics = field(default_factory=CacheStatistics)
+    #: Signed per-operation deltas, only with ``record=True`` (each op
+    #: runs as its own segment, the differential-testing mode).
+    per_op_deltas: list[int] | None = None
+
+    def to_mapping(self) -> dict:
+        """JSON-able summary (the CLI's ``--json`` payload)."""
+        payload = {
+            "requested": self.requested,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "delta_triangles": self.delta_triangles,
+            "triangles": self.triangles,
+            "segments": self.segments,
+            "events": asdict(self.events),
+            "cache": asdict(self.cache_stats),
+        }
+        if self.per_op_deltas is not None:
+            payload["per_op_deltas"] = list(self.per_op_deltas)
+        return payload
+
+
+
+
+class TCIMSession:
+    """Stateful TCIM entry point: one resident graph, many queries.
+
+    Construct via :func:`open_session` (which also resolves dataset
+    specs and config mappings), or directly from a :class:`Graph`.
+    The session is also a context manager; ``close()`` drops the cached
+    structures.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: AcceleratorConfig | None = None,
+        model=None,
+    ) -> None:
+        self.config = config or AcceleratorConfig()
+        # Validates the config eagerly (engine/partitioner names, capacity).
+        self._accelerator = TCIMAccelerator(self.config)
+        self._model = model
+        self._num_vertices = graph.num_vertices
+        self._graph: Graph | None = graph
+        self._edge_set: set[tuple[int, int]] | None = None
+        # Resident compressed state, built lazily and reused across queries.
+        self._row_sliced: SlicedMatrix | None = None
+        self._col_sliced: SlicedMatrix | None = None
+        self._edge_arrays: tuple[np.ndarray, np.ndarray] | None = None
+        self._plan = None
+        self._sym_sliced: SlicedMatrix | None = None
+        # Cached query results, invalidated by updates.
+        self._slice_stats: SliceStatistics | None = None
+        self._run: TCIMRunResult | None = None
+        self._report: RunReport | None = None
+        self._baseline_cache: dict[str, int] = {}
+        self._triangles: int | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TCIMSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop every cached structure (the session stays usable)."""
+        self._invalidate()
+        self._sym_sliced = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count (fixed for the session's lifetime)."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Current edge count."""
+        if self._edge_set is not None:
+            return len(self._edge_set)
+        return self.graph.num_edges
+
+    @property
+    def graph(self) -> Graph:
+        """Snapshot of the current graph (rebuilt lazily after updates)."""
+        if self._graph is None:
+            edges = np.array(sorted(self._edge_set), dtype=np.int64)
+            self._graph = Graph(self._num_vertices, edges.reshape(-1, 2))
+        return self._graph
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is currently present."""
+        self._materialise_edge_set()
+        return (min(u, v), max(u, v)) in self._edge_set
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Exact triangle count of the current graph.
+
+        Served from the incrementally maintained total when updates have
+        been applied; otherwise one full run on the resident compressed
+        structures (cached for repeat calls).
+        """
+        if self._triangles is None:
+            self._triangles = self._full_run().triangles
+        return self._triangles
+
+    def simulate(self) -> RunReport:
+        """Full priced run: functional result + architecture-model pricing.
+
+        Bit-identical to ``TCIMAccelerator(config).run(graph)`` plus the
+        matching perf evaluation — the session only skips the re-slicing,
+        never changes the dataflow.  Cached until the graph changes.
+        """
+        if self._report is None:
+            from repro.arch.perf import default_pim_model
+
+            result = self._full_run()
+            model = self._model or default_pim_model()
+            if result.shards:
+                from repro.arch.pipeline import measured_shard_report
+
+                perf = measured_shard_report(result, model)
+                shard_perf = [
+                    model.evaluate(shard.events, shard.rows)
+                    for shard in result.shards
+                ]
+            else:
+                perf = model.evaluate(result.events)
+                shard_perf = []
+            self._report = RunReport(result=result, perf=perf, shard_perf=shard_perf)
+        return self._report
+
+    def run(self) -> TCIMRunResult:
+        """The raw functional run result (``simulate()`` without pricing)."""
+        return self._full_run()
+
+    def slice_stats(self) -> SliceStatistics:
+        """Table III/IV compression statistics of the resident structures."""
+        if self._slice_stats is None:
+            self._prepare()
+            self._slice_stats = slice_statistics(
+                self.graph,
+                slice_bits=self.config.slice_bits,
+                orientation=self.config.orientation,
+                row_sliced=self._row_sliced,
+                col_sliced=self._col_sliced,
+            )
+        return self._slice_stats
+
+    def baseline(self, name: str) -> int:
+        """Triangle count via a registered software baseline (cached)."""
+        if name not in self._baseline_cache:
+            self._baseline_cache[name] = int(registry.baseline(name)(self.graph))
+        return self._baseline_cache[name]
+
+    # ------------------------------------------------------------------
+    # Incremental updates (the vectorized fast path)
+    # ------------------------------------------------------------------
+    def apply(self, ops, record: bool = False) -> UpdateReport:
+        """Apply one ordered stream of ``(op, u, v)`` updates.
+
+        ``op`` is ``"+"``/``"insert"`` or ``"-"``/``"delete"``; the
+        stream semantics match :meth:`DynamicTriangleCounter.apply_ops`
+        exactly (order preserved, no-ops ignored).  Consecutive
+        same-type operations commute, so they coalesce into one delta
+        re-join batch on the vectorized engine; an alternating stream
+        degenerates to per-op batches but never to full recounts.
+
+        ``record=True`` forces one batch per operation and returns the
+        signed per-op deltas in :attr:`UpdateReport.per_op_deltas` — the
+        differential-testing mode cross-checked against the
+        :class:`DynamicTriangleCounter` oracle in the test-suite.
+        """
+        parsed = self._parse_ops(ops)
+        segments: list[tuple[str, list[tuple[int, int]]]] = []
+        for code, u, v in parsed:
+            if record or not segments or segments[-1][0] != code:
+                segments.append((code, []))
+            segments[-1][1].append((u, v))
+        return self._apply_segments(segments, len(parsed), record)
+
+    def apply_edges(
+        self, insertions=(), deletions=(), record: bool = False
+    ) -> UpdateReport:
+        """Two-list batch form: all insertions first, then all deletions.
+
+        Matches :meth:`DynamicTriangleCounter.apply`'s ordering
+        semantics; each list runs as one delta re-join batch.
+        """
+        ins = [("+", u, v) for u, v in insertions]
+        dels = [("-", u, v) for u, v in deletions]
+        return self.apply(ins + dels, record=record)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _parse_ops(self, ops) -> list[tuple[str, int, int]]:
+        """Validate the whole stream before touching any state.
+
+        Uses the oracle's shared parser (:func:`repro.core.dynamic.parse_op`)
+        so the session and :class:`DynamicTriangleCounter` accept exactly
+        the same streams.
+        """
+        from repro.core.dynamic import parse_op
+
+        parsed: list[tuple[str, int, int]] = []
+        for index, op in enumerate(ops):
+            action, u, v = parse_op(op, index)
+            u, v = int(u), int(v)
+            for vertex in (u, v):
+                if not 0 <= vertex < self._num_vertices:
+                    raise GraphError(
+                        f"op {index}: vertex {vertex} out of range "
+                        f"[0, {self._num_vertices})"
+                    )
+            parsed.append(("+" if action == "insert" else "-", u, v))
+        return parsed
+
+    def _apply_segments(self, segments, requested: int, record: bool) -> UpdateReport:
+        # The delta path needs a base count to update; bootstrap with one
+        # full run on the resident structures if none exists yet.
+        self.count()
+        self._materialise_edge_set()
+        events = EventCounts()
+        cache_stats = CacheStatistics()
+        delta_total = 0
+        inserted = deleted = executed = 0
+        per_op: list[int] | None = [] if record else None
+        for code, batch in segments:
+            canonical = incremental.canonical_delta_edges(batch, self._num_vertices)
+            if code == "+":
+                outcome, changed = self._insert_batch(canonical)
+                delta = outcome.triangles
+                inserted += changed
+            else:
+                outcome, changed = self._delete_batch(canonical)
+                delta = -outcome.triangles
+                deleted += changed
+            if changed:
+                executed += 1
+                delta_total += delta
+                events = events.merge(outcome.events)
+                cache_stats = cache_stats.merge(outcome.cache_stats)
+            if record:
+                per_op.append(delta)
+        return UpdateReport(
+            requested=requested,
+            inserted=inserted,
+            deleted=deleted,
+            delta_triangles=delta_total,
+            triangles=self._triangles,
+            segments=executed,
+            events=events,
+            cache_stats=cache_stats,
+            per_op_deltas=per_op,
+        )
+
+    def _insert_batch(self, canonical: np.ndarray):
+        fresh = [
+            (u, v)
+            for u, v in canonical.tolist()
+            if (u, v) not in self._edge_set
+        ]
+        if not fresh:
+            return incremental.DeltaOutcome(triangles=0), 0
+        delta_edges = np.asarray(fresh, dtype=np.int64)
+        # The delta join runs against the pre-insertion structure and may
+        # raise (capacity); mutate only after it succeeds.
+        outcome = incremental.symmetric_delta(
+            self._num_vertices, self._sym(), delta_edges, self.config
+        )
+        incremental.set_bits(self._sym(), *_both_directions(delta_edges))
+        self._edge_set.update(fresh)
+        self._triangles += outcome.triangles
+        self._invalidate()
+        return outcome, len(fresh)
+
+    def _delete_batch(self, canonical: np.ndarray):
+        present = [
+            (u, v) for u, v in canonical.tolist() if (u, v) in self._edge_set
+        ]
+        if not present:
+            return incremental.DeltaOutcome(triangles=0), 0
+        # Remove first: the destroyed triangles are the ones the delta
+        # edges would re-create on the post-deletion graph.  The join can
+        # raise (capacity), so roll the removal back on failure to keep
+        # the session consistent.
+        delta_edges = np.asarray(present, dtype=np.int64)
+        sym = self._sym()
+        incremental.clear_bits(sym, *_both_directions(delta_edges))
+        try:
+            outcome = incremental.symmetric_delta(
+                self._num_vertices, sym, delta_edges, self.config
+            )
+        except Exception:
+            incremental.set_bits(sym, *_both_directions(delta_edges))
+            raise
+        self._edge_set.difference_update(present)
+        self._triangles -= outcome.triangles
+        self._invalidate()
+        return outcome, len(present)
+
+    def _sym(self) -> SlicedMatrix:
+        """The incrementally maintained symmetric slice structure."""
+        if self._sym_sliced is None:
+            self._sym_sliced = SlicedMatrix.from_graph(
+                self.graph, "symmetric", slice_bits=self.config.slice_bits
+            )
+        return self._sym_sliced
+
+    def _materialise_edge_set(self) -> None:
+        if self._edge_set is None:
+            self._edge_set = set(map(tuple, self.graph.edge_array().tolist()))
+
+    def _prepare(self) -> None:
+        """Build (once) the resident structures full runs consume."""
+        orientation = self.config.orientation
+        if self._row_sliced is None:
+            self._row_sliced = SlicedMatrix.from_graph(
+                self.graph, orientation, slice_bits=self.config.slice_bits
+            )
+        if self._col_sliced is None:
+            col_orientation = "lower" if orientation == "upper" else "symmetric"
+            self._col_sliced = SlicedMatrix.from_graph(
+                self.graph, col_orientation, slice_bits=self.config.slice_bits
+            )
+        if self._edge_arrays is None:
+            self._edge_arrays = oriented_edges(self.graph, orientation)
+        if self.config.num_arrays > 1 and self._plan is None:
+            self._plan = plan_shards(
+                self.graph,
+                orientation,
+                self.config.num_arrays,
+                self.config.shard_by,
+                sources=self._edge_arrays[0],
+            )
+
+    def _full_run(self) -> TCIMRunResult:
+        if self._run is None:
+            self._prepare()
+            self._run = self._accelerator.run(
+                self.graph,
+                row_sliced=self._row_sliced,
+                col_sliced=self._col_sliced,
+                edge_arrays=self._edge_arrays,
+                plan=self._plan,
+            )
+            self._triangles = self._run.triangles
+            self._slice_stats = self._run.slice_stats
+        return self._run
+
+    def _invalidate(self) -> None:
+        """Drop state derived from the (now stale) full-graph snapshot.
+
+        The incrementally maintained pieces — the triangle count and the
+        symmetric slice structure — survive; everything rebuilt from the
+        graph is dropped and lazily re-created on the next query.
+        """
+        self._graph = None if self._edge_set is not None else self._graph
+        self._row_sliced = None
+        self._col_sliced = None
+        self._edge_arrays = None
+        self._plan = None
+        self._slice_stats = None
+        self._run = None
+        self._report = None
+        self._baseline_cache.clear()
+
+
+def _both_directions(delta_edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(rows, cols)`` covering both directions of canonical edges."""
+    u, v = delta_edges[:, 0], delta_edges[:, 1]
+    return np.concatenate([u, v]), np.concatenate([v, u])
+
+
+def open_session(
+    source,
+    config: AcceleratorConfig | Mapping | None = None,
+    *,
+    model=None,
+    **overrides,
+) -> TCIMSession:
+    """Open a :class:`TCIMSession` on a graph source.
+
+    ``source`` is a :class:`Graph`, a file path, or a
+    ``dataset:<key>[@scale]`` spec.  ``config`` is an
+    :class:`AcceleratorConfig` or a plain mapping (e.g. a parsed TOML/JSON
+    file); ``overrides`` are individual config fields applied on top —
+    ``open_session(g, num_arrays=4)`` just works.
+    """
+    graph = resolve_graph(source)
+    if isinstance(config, AcceleratorConfig):
+        if overrides:
+            config = AcceleratorConfig.from_mapping(config.to_mapping(), **overrides)
+    else:
+        config = AcceleratorConfig.from_mapping(config, **overrides)
+    return TCIMSession(graph, config, model=model)

@@ -6,6 +6,7 @@ Sub-commands::
     tcim count GRAPH [--method ...]       # count triangles
     tcim slice-stats GRAPH [--slice-bits] [--ordering]  # Table III/IV stats
     tcim simulate GRAPH [--array-mb ...]  # full TCIM run + latency/energy
+    tcim stream GRAPH (--ops FILE | --random N)  # incremental op stream
     tcim device [--llg]                   # Table I device characterisation
     tcim validate GRAPH                   # cross-check all implementations
     tcim truss GRAPH                      # k-truss decomposition
@@ -14,100 +15,149 @@ Sub-commands::
 ``GRAPH`` is either a path to an edge-list/.npz file or a dataset spec of
 the form ``dataset:<key>[@<scale>]``, e.g. ``dataset:roadnet-pa@0.02``.
 
-``count`` and ``simulate`` share the accelerator flags ``--engine``,
-``--num-arrays``, ``--shard-by`` and ``--workers``; with
-``--num-arrays > 1`` the run is sharded across simulated sub-arrays
-(Fig. 4) and ``simulate`` reports the measured per-shard critical path.
+``count``, ``simulate`` and ``stream`` share the accelerator flags
+(:func:`add_accelerator_args`): ``--engine``, ``--num-arrays``,
+``--shard-by``, ``--workers``, plus ``--config FILE`` (a TOML or JSON
+file of :class:`AcceleratorConfig` fields), repeatable ``--set
+key=value`` overrides, and ``--json`` structured output.  Precedence:
+``--set`` > explicit flags > ``--config`` file > built-in defaults.
+
+Every command runs on top of :class:`repro.api.TCIMSession`, the
+stateful facade that keeps the compressed graph resident across queries.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
-from repro import paperdata
+from repro import paperdata, registry
 from repro.analysis.reporting import Table, format_bytes, format_count, format_seconds
 from repro.analysis.validation import validate_implementations
-from repro.arch.perf import default_pim_model
-from repro.baselines.intersection import (
-    triangle_count_edge_iterator,
-    triangle_count_forward,
-)
-from repro.baselines.matmul import triangle_count_matmul
-from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
-from repro.core.bitwise import triangle_count_dense, triangle_count_sliced
+from repro.api import TCIMSession, open_session, resolve_graph
+from repro.core.accelerator import AcceleratorConfig
+from repro.core.sharding import PARTITIONERS
 from repro.core.slicing import slice_statistics
 from repro.errors import ReproError
 from repro.graph import datasets
-from repro.graph.graph import Graph
-from repro.graph.io import load_graph
 
-__all__ = ["main", "build_parser", "resolve_graph"]
-
-_METHODS = {
-    "tcim": None,  # dispatched through the accelerator with the shared flags
-    "sliced": triangle_count_sliced,
-    "dense": triangle_count_dense,
-    "forward": triangle_count_forward,
-    "edge-iterator": triangle_count_edge_iterator,
-    "matmul": triangle_count_matmul,
-}
+__all__ = ["main", "build_parser", "resolve_graph", "add_accelerator_args"]
 
 
-def _add_accelerator_flags(parser: argparse.ArgumentParser) -> None:
-    """Accelerator knobs shared by ``count`` and ``simulate``."""
+def add_accelerator_args(parser: argparse.ArgumentParser) -> None:
+    """Accelerator knobs shared by ``count``, ``simulate`` and ``stream``.
+
+    Flags default to ``None`` so the config resolver can tell "explicitly
+    set on the command line" (overrides the ``--config`` file) from "left
+    at the default" (the file, then the dataclass default, wins).
+    """
     parser.add_argument(
         "--engine",
-        choices=["vectorized", "legacy"],
-        default="vectorized",
+        choices=sorted(registry.engine_names()),
+        default=None,
         help="execution engine (legacy = per-edge oracle loop)",
     )
     parser.add_argument(
         "--num-arrays",
         type=int,
-        default=1,
+        default=None,
         help="simulated sub-arrays to shard the run across (Fig. 4)",
     )
     parser.add_argument(
         "--shard-by",
-        choices=["edges", "rows", "degree"],
-        default="edges",
+        choices=list(PARTITIONERS),
+        default=None,
         help="edge partitioner for sharded runs",
     )
     parser.add_argument(
         "--workers",
         type=int,
-        default=0,
+        default=None,
         help="worker processes for sharded runs (0 = serial in-process)",
     )
-
-
-def _accelerator_config(args: argparse.Namespace, **overrides) -> AcceleratorConfig:
-    """Build an :class:`AcceleratorConfig` from the shared flags."""
-    return AcceleratorConfig(
-        engine=args.engine,
-        num_arrays=args.num_arrays,
-        shard_by=args.shard_by,
-        workers=args.workers,
-        **overrides,
+    parser.add_argument(
+        "--config",
+        metavar="FILE",
+        default=None,
+        help="TOML or JSON file of AcceleratorConfig fields",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        metavar="KEY=VALUE",
+        default=[],
+        help="override one config field (repeatable; highest precedence)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit structured JSON instead of tables",
     )
 
 
-def resolve_graph(spec: str) -> Graph:
-    """Load a graph from a file path or a ``dataset:<key>[@scale]`` spec."""
-    if spec.startswith("dataset:"):
-        remainder = spec[len("dataset:"):]
-        if "@" in remainder:
-            key, _, scale_text = remainder.partition("@")
-            try:
-                scale = float(scale_text)
-            except ValueError:
-                raise ReproError(f"invalid scale {scale_text!r} in {spec!r}") from None
-        else:
-            key, scale = remainder, 1.0
-        return datasets.synthesize(key, scale=scale)
-    return load_graph(spec)
+#: Backwards-compatible alias (the helper used to be private).
+_add_accelerator_flags = add_accelerator_args
+
+
+def _load_config_file(path: str) -> dict:
+    """Parse a TOML or JSON accelerator-config file into a mapping."""
+    file = Path(path)
+    try:
+        text = file.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ReproError(f"cannot read config file {path!r}: {error}") from None
+    suffix = file.suffix.lower()
+    if suffix == ".json":
+        parsers = ("json",)
+    elif suffix == ".toml":
+        parsers = ("toml",)
+    else:
+        parsers = ("toml", "json")
+    errors = []
+    for kind in parsers:
+        try:
+            if kind == "toml":
+                import tomllib
+
+                return tomllib.loads(text)
+            return json.loads(text)
+        except Exception as error:  # tomllib/json raise different types
+            errors.append(f"{kind}: {error}")
+    raise ReproError(
+        f"config file {path!r} is neither valid TOML nor JSON ({'; '.join(errors)})"
+    )
+
+
+def _accelerator_config(args: argparse.Namespace, **flag_overrides) -> AcceleratorConfig:
+    """Resolve the effective :class:`AcceleratorConfig` for one command.
+
+    Layering (later wins): built-in defaults < ``--config`` file <
+    explicit command-line flags < ``--set key=value`` overrides.
+    """
+    mapping: dict = {}
+    if getattr(args, "config", None):
+        mapping.update(_load_config_file(args.config))
+    for name in ("engine", "num_arrays", "shard_by", "workers"):
+        value = getattr(args, name, None)
+        if value is not None:
+            mapping[name] = value
+    for name, value in flag_overrides.items():
+        if value is not None:
+            mapping[name] = value
+    for item in getattr(args, "overrides", []):
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise ReproError(f"--set expects KEY=VALUE, got {item!r}")
+        mapping[key.strip()] = value.strip()
+    return AcceleratorConfig.from_mapping(mapping)
+
+
+def _emit_json(payload: dict) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _cmd_datasets(_args: argparse.Namespace) -> int:
@@ -133,18 +183,27 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
-    graph = resolve_graph(args.graph)
-    if args.method == "tcim":
-        accelerator = TCIMAccelerator(_accelerator_config(args))
-        method = lambda g: accelerator.run(g).triangles  # noqa: E731
-    else:
-        method = _METHODS[args.method]
+    session = open_session(args.graph, _accelerator_config(args))
     start = time.perf_counter()
-    triangles = method(graph)
+    if args.method == "tcim":
+        triangles = session.count()
+    else:
+        triangles = session.baseline(args.method)
     elapsed = time.perf_counter() - start
+    if args.json:
+        _emit_json(
+            {
+                "num_vertices": session.num_vertices,
+                "num_edges": session.num_edges,
+                "method": args.method,
+                "triangles": triangles,
+                "wall_clock_s": elapsed,
+            }
+        )
+        return 0
     print(
-        f"graph: n={format_count(graph.num_vertices)} "
-        f"m={format_count(graph.num_edges)}"
+        f"graph: n={format_count(session.num_vertices)} "
+        f"m={format_count(session.num_edges)}"
     )
     print(f"triangles ({args.method}): {format_count(triangles)}")
     print(f"wall-clock: {format_seconds(elapsed)}")
@@ -207,25 +266,26 @@ def _cmd_approx(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    graph = resolve_graph(args.graph)
     config = _accelerator_config(
         args,
         slice_bits=args.slice_bits,
-        array_bytes=int(args.array_mb * 2**20),
+        array_bytes=(
+            int(args.array_mb * 2**20) if args.array_mb is not None else None
+        ),
         policy=args.policy,
     )
+    session = open_session(args.graph, config)
     start = time.perf_counter()
-    result = TCIMAccelerator(config).run(graph)
+    report = session.simulate()
     elapsed = time.perf_counter() - start
-    model = default_pim_model()
-    if result.shards:
-        from repro.arch.pipeline import measured_shard_report
-
-        report = measured_shard_report(result, model)
-    else:
-        report = model.evaluate(result.events)
+    if args.json:
+        payload = report.to_mapping()
+        payload["simulator_wall_clock_s"] = elapsed
+        _emit_json(payload)
+        return 0
+    result = report.result
     table = Table(["metric", "value"], title="TCIM simulation")
-    table.add_row(["engine", args.engine])
+    table.add_row(["engine", config.engine])
     if config.num_arrays > 1:
         table.add_row(["arrays", f"{config.num_arrays} (shard_by={config.shard_by})"])
     table.add_row(["triangles", format_count(result.triangles)])
@@ -254,16 +314,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         table.add_row(
             [
                 "modelled TCIM latency (critical path)",
-                format_seconds(report.latency_s),
+                format_seconds(report.perf.latency_s),
             ]
         )
         table.add_row(
-            ["shard imbalance", f"{report.latency_breakdown_s['imbalance']:.3f}"]
+            ["shard imbalance", f"{report.perf.latency_breakdown_s['imbalance']:.3f}"]
         )
     else:
-        table.add_row(["modelled TCIM latency", format_seconds(report.latency_s)])
-    table.add_row(["modelled array energy", f"{report.array_energy_j:.3e} J"])
-    table.add_row(["modelled system energy", f"{report.system_energy_j:.3e} J"])
+        table.add_row(["modelled TCIM latency", format_seconds(report.perf.latency_s)])
+    table.add_row(["modelled array energy", f"{report.perf.array_energy_j:.3e} J"])
+    table.add_row(["modelled system energy", f"{report.perf.system_energy_j:.3e} J"])
     table.add_row(["simulator wall-clock", format_seconds(elapsed)])
     print(table.render())
     if result.shards:
@@ -279,8 +339,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ],
             title="Per-shard breakdown (one row per simulated array)",
         )
-        for shard in result.shards:
-            shard_report = model.evaluate(shard.events, shard.rows)
+        for shard, shard_report in zip(result.shards, report.shard_perf):
             shard_table.add_row(
                 [
                     shard.shard_id,
@@ -293,6 +352,119 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 ]
             )
         print(shard_table.render())
+    return 0
+
+
+def _load_ops(path: str) -> list[tuple[str, int, int]]:
+    """Parse an op-stream file: one ``+|-|insert|delete U V`` per line."""
+    ops: list[tuple[str, int, int]] = []
+    try:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+    except OSError as error:
+        raise ReproError(f"cannot read ops file {path!r}: {error}") from None
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        parts = text.split()
+        if len(parts) != 3:
+            raise ReproError(
+                f"{path}:{number}: expected 'OP U V', got {line!r}"
+            )
+        code, u_text, v_text = parts
+        try:
+            ops.append((code, int(u_text), int(v_text)))
+        except ValueError:
+            raise ReproError(
+                f"{path}:{number}: vertex ids must be integers, got {line!r}"
+            ) from None
+    return ops
+
+
+def _random_ops(session: TCIMSession, count: int, seed: int) -> list[tuple[str, int, int]]:
+    """A reproducible mixed insert/delete stream over the session's graph."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    pool = [tuple(edge) for edge in session.graph.edge_array().tolist()]
+    present = set(pool)
+    n = session.num_vertices
+    ops: list[tuple[str, int, int]] = []
+    while len(ops) < count:
+        if present and rng.random() < 0.5:
+            # Swap-pop keeps deletion sampling O(1); stale pool entries
+            # (already deleted) are skipped.
+            index = int(rng.integers(len(pool)))
+            pool[index], pool[-1] = pool[-1], pool[index]
+            u, v = pool.pop()
+            if (u, v) not in present:
+                continue
+            present.discard((u, v))
+            ops.append(("-", u, v))
+        else:
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in present:
+                continue
+            present.add(key)
+            pool.append(key)
+            ops.append(("+", u, v))
+    return ops
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    session = open_session(args.graph, _accelerator_config(args))
+    before = session.count()
+    if args.ops:
+        ops = _load_ops(args.ops)
+    else:
+        ops = _random_ops(session, args.random, args.seed)
+    start = time.perf_counter()
+    report = session.apply(ops, record=args.record)
+    elapsed = time.perf_counter() - start
+    throughput = len(ops) / elapsed if elapsed > 0 else float("inf")
+    oracle_agrees = None
+    if args.check:
+        from repro.core.dynamic import DynamicTriangleCounter
+
+        # Replay the stream through the pure-Python oracle from the same
+        # starting graph (one full pass, independent of the session state).
+        oracle = DynamicTriangleCounter(session.num_vertices, resolve_graph(args.graph))
+        oracle.apply_ops(ops)
+        oracle_agrees = oracle.triangles == session.count()
+    if args.json:
+        payload = report.to_mapping()
+        payload.update(
+            {
+                "triangles_before": before,
+                "wall_clock_s": elapsed,
+                "ops_per_second": throughput,
+            }
+        )
+        if oracle_agrees is not None:
+            payload["oracle_agrees"] = oracle_agrees
+        _emit_json(payload)
+        return 0 if oracle_agrees in (None, True) else 1
+    table = Table(["metric", "value"], title="Incremental stream (session fast path)")
+    table.add_row(["ops requested", format_count(report.requested)])
+    table.add_row(["edges inserted", format_count(report.inserted)])
+    table.add_row(["edges deleted", format_count(report.deleted)])
+    table.add_row(["engine batches", format_count(report.segments)])
+    table.add_row(["triangles before", format_count(before)])
+    table.add_row(["triangles after", format_count(report.triangles)])
+    table.add_row(["net delta", f"{report.delta_triangles:+,}"])
+    table.add_row(["AND operations", format_count(report.events.and_operations)])
+    table.add_row(["slice writes", format_count(report.events.total_slice_writes)])
+    table.add_row(["wall-clock", format_seconds(elapsed)])
+    table.add_row(["throughput", f"{throughput:,.0f} ops/s"])
+    if oracle_agrees is not None:
+        table.add_row(["oracle agreement", oracle_agrees])
+    print(table.render())
+    if oracle_agrees is False:
+        print("error: incremental count disagrees with the oracle", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -321,8 +493,18 @@ def _cmd_device(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    graph = resolve_graph(args.graph)
-    results = validate_implementations(graph)
+    from repro.analysis.validation import default_implementations
+
+    session = open_session(args.graph)
+    graph = session.graph
+    # The session facade is an implementation too: its resident-structure
+    # run must agree with every direct call, through the one shared
+    # mismatch check in validate_implementations.
+    implementations = default_implementations(
+        include_dense=graph.num_vertices <= 5000
+    )
+    implementations["tcim-session"] = lambda g: session.count()
+    results = validate_implementations(graph, implementations)
     table = Table(["implementation", "triangles"], title="Cross-validation")
     for name, count in sorted(results.items()):
         table.add_row([name, format_count(count)])
@@ -346,15 +528,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="count triangles",
         description=(
             "Count triangles.  The accelerator flags (--engine, "
-            "--num-arrays, --shard-by, --workers) apply to the default "
-            "tcim method; the software baselines ignore them."
+            "--num-arrays, --shard-by, --workers, --config, --set) apply "
+            "to the default tcim method; the software baselines ignore them."
         ),
     )
     count.add_argument("graph", help="file path or dataset:<key>[@scale]")
     count.add_argument(
-        "--method", choices=sorted(_METHODS), default="tcim", help="algorithm"
+        "--method",
+        choices=sorted(("tcim",) + registry.baseline_names()),
+        default="tcim",
+        help="algorithm",
     )
-    _add_accelerator_flags(count)
+    add_accelerator_args(count)
 
     stats = subparsers.add_parser("slice-stats", help="Table III/IV statistics")
     stats.add_argument("graph")
@@ -376,14 +561,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = subparsers.add_parser("simulate", help="full TCIM run + perf model")
     simulate.add_argument("graph")
-    simulate.add_argument("--slice-bits", type=int, default=paperdata.SLICE_BITS)
+    simulate.add_argument("--slice-bits", type=int, default=None)
+    simulate.add_argument("--array-mb", type=float, default=None)
     simulate.add_argument(
-        "--array-mb", type=float, default=float(paperdata.ARRAY_MEGABYTES)
+        "--policy", choices=["lru", "fifo", "random"], default=None
     )
-    simulate.add_argument(
-        "--policy", choices=["lru", "fifo", "random"], default="lru"
+    add_accelerator_args(simulate)
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="apply an incremental insert/delete stream via the session",
+        description=(
+            "Stream edge updates through TCIMSession.apply: consecutive "
+            "same-type ops coalesce into delta re-join batches on the "
+            "vectorized engine (shard-aware with --num-arrays > 1)."
+        ),
     )
-    _add_accelerator_flags(simulate)
+    stream.add_argument("graph")
+    source = stream.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--ops", metavar="FILE", help="op stream file: one '+|- U V' per line"
+    )
+    source.add_argument(
+        "--random", type=int, metavar="N", help="generate N random ops"
+    )
+    stream.add_argument("--seed", type=int, default=0, help="seed for --random")
+    stream.add_argument(
+        "--record", action="store_true",
+        help="per-op batches (reports per_op_deltas in --json mode)",
+    )
+    stream.add_argument(
+        "--check", action="store_true",
+        help="cross-check the final count against the pure-Python oracle",
+    )
+    add_accelerator_args(stream)
 
     device = subparsers.add_parser("device", help="MTJ characterisation")
     device.add_argument("--llg", action="store_true", help="run the LLG transient")
@@ -399,6 +610,7 @@ _COMMANDS = {
     "count": _cmd_count,
     "slice-stats": _cmd_slice_stats,
     "simulate": _cmd_simulate,
+    "stream": _cmd_stream,
     "device": _cmd_device,
     "validate": _cmd_validate,
     "truss": _cmd_truss,

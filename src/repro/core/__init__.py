@@ -22,6 +22,11 @@ from repro.core.reuse import (
     simulate_trace,
 )
 from repro.core.dynamic import DynamicTriangleCounter
+from repro.core.incremental import (
+    DeltaOutcome,
+    canonical_delta_edges,
+    symmetric_delta,
+)
 from repro.core.sharding import (
     PARTITIONERS,
     ShardPlan,
@@ -33,7 +38,10 @@ from repro.core.slicing import SlicedMatrix, SliceStatistics, slice_statistics
 from repro.core.trace import AccessTrace, compare_policies, extract_column_trace
 
 __all__ = [
+    "DeltaOutcome",
     "DynamicTriangleCounter",
+    "canonical_delta_edges",
+    "symmetric_delta",
     "PARTITIONERS",
     "ShardPlan",
     "ShardResult",

@@ -15,10 +15,12 @@ against all baselines by the test-suite.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field, fields
 
 import numpy as np
 
+from repro import registry
 from repro.errors import ArchitectureError
 from repro.graph.graph import Graph
 from repro.core.reuse import (
@@ -78,6 +80,60 @@ class AcceleratorConfig:
     def capacity_slices(self) -> int:
         """Total slices the computational array can hold."""
         return self.array_bytes // self.slice_bytes
+
+    #: Fields coerced through ``int()`` by :meth:`from_mapping` (config
+    #: files and ``--set key=value`` overrides arrive as strings).
+    _INT_FIELDS = ("slice_bits", "array_bytes", "seed", "num_arrays", "workers")
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Mapping | None = None, **overrides
+    ) -> "AcceleratorConfig":
+        """Build a config from a plain mapping (TOML/JSON file, CLI ``--set``).
+
+        Keys must name config fields; unknown keys raise
+        :class:`~repro.errors.ArchitectureError` (typos fail loudly rather
+        than silently running the default).  Values are coerced to the
+        field's type — integer fields accept numeric strings, the rest are
+        taken as strings — so a parsed config file and a ``key=value``
+        override line feed through the same path.  ``overrides`` win over
+        ``mapping``.
+        """
+        data: dict = {}
+        if mapping:
+            data.update(mapping)
+        data.update(overrides)
+        known = [f.name for f in fields(cls)]
+        unknown = sorted(set(data) - set(known))
+        if unknown:
+            raise ArchitectureError(
+                f"unknown AcceleratorConfig keys {unknown}; known keys: {known}"
+            )
+        return cls(
+            **{name: cls._coerce_field(name, value) for name, value in data.items()}
+        )
+
+    @classmethod
+    def _coerce_field(cls, name: str, value):
+        if name in cls._INT_FIELDS:
+            try:
+                return int(value)
+            except (TypeError, ValueError):
+                raise ArchitectureError(
+                    f"config field {name!r} needs an integer, got {value!r}"
+                ) from None
+        if name == "policy":
+            return value if isinstance(value, ReplacementPolicy) else str(value)
+        return str(value)
+
+    def to_mapping(self) -> dict:
+        """The inverse of :meth:`from_mapping`: plain JSON/TOML-able values."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        policy = data["policy"]
+        data["policy"] = (
+            policy.value if isinstance(policy, ReplacementPolicy) else str(policy)
+        )
+        return data
 
 
 @dataclass
@@ -213,12 +269,12 @@ class TCIMAccelerator:
                 f"array of {self.config.array_bytes} bytes cannot hold two "
                 f"slices of {self.config.slice_bytes} bytes"
             )
-        from repro.core.engine import ENGINES
         from repro.core.sharding import PARTITIONERS
 
-        if self.config.engine not in ENGINES:
+        if self.config.engine not in registry.engine_names():
             raise ArchitectureError(
-                f"engine must be one of {ENGINES}, got {self.config.engine!r}"
+                f"engine must be one of {registry.engine_names()}, "
+                f"got {self.config.engine!r}"
             )
         if self.config.num_arrays < 1:
             raise ArchitectureError(
@@ -239,8 +295,25 @@ class TCIMAccelerator:
                 f"vectorized engine, got engine={self.config.engine!r}"
             )
 
-    def run(self, graph: Graph) -> TCIMRunResult:
-        """Execute Algorithm 1 on ``graph`` and collect all statistics."""
+    def run(
+        self,
+        graph: Graph,
+        *,
+        row_sliced: SlicedMatrix | None = None,
+        col_sliced: SlicedMatrix | None = None,
+        edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
+        plan=None,
+    ) -> TCIMRunResult:
+        """Execute Algorithm 1 on ``graph`` and collect all statistics.
+
+        The keyword arguments let a caller that already holds the sliced
+        structures, the oriented edge list, or the shard plan (notably
+        :class:`repro.api.TCIMSession`, which keeps them resident across
+        queries the way the Fig. 4 controller keeps the compressed graph
+        in the array) skip the rebuild; omitted pieces are built here as
+        before.  Passed structures must match the config's ``slice_bits``
+        and the graph's vertex count.
+        """
         config = self.config
         orientation = config.orientation
         if orientation not in ("upper", "symmetric"):
@@ -248,16 +321,30 @@ class TCIMAccelerator:
                 f"orientation must be 'upper' or 'symmetric', got {orientation!r}"
             )
         col_orientation = "lower" if orientation == "upper" else "symmetric"
-        row_sliced = SlicedMatrix.from_graph(
-            graph, orientation, slice_bits=config.slice_bits
-        )
-        col_sliced = SlicedMatrix.from_graph(
-            graph, col_orientation, slice_bits=config.slice_bits
-        )
+        if row_sliced is None:
+            row_sliced = SlicedMatrix.from_graph(
+                graph, orientation, slice_bits=config.slice_bits
+            )
+        if col_sliced is None:
+            col_sliced = SlicedMatrix.from_graph(
+                graph, col_orientation, slice_bits=config.slice_bits
+            )
+        for name, sliced in (("row_sliced", row_sliced), ("col_sliced", col_sliced)):
+            if sliced.slice_bits != config.slice_bits:
+                raise ArchitectureError(
+                    f"{name} uses {sliced.slice_bits}-bit slices but the "
+                    f"config asks for {config.slice_bits}"
+                )
+            if sliced.num_rows != graph.num_vertices:
+                raise ArchitectureError(
+                    f"{name} covers {sliced.num_rows} rows but the graph has "
+                    f"{graph.num_vertices} vertices"
+                )
         shards: list = []
         if config.num_arrays > 1:
             accumulator, events, cache_stats, shards = self._run_sharded(
-                graph, row_sliced, col_sliced
+                graph, row_sliced, col_sliced,
+                edge_arrays=edge_arrays, plan=plan,
             )
             row_region = max((s.row_region_slices for s in shards), default=0)
             column_capacity = min(
@@ -272,14 +359,10 @@ class TCIMAccelerator:
                     f"array too small: row region needs {row_region} slices but "
                     f"capacity is {config.capacity_slices}"
                 )
-            if config.engine == "vectorized":
-                accumulator, events, cache_stats = self._run_vectorized(
-                    graph, row_sliced, col_sliced, column_capacity
-                )
-            else:
-                accumulator, events, cache_stats = self._run_legacy(
-                    graph, row_sliced, col_sliced, column_capacity
-                )
+            kernel = registry.engine_kernel(config.engine)
+            accumulator, events, cache_stats = kernel(
+                self, graph, row_sliced, col_sliced, column_capacity
+            )
         triangles = accumulator if orientation == "upper" else accumulator // 6
         stats = slice_statistics(
             graph,
@@ -325,6 +408,8 @@ class TCIMAccelerator:
         graph: Graph,
         row_sliced: SlicedMatrix,
         col_sliced: SlicedMatrix,
+        edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
+        plan=None,
     ) -> tuple[int, EventCounts, CacheStatistics, list]:
         """Multi-array dataflow (see :mod:`repro.core.sharding`)."""
         from repro.core.engine import oriented_edges
@@ -332,15 +417,25 @@ class TCIMAccelerator:
 
         config = self.config
         # Materialise the oriented edge list once; the planner and the
-        # orchestrator both consume it.
-        sources, destinations = oriented_edges(graph, config.orientation)
-        plan = plan_shards(
-            graph,
-            config.orientation,
-            config.num_arrays,
-            config.shard_by,
-            sources=sources,
-        )
+        # orchestrator both consume it.  A caller holding both (the
+        # session) passes them in and nothing is rebuilt.
+        if edge_arrays is None:
+            sources, destinations = oriented_edges(graph, config.orientation)
+        else:
+            sources, destinations = edge_arrays
+        if plan is None:
+            plan = plan_shards(
+                graph,
+                config.orientation,
+                config.num_arrays,
+                config.shard_by,
+                sources=sources,
+            )
+        elif plan.num_arrays != config.num_arrays:
+            raise ArchitectureError(
+                f"plan covers {plan.num_arrays} arrays but the config asks "
+                f"for {config.num_arrays}; rebuild the plan with plan_shards"
+            )
         outcome = execute_sharded(
             graph,
             row_sliced,
@@ -406,3 +501,20 @@ class TCIMAccelerator:
         events.col_slice_writes = cache.stats.writes
         events.col_slice_hits = cache.stats.hits
         return accumulator, events, cache.stats
+
+
+def _vectorized_kernel(accelerator, graph, row_sliced, col_sliced, column_capacity):
+    """Registry adapter for the batched numpy engine."""
+    return accelerator._run_vectorized(graph, row_sliced, col_sliced, column_capacity)
+
+
+def _legacy_kernel(accelerator, graph, row_sliced, col_sliced, column_capacity):
+    """Registry adapter for the per-edge oracle loop."""
+    return accelerator._run_legacy(graph, row_sliced, col_sliced, column_capacity)
+
+
+# Engine dispatch goes through the registry (repro/registry.py) so new
+# backends plug in without touching this module; the built-ins register
+# here, once, at import time.
+registry.register_engine("vectorized", _vectorized_kernel, replace=True)
+registry.register_engine("legacy", _legacy_kernel, replace=True)

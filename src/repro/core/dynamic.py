@@ -16,7 +16,39 @@ from __future__ import annotations
 from repro.errors import GraphError
 from repro.graph.graph import Graph
 
-__all__ = ["DynamicTriangleCounter"]
+__all__ = ["DynamicTriangleCounter", "OP_CODES", "parse_op"]
+
+#: Accepted operation codes for op streams, shared by the oracle and the
+#: session's incremental fast path (:mod:`repro.api`) so both fronts
+#: accept exactly the same streams.
+OP_CODES = {
+    "+": "insert",
+    "insert": "insert",
+    "-": "delete",
+    "delete": "delete",
+}
+
+
+def parse_op(op, index: int) -> tuple[str, int, int]:
+    """Validate one stream entry; returns ``(action, u, v)``.
+
+    ``action`` is ``"insert"`` or ``"delete"``; malformed triples and
+    unknown codes raise :class:`GraphError` naming the offending index.
+    """
+    try:
+        code, u, v = op
+    except (TypeError, ValueError):
+        raise GraphError(
+            f"op {index} must be an (op, u, v) triple, got {op!r}"
+        ) from None
+    try:
+        action = OP_CODES[code]
+    except (KeyError, TypeError):
+        raise GraphError(
+            f"op {index}: unknown operation {code!r}; "
+            "expected '+'/'insert' or '-'/'delete'"
+        ) from None
+    return action, u, v
 
 
 class DynamicTriangleCounter:
@@ -106,7 +138,7 @@ class DynamicTriangleCounter:
         self._triangles -= opened
         return opened
 
-    def apply(self, insertions=(), deletions=()) -> int:
+    def apply(self, insertions=(), deletions=(), record: bool = False):
         """Apply a two-list batch of updates; returns the net triangle delta.
 
         **Ordering semantics**: *all* insertions are applied first, then
@@ -116,23 +148,28 @@ class DynamicTriangleCounter:
         edge being absent.  When the relative order of mixed operations
         matters (e.g. delete ``{u, v}`` *then* re-insert it), use
         :meth:`apply_ops`, which consumes a single ordered stream.
+
+        With ``record=True`` the return value is ``(net, deltas)`` where
+        ``deltas`` holds the *signed* per-operation triangle delta in
+        application order (insertions first, then deletions; no-ops
+        record 0) — the hook the differential tests use to cross-check
+        an incremental engine op by op.
         """
         before = self._triangles
+        deltas: list[int] = []
         for u, v in insertions:
-            self.insert(u, v)
+            deltas.append(self.insert(u, v))
         for u, v in deletions:
-            self.delete(u, v)
-        return self._triangles - before
+            deltas.append(-self.delete(u, v))
+        net = self._triangles - before
+        return (net, deltas) if record else net
 
-    #: Accepted operation codes for :meth:`apply_ops`.
-    _OP_CODES = {
-        "+": "insert",
-        "insert": "insert",
-        "-": "delete",
-        "delete": "delete",
-    }
+    #: Accepted operation codes for :meth:`apply_ops` (kept as a class
+    #: attribute for backwards compatibility; :data:`OP_CODES` is the
+    #: shared source of truth).
+    _OP_CODES = OP_CODES
 
-    def apply_ops(self, ops) -> int:
+    def apply_ops(self, ops, record: bool = False):
         """Apply one ordered stream of updates; returns the net delta.
 
         ``ops`` is an iterable of ``(op, u, v)`` triples where ``op`` is
@@ -142,33 +179,30 @@ class DynamicTriangleCounter:
         ``[("-", u, v), ("+", u, v)]`` ends with it present — the
         distinction :meth:`apply`'s two-list form cannot express.
 
+        With ``record=True`` the return value is ``(net, deltas)`` where
+        ``deltas[i]`` is the signed triangle delta of ``ops[i]`` (0 for
+        no-ops) — so an incremental engine can be cross-checked against
+        this oracle operation by operation, not just on the net total.
+
         >>> counter = DynamicTriangleCounter(3)
         >>> counter.apply_ops([("+", 0, 1), ("+", 1, 2), ("+", 0, 2),
         ...                    ("-", 0, 1)])
         0
         >>> counter.apply_ops([("+", 0, 1)])
         1
+        >>> counter.apply_ops([("-", 0, 1), ("+", 0, 1)], record=True)
+        (0, [-1, 1])
         """
         before = self._triangles
+        deltas: list[int] = []
         for index, op in enumerate(ops):
-            try:
-                code, u, v = op
-            except (TypeError, ValueError):
-                raise GraphError(
-                    f"op {index} must be an (op, u, v) triple, got {op!r}"
-                ) from None
-            try:
-                action = self._OP_CODES[code]
-            except (KeyError, TypeError):
-                raise GraphError(
-                    f"op {index}: unknown operation {code!r}; "
-                    "expected '+'/'insert' or '-'/'delete'"
-                ) from None
+            action, u, v = parse_op(op, index)
             if action == "insert":
-                self.insert(u, v)
+                deltas.append(self.insert(u, v))
             else:
-                self.delete(u, v)
-        return self._triangles - before
+                deltas.append(-self.delete(u, v))
+        net = self._triangles - before
+        return (net, deltas) if record else net
 
     # ------------------------------------------------------------------
     # Export

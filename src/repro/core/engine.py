@@ -84,7 +84,7 @@ def oriented_edges(graph: Graph, orientation: str) -> tuple[np.ndarray, np.ndarr
 
 
 def execute_batched(
-    graph: Graph,
+    graph: Graph | None,
     row_sliced: SlicedMatrix,
     col_sliced: SlicedMatrix,
     orientation: str,
@@ -112,7 +112,9 @@ def execute_batched(
     (the default) processes the whole oriented edge list.  ``row_writes``
     optionally passes the shard's precomputed row-slice WRITE count
     (callers like the orchestrator already hold the touched-row slice
-    counts); ignored without ``edges``.
+    counts); ignored without ``edges``.  With ``edges`` given, ``graph``
+    is never consulted and may be ``None`` (the incremental engine joins
+    delta edge lists against standalone slice structures).
     """
     if batch_candidates < 1:
         batch_candidates = 1
@@ -163,7 +165,12 @@ def execute_batched(
     spr_key = key_dtype(slices_per_row)
     build_keys = build.global_keys().astype(key_dtype, copy=False)
     position_table = None
-    if 0 < key_space <= DENSE_LOOKUP_MAX_KEYS:
+    # The dense table costs one O(key_space) fill up front; only pay it
+    # when the probe volume amortises it (full runs always do, the tiny
+    # delta re-joins of the incremental path almost never do — they fall
+    # back to binary search over the build side's sorted keys).
+    total_candidates = int(probe_counts.sum())
+    if 0 < key_space <= DENSE_LOOKUP_MAX_KEYS and total_candidates >= key_space // 16:
         position_table = np.full(key_space, -1, dtype=np.int32)
         position_table[build_keys] = np.arange(build_keys.size, dtype=np.int32)
     # The cache key of a column-slice access is exactly that slice's global

@@ -1,0 +1,377 @@
+"""Incremental (streaming) updates on the vectorized fast path.
+
+:class:`repro.core.dynamic.DynamicTriangleCounter` maintains the count
+under edge insertions/deletions with pure-Python set intersections —
+exact, but untouched by the ~29x batched engine.  This module routes a
+*batch* of updates through :func:`repro.core.engine.execute_batched`
+itself, as a delta re-join of only the affected rows' slice pairs.
+
+Mathematical core
+-----------------
+Let ``A`` be the symmetric adjacency matrix of the base graph and ``D``
+the (symmetric, disjoint) adjacency matrix of the batch of new edges.
+The triangles gained by ``A -> A + D`` split by how many delta edges
+each new triangle uses:
+
+* **1 delta edge** — for each delta edge ``{u, v}``, the common
+  neighbours of ``u`` and ``v`` in ``A``: a join of two ``A`` rows;
+* **2 delta edges** — ``tr(DAD) / 2``: for each *directed* delta edge
+  ``(u, v)``, a join of ``A``'s row ``u`` against ``D``'s row ``v``;
+* **3 delta edges** — ``tr(D^3) / 6``: for each delta edge ``{u, v}``,
+  a join of two ``D`` rows (each all-new triangle is seen three times).
+
+Every term is exactly the dataflow :func:`execute_batched` implements —
+ANDing valid slice pairs of a "row" structure against a "column"
+structure over an edge list and popcounting — so each term runs on the
+vectorized engine with its own event accounting, touching only the rows
+the batch references.  Deletions are the time-reversed picture: remove
+the edges first, then the same three terms on the *post-deletion* graph
+count the destroyed triangles.
+
+Sharding
+--------
+Each term's edge list is partitioned with
+:func:`repro.core.sharding.plan_shards` across ``config.num_arrays``
+simulated arrays (same partitioners, same per-array capacity split as a
+full sharded run) and the per-shard :class:`EventCounts` deltas merge
+with :meth:`EventCounts.merge` — incremental updates get the same
+critical-path pricing story as full sharded runs.  With
+``num_arrays=1`` the terms run as single calls into the engine, so the
+results are bit-identical to the single-array vectorized kernel.
+
+The differential oracle remains :class:`DynamicTriangleCounter`; the
+randomized op-stream suite in ``tests/test_api.py`` checks this module
+against it op by op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.accelerator import AcceleratorConfig, EventCounts
+from repro.core.engine import execute_batched
+from repro.core.reuse import CacheStatistics
+from repro.core.sharding import plan_shards
+from repro.core.slicing import SlicedMatrix
+from repro.errors import ArchitectureError, GraphError
+
+__all__ = [
+    "DeltaOutcome",
+    "canonical_delta_edges",
+    "delta_sliced",
+    "set_bit",
+    "set_bits",
+    "clear_bit",
+    "clear_bits",
+    "symmetric_delta",
+]
+
+
+@dataclass
+class DeltaOutcome:
+    """Result of one incremental batch join.
+
+    ``triangles`` is the number of triangles the batch creates (for
+    insertions) or destroys (for deletions) — always non-negative; the
+    caller applies the sign.  ``events`` and ``cache_stats`` account the
+    engine work of all three terms, merged across shards.
+    """
+
+    triangles: int
+    events: EventCounts = field(default_factory=EventCounts)
+    cache_stats: CacheStatistics = field(default_factory=CacheStatistics)
+
+
+# ----------------------------------------------------------------------
+# Delta edge handling
+# ----------------------------------------------------------------------
+def canonical_delta_edges(edges, num_vertices: int) -> np.ndarray:
+    """Normalise a batch of undirected edges into canonical delta form.
+
+    Returns an ``(k, 2)`` int64 array with ``u < v`` per row, self-loops
+    dropped, duplicates merged, sorted lexicographically (the iteration
+    order :func:`execute_batched` expects).  Raises
+    :class:`~repro.errors.GraphError` on out-of-range endpoints.
+    """
+    array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+    if array.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    array = array.astype(np.int64, copy=False).reshape(-1, 2)
+    low, high = int(array.min()), int(array.max())
+    if low < 0 or high >= num_vertices:
+        raise GraphError(
+            f"edge endpoint out of range [0, {num_vertices}): "
+            f"saw vertex {low if low < 0 else high}"
+        )
+    u = np.minimum(array[:, 0], array[:, 1])
+    v = np.maximum(array[:, 0], array[:, 1])
+    keep = u != v
+    u, v = u[keep], v[keep]
+    if u.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    keys = np.unique(u * np.int64(num_vertices) + v)
+    out = np.empty((keys.size, 2), dtype=np.int64)
+    out[:, 0] = keys // num_vertices
+    out[:, 1] = keys % num_vertices
+    return out
+
+
+def delta_sliced(
+    delta_edges: np.ndarray, num_vertices: int, slice_bits: int
+) -> SlicedMatrix:
+    """Symmetric :class:`SlicedMatrix` of a canonical delta edge batch."""
+    u, v = delta_edges[:, 0], delta_edges[:, 1]
+    return SlicedMatrix.from_nonzeros(
+        np.concatenate([u, v]),
+        np.concatenate([v, u]),
+        num_vertices,
+        num_vertices,
+        slice_bits=slice_bits,
+    )
+
+
+# ----------------------------------------------------------------------
+# In-place bit maintenance of a symmetric SlicedMatrix
+# ----------------------------------------------------------------------
+def set_bits(sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray) -> None:
+    """Set many bits at once, inserting new valid slices as needed.
+
+    One ``np.insert`` covers every structural change of the batch, so a
+    k-bit update costs ``O(N_VS + k log N_VS)`` instead of the
+    ``O(k * N_VS)`` a per-bit loop would pay.  Keeps the CSR-of-slices
+    invariants (ascending slice ids per row, no invalid slices stored),
+    so a mutated matrix is indistinguishable from one rebuilt from
+    scratch — the property the equivalence tests rely on.
+    """
+    rows, cols, positions, exists, bytes_, masks = _locate_bits(sliced, rows, cols)
+    if rows.size == 0:
+        return
+    # Existing slices: in-place OR.  ``.at`` handles several bits landing
+    # in the same (slice, byte) cell.
+    if exists.any():
+        np.bitwise_or.at(
+            sliced.data, (positions[exists], bytes_[exists]), masks[exists]
+        )
+    missing = ~exists
+    if not missing.any():
+        return
+    # New slices: group the missing bits by global slice key, build each
+    # payload, and splice them all in with one insert per array.
+    spr = np.int64(sliced.slices_per_row)
+    keys = rows[missing] * spr + cols[missing] // sliced.slice_bits
+    order = np.argsort(keys, kind="stable")
+    keys_sorted = keys[order]
+    head = np.empty(keys_sorted.size, dtype=bool)
+    if keys_sorted.size:
+        head[0] = True
+        np.not_equal(keys_sorted[1:], keys_sorted[:-1], out=head[1:])
+    unique_keys = keys_sorted[head]
+    ordinal = np.cumsum(head) - 1
+    payloads = np.zeros((unique_keys.size, sliced.slice_bits // 8), dtype=np.uint8)
+    np.bitwise_or.at(
+        payloads, (ordinal, bytes_[missing][order]), masks[missing][order]
+    )
+    # A missing bit's located position is exactly where its new slice
+    # belongs, so no second search over the structure is needed.
+    insert_at = positions[missing][order][head]
+    sliced.slice_ids = np.insert(
+        sliced.slice_ids, insert_at, unique_keys % spr
+    )
+    sliced.data = np.insert(sliced.data, insert_at, payloads, axis=0)
+    owner_counts = np.bincount(
+        unique_keys // spr, minlength=sliced.num_rows
+    )
+    sliced.indptr[1:] += np.cumsum(owner_counts)
+    sliced._keys_cache = None
+
+
+def clear_bits(sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray) -> None:
+    """Clear many bits at once, dropping slices that become empty."""
+    rows, cols, positions, exists, bytes_, masks = _locate_bits(sliced, rows, cols)
+    if not exists.any():
+        return
+    np.bitwise_and.at(
+        sliced.data,
+        (positions[exists], bytes_[exists]),
+        np.bitwise_not(masks[exists]),
+    )
+    touched = np.unique(positions[exists])
+    emptied = touched[~sliced.data[touched].any(axis=1)]
+    if emptied.size == 0:
+        return
+    owners = np.searchsorted(sliced.indptr, emptied, side="right") - 1
+    sliced.slice_ids = np.delete(sliced.slice_ids, emptied)
+    sliced.data = np.delete(sliced.data, emptied, axis=0)
+    sliced.indptr[1:] -= np.cumsum(
+        np.bincount(owners, minlength=sliced.num_rows)
+    )
+    sliced._keys_cache = None
+
+
+def set_bit(sliced: SlicedMatrix, row: int, col: int) -> None:
+    """Single-bit convenience wrapper over :func:`set_bits`."""
+    set_bits(sliced, np.array([row]), np.array([col]))
+
+
+def clear_bit(sliced: SlicedMatrix, row: int, col: int) -> None:
+    """Single-bit convenience wrapper over :func:`clear_bits`."""
+    clear_bits(sliced, np.array([row]), np.array([col]))
+
+
+def _locate_bits(sliced: SlicedMatrix, rows, cols):
+    """Vectorized lookup of each bit's slice position.
+
+    Returns ``(rows, cols, positions, exists, byte_index, bit_mask)``
+    int64/bool/uint8 arrays; ``positions[i]`` is the index of bit ``i``'s
+    slice in the valid-slice arrays when ``exists[i]``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.shape != cols.shape:
+        raise GraphError(
+            f"rows/cols must be matching 1-D arrays, got {rows.shape} vs {cols.shape}"
+        )
+    if rows.size and (
+        rows.min() < 0
+        or rows.max() >= sliced.num_rows
+        or cols.min() < 0
+        or cols.max() >= sliced.num_cols
+    ):
+        raise GraphError(
+            f"bit out of range for a ({sliced.num_rows}, {sliced.num_cols}) matrix"
+        )
+    slice_of = cols // sliced.slice_bits
+    keys = rows * np.int64(sliced.slices_per_row) + slice_of
+    if rows.size <= 64:
+        # Small batches (the per-op differential mode, single-edge
+        # updates) search each row's slice-id segment directly instead of
+        # materialising the O(N_VS) global key array.
+        positions = np.empty(rows.size, dtype=np.int64)
+        exists = np.empty(rows.size, dtype=bool)
+        indptr, slice_ids = sliced.indptr, sliced.slice_ids
+        for i in range(rows.size):
+            lo, hi = int(indptr[rows[i]]), int(indptr[rows[i] + 1])
+            position = lo + int(np.searchsorted(slice_ids[lo:hi], slice_of[i]))
+            positions[i] = position
+            exists[i] = position < hi and int(slice_ids[position]) == slice_of[i]
+    else:
+        global_keys = sliced.global_keys()
+        positions = np.searchsorted(global_keys, keys)
+        if global_keys.size:
+            clamped = np.minimum(positions, global_keys.size - 1)
+            exists = global_keys[clamped] == keys
+        else:
+            exists = np.zeros(rows.size, dtype=bool)
+    within = cols % sliced.slice_bits
+    bytes_ = within // 8
+    masks = (np.uint8(1) << (within % 8).astype(np.uint8)).astype(np.uint8)
+    return rows, cols, positions, exists, bytes_, masks
+
+
+# ----------------------------------------------------------------------
+# The delta re-join
+# ----------------------------------------------------------------------
+def symmetric_delta(
+    num_vertices: int,
+    base_sym: SlicedMatrix,
+    delta_edges: np.ndarray,
+    config: AcceleratorConfig,
+) -> DeltaOutcome:
+    """Triangles created (or, time-reversed, destroyed) by a delta batch.
+
+    ``base_sym`` is the symmetric slice structure of the base graph —
+    *excluding* every edge in ``delta_edges`` (for insertions: the state
+    before the batch; for deletions: the state after removal).
+    ``delta_edges`` is canonical (see :func:`canonical_delta_edges`) and
+    must be disjoint from the base edge set; overlap silently miscounts,
+    so the session filters no-op edges before calling in.
+
+    Only the vertex count is needed, not a :class:`Graph` — the planner
+    and the engine consume explicit edge arrays here, so a session can
+    keep applying batches without ever materialising a graph snapshot.
+
+    The three inclusion–exclusion terms each run on the vectorized
+    engine, sharded across ``config.num_arrays`` simulated arrays, and
+    the returned :class:`EventCounts` / cache statistics merge every
+    term's and every shard's accounting.
+    """
+    if delta_edges.size == 0:
+        return DeltaOutcome(triangles=0)
+    slice_bits = config.slice_bits
+    if base_sym.slice_bits != slice_bits:
+        raise ArchitectureError(
+            f"base structure uses {base_sym.slice_bits}-bit slices but the "
+            f"config asks for {slice_bits}"
+        )
+    d_sym = delta_sliced(delta_edges, num_vertices, slice_bits)
+    undirected_src = delta_edges[:, 0]
+    undirected_dst = delta_edges[:, 1]
+    # Both directions of every delta edge, in engine iteration order.
+    directed_src = np.concatenate([undirected_src, undirected_dst])
+    directed_dst = np.concatenate([undirected_dst, undirected_src])
+    order = np.lexsort((directed_dst, directed_src))
+    directed_src, directed_dst = directed_src[order], directed_dst[order]
+    # (row structure, column structure, edges, divisor): the three terms of
+    # the module docstring.  Divisors fold the multiplicity with which each
+    # term sees a triangle back to 1.
+    terms = (
+        (base_sym, base_sym, undirected_src, undirected_dst, 1),
+        (base_sym, d_sym, directed_src, directed_dst, 2),
+        (d_sym, d_sym, undirected_src, undirected_dst, 3),
+    )
+    per_array_capacity = config.capacity_slices // max(config.num_arrays, 1)
+    triangles = 0
+    events = EventCounts()
+    cache_stats = CacheStatistics()
+    for row_sliced, col_sliced, sources, destinations, divisor in terms:
+        if config.num_arrays > 1:
+            plan = plan_shards(
+                None, "symmetric", config.num_arrays, config.shard_by,
+                sources=sources,
+            )
+            shard_positions = plan.assignments
+        else:
+            shard_positions = (np.arange(sources.size, dtype=np.int64),)
+        accumulator = 0
+        for positions in shard_positions:
+            if positions.size == 0:
+                continue
+            shard_sources = sources[positions]
+            shard_destinations = destinations[positions]
+            _, touched_counts = row_sliced.row_slice_ranges(
+                np.unique(shard_sources)
+            )
+            row_region = int(touched_counts.max(initial=0))
+            column_capacity = per_array_capacity - row_region
+            if column_capacity < 1:
+                raise ArchitectureError(
+                    f"incremental batch needs a row region of {row_region} "
+                    f"slices but the per-array capacity is "
+                    f"{per_array_capacity}; use fewer arrays or a larger array"
+                )
+            shard_accumulator, fields, shard_cache = execute_batched(
+                None,
+                row_sliced,
+                col_sliced,
+                "symmetric",
+                column_capacity,
+                policy=config.policy,
+                seed=config.seed,
+                edges=(shard_sources, shard_destinations),
+                row_writes=int(touched_counts.sum()),
+            )
+            accumulator += shard_accumulator
+            events = events.merge(EventCounts(**fields))
+            cache_stats = cache_stats.merge(shard_cache)
+        if accumulator % divisor:
+            raise ArchitectureError(
+                f"delta re-join parity violated: term accumulator "
+                f"{accumulator} is not divisible by {divisor} — the delta "
+                "batch overlaps the base edge set"
+            )
+        triangles += accumulator // divisor
+    return DeltaOutcome(
+        triangles=triangles, events=events, cache_stats=cache_stats
+    )

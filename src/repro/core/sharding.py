@@ -184,7 +184,7 @@ _PARTITIONER_FUNCS = {
 
 
 def plan_shards(
-    graph: Graph,
+    graph: Graph | None,
     orientation: str,
     num_arrays: int,
     shard_by: str = "edges",
@@ -194,7 +194,9 @@ def plan_shards(
 
     ``sources`` optionally passes the already-materialised oriented
     source array (``oriented_edges(graph, orientation)[0]``) so callers
-    that hold it anyway skip a second O(m) expansion.
+    that hold it anyway skip a second O(m) expansion — with it given,
+    ``graph`` is never touched and may be ``None`` (the incremental
+    engine plans shards over delta edge lists without a graph snapshot).
     """
     if num_arrays < 1:
         raise ArchitectureError(f"num_arrays must be >= 1, got {num_arrays}")
@@ -203,6 +205,10 @@ def plan_shards(
             f"shard_by must be one of {PARTITIONERS}, got {shard_by!r}"
         )
     if sources is None:
+        if graph is None:
+            raise ArchitectureError(
+                "plan_shards needs a graph when sources is not provided"
+            )
         sources, _ = oriented_edges(graph, orientation)
     assignments = _PARTITIONER_FUNCS[shard_by](sources, num_arrays)
     return ShardPlan(

@@ -66,6 +66,7 @@ class SlicedMatrix:
         "indptr",
         "slice_ids",
         "data",
+        "_keys_cache",
     )
 
     def __init__(
@@ -98,6 +99,7 @@ class SlicedMatrix:
         self.indptr = indptr
         self.slice_ids = slice_ids
         self.data = data
+        self._keys_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -275,8 +277,17 @@ class SlicedMatrix:
         within each row, the returned array is strictly ascending — so a
         single :func:`np.searchsorted` can merge-join the valid slices of
         thousands of (row, column) pairs at once.
+
+        The array is cached (treat it as read-only): the engine re-joins
+        against the same structure once per batch and per term, and the
+        incremental mutators (:mod:`repro.core.incremental`) invalidate
+        the cache on structural change.
         """
-        return self.owner_rows() * np.int64(self.slices_per_row) + self.slice_ids
+        if self._keys_cache is None:
+            self._keys_cache = (
+                self.owner_rows() * np.int64(self.slices_per_row) + self.slice_ids
+            )
+        return self._keys_cache
 
     def row_slice_ranges(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(starts, counts)`` of the valid-slice runs of many rows at once."""

@@ -1,0 +1,154 @@
+"""Backend registry: engine and baseline dispatch by name.
+
+Dispatch used to live as string ``if/elif`` chains inside
+:mod:`repro.core.accelerator` (engine selection) and :mod:`repro.cli`
+(baseline selection).  This module centralises both into small mapping
+registries so new backends plug in without touching the facade
+(:class:`repro.api.TCIMSession`), the accelerator, or the CLI:
+
+* **engines** map an ``AcceleratorConfig.engine`` name to a kernel with
+  the signature ``kernel(accelerator, graph, row_sliced, col_sliced,
+  column_capacity) -> (accumulator, EventCounts, CacheStatistics)``.
+  The built-in ``"vectorized"`` and ``"legacy"`` kernels are registered
+  by :mod:`repro.core.accelerator` when it is imported.
+* **baselines** map a method name (``"forward"``, ``"matmul"``, ...) to
+  a ``callable(graph) -> int`` triangle counter.  The built-ins are
+  registered lazily on first lookup so importing :mod:`repro` stays
+  cheap.
+
+Registration is explicit and eager-failing: registering a duplicate name
+raises unless ``replace=True``, and looking up an unknown name raises
+:class:`~repro.errors.ArchitectureError` with the known names in the
+message.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "register_engine",
+    "engine_kernel",
+    "engine_names",
+    "register_baseline",
+    "baseline",
+    "baseline_names",
+]
+
+#: name -> engine kernel (see module docstring for the signature).
+_ENGINES: dict[str, Callable] = {}
+
+#: name -> ``callable(graph) -> int`` baseline triangle counter.
+_BASELINES: dict[str, Callable] = {}
+
+_BASELINES_LOADED = False
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+def register_engine(name: str, kernel: Callable, replace: bool = False) -> None:
+    """Register an execution-engine kernel under ``name``.
+
+    ``kernel(accelerator, graph, row_sliced, col_sliced, column_capacity)``
+    must return ``(accumulator, EventCounts, CacheStatistics)`` where
+    ``accumulator`` is the raw popcount sum before orientation division.
+    """
+    if not name or not isinstance(name, str):
+        raise ArchitectureError(f"engine name must be a non-empty string, got {name!r}")
+    if name in _ENGINES and not replace:
+        raise ArchitectureError(
+            f"engine {name!r} is already registered; pass replace=True to override"
+        )
+    _ENGINES[name] = kernel
+
+
+def engine_kernel(name: str) -> Callable:
+    """Look up the kernel registered under ``name``."""
+    _ensure_engines()
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        raise ArchitectureError(
+            f"unknown engine {name!r}; registered engines: {engine_names()}"
+        ) from None
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    _ensure_engines()
+    return tuple(_ENGINES)
+
+
+def _ensure_engines() -> None:
+    """Make sure the built-in kernels are registered.
+
+    The built-ins live in :mod:`repro.core.accelerator` (they close over
+    its private methods) and register themselves at import time; callers
+    that reach the registry first trigger that import here.
+    """
+    if "vectorized" not in _ENGINES:
+        import repro.core.accelerator  # noqa: F401  (registers built-ins)
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def register_baseline(name: str, counter: Callable, replace: bool = False) -> None:
+    """Register a ``callable(graph) -> int`` triangle counter under ``name``."""
+    if not name or not isinstance(name, str):
+        raise ArchitectureError(
+            f"baseline name must be a non-empty string, got {name!r}"
+        )
+    if name in _BASELINES and not replace:
+        raise ArchitectureError(
+            f"baseline {name!r} is already registered; pass replace=True to override"
+        )
+    _BASELINES[name] = counter
+
+
+def baseline(name: str) -> Callable:
+    """Look up the baseline counter registered under ``name``."""
+    _ensure_baselines()
+    try:
+        return _BASELINES[name]
+    except KeyError:
+        raise ArchitectureError(
+            f"unknown baseline {name!r}; registered baselines: {baseline_names()}"
+        ) from None
+
+
+def baseline_names() -> tuple[str, ...]:
+    """Registered baseline names, sorted."""
+    _ensure_baselines()
+    return tuple(sorted(_BASELINES))
+
+
+def _ensure_baselines() -> None:
+    """Register the built-in software baselines on first use (lazy import)."""
+    global _BASELINES_LOADED
+    if _BASELINES_LOADED:
+        return
+    _BASELINES_LOADED = True
+    from repro.baselines.intersection import (
+        triangle_count_edge_iterator,
+        triangle_count_forward,
+    )
+    from repro.baselines.matmul import triangle_count_matmul
+    from repro.core.bitwise import (
+        triangle_count_bitwise,
+        triangle_count_dense,
+        triangle_count_sliced,
+    )
+
+    for name, counter in {
+        "bitwise": triangle_count_bitwise,
+        "sliced": triangle_count_sliced,
+        "dense": triangle_count_dense,
+        "forward": triangle_count_forward,
+        "edge-iterator": triangle_count_edge_iterator,
+        "matmul": triangle_count_matmul,
+    }.items():
+        _BASELINES.setdefault(name, counter)

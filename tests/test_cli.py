@@ -190,3 +190,162 @@ class TestShardedFlags:
             ["count", "dataset:roadnet-pa@0.005", "--num-arrays", "0"]
         ) == 1
         assert "num_arrays" in capsys.readouterr().err
+
+
+class TestStreamCommand:
+    def _graph_file(self, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        return str(path)
+
+    def test_stream_ops_file(self, capsys, tmp_path, paper_graph):
+        graph = self._graph_file(tmp_path, paper_graph)
+        ops = tmp_path / "ops.txt"
+        ops.write_text("# churn {0,3}\n+ 0 3\n- 0 3\ninsert 0 3\n", encoding="utf-8")
+        assert main(["stream", graph, "--ops", str(ops), "--check"]) == 0
+        output = capsys.readouterr().out
+        assert "triangles after" in output
+        assert "oracle agreement" in output
+
+    def test_stream_random(self, capsys):
+        assert main(
+            ["stream", "dataset:roadnet-pa@0.005", "--random", "40", "--check"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "ops requested" in output
+        assert "oracle agreement  yes" in output
+        assert "throughput" in output
+
+    def test_stream_sharded_json(self, capsys):
+        import json as json_module
+
+        assert main(
+            [
+                "stream", "dataset:roadnet-pa@0.005",
+                "--random", "30", "--num-arrays", "2", "--json", "--check",
+            ]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["requested"] == 30
+        assert payload["oracle_agrees"] is True
+        assert payload["triangles"] == payload["triangles_before"] + payload["delta_triangles"]
+
+    def test_stream_record_json(self, capsys, tmp_path, paper_graph):
+        import json as json_module
+
+        graph = self._graph_file(tmp_path, paper_graph)
+        ops = tmp_path / "ops.txt"
+        ops.write_text("+ 0 3\n- 0 3\n", encoding="utf-8")
+        assert main(
+            ["stream", graph, "--ops", str(ops), "--record", "--json"]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["per_op_deltas"] == [2, -2]
+
+    def test_stream_bad_ops_file(self, capsys, tmp_path, paper_graph):
+        graph = self._graph_file(tmp_path, paper_graph)
+        ops = tmp_path / "ops.txt"
+        ops.write_text("+ 0\n", encoding="utf-8")
+        assert main(["stream", graph, "--ops", str(ops)]) == 1
+        assert "expected 'OP U V'" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    def test_count_json(self, capsys, tmp_path, paper_graph):
+        import json as json_module
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["count", str(path), "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["triangles"] == 2
+        assert payload["method"] == "tcim"
+
+    def test_simulate_json_sharded(self, capsys):
+        import json as json_module
+
+        assert main(
+            [
+                "simulate", "dataset:roadnet-pa@0.005",
+                "--num-arrays", "2", "--json",
+            ]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["num_arrays"] == 2
+        assert len(payload["shards"]) == 2
+        assert payload["latency_s"] > 0
+
+
+class TestConfigFileAndSet:
+    def test_config_file_toml(self, capsys, tmp_path, paper_graph):
+        import json as json_module
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        config = tmp_path / "tcim.toml"
+        config.write_text('engine = "legacy"\nseed = 3\n', encoding="utf-8")
+        assert main(
+            ["simulate", str(path), "--config", str(config), "--json"]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["engine"] == "legacy"
+
+    def test_flag_overrides_config_file(self, capsys, tmp_path, paper_graph):
+        import json as json_module
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        config = tmp_path / "tcim.json"
+        config.write_text('{"engine": "legacy"}', encoding="utf-8")
+        assert main(
+            [
+                "simulate", str(path),
+                "--config", str(config), "--engine", "vectorized", "--json",
+            ]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["engine"] == "vectorized"
+
+    def test_set_overrides_everything(self, capsys, tmp_path, paper_graph):
+        import json as json_module
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        config = tmp_path / "tcim.json"
+        config.write_text('{"num_arrays": 1}', encoding="utf-8")
+        assert main(
+            [
+                "count", str(path),
+                "--config", str(config),
+                "--num-arrays", "1",
+                "--set", "num_arrays=2",
+                "--json",
+            ]
+        ) == 0
+        assert json_module.loads(capsys.readouterr().out)["triangles"] == 2
+
+    def test_bad_set_syntax(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["count", str(path), "--set", "numarrays"]) == 1
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_unknown_config_key(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["count", str(path), "--set", "warp=9"]) == 1
+        assert "unknown AcceleratorConfig" in capsys.readouterr().err
+
+    def test_missing_config_file(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["count", str(path), "--config", "/nonexistent.toml"]) == 1
+        assert "cannot read config file" in capsys.readouterr().err
+
+    def test_validate_includes_session(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["validate", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "tcim-session" in output
+        assert "all implementations agree" in output

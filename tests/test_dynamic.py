@@ -205,3 +205,52 @@ class TestApplyOps:
         assert streamed.triangles == serial.triangles
         assert streamed.num_edges == serial.num_edges
         assert delta == serial.triangles - before
+
+
+class TestRecordMode:
+    """record=True yields signed per-op deltas for differential testing."""
+
+    def test_apply_ops_record(self, paper_graph):
+        counter = DynamicTriangleCounter(4, paper_graph)
+        net, deltas = counter.apply_ops(
+            [("+", 0, 3), ("-", 0, 3), ("+", 0, 3), ("+", 0, 3)], record=True
+        )
+        # K4 gains two triangles on insert, loses them on delete; the
+        # final duplicate insert is a no-op recording 0.
+        assert deltas == [2, -2, 2, 0]
+        assert net == sum(deltas) == 2
+
+    def test_apply_record(self, paper_graph):
+        counter = DynamicTriangleCounter(4, paper_graph)
+        net, deltas = counter.apply(
+            insertions=[(0, 3)], deletions=[(1, 2)], record=True
+        )
+        assert deltas == [2, -2]
+        assert net == 0
+
+    def test_record_false_keeps_scalar_return(self, paper_graph):
+        counter = DynamicTriangleCounter(4, paper_graph)
+        assert counter.apply_ops([("+", 0, 3)]) == 2
+        assert counter.apply(deletions=[(0, 3)]) == -2
+
+    def test_record_noops(self):
+        counter = DynamicTriangleCounter(5)
+        net, deltas = counter.apply_ops(
+            [("-", 0, 1), ("+", 2, 2)], record=True
+        )
+        assert net == 0
+        assert deltas == [0, 0]
+
+    def test_record_sums_to_net_on_random_stream(self):
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        counter = DynamicTriangleCounter(20)
+        ops = [
+            ("+" if rng.random() < 0.7 else "-",
+             int(rng.integers(20)), int(rng.integers(20)))
+            for _ in range(200)
+        ]
+        net, deltas = counter.apply_ops(ops, record=True)
+        assert len(deltas) == len(ops)
+        assert net == sum(deltas)
