@@ -1,0 +1,343 @@
+"""Closed-loop serving benchmark (and CI smoke gate) for ``repro.serve``.
+
+Drives N concurrent clients against a :class:`repro.serve.Service`
+holding K graphs resident, each client issuing a closed loop of mixed
+``count`` / ``simulate`` / ``apply`` requests against its assigned
+graph.  Clients sharing a graph update disjoint vertex blocks, so the
+final state of every session is independent of request interleaving and
+can be checked *exactly*.
+
+Three gates (all must hold in ``--smoke`` mode, which CI runs):
+
+1. **exactness vs oracle** — every session's final triangle count equals
+   a :class:`~repro.core.dynamic.DynamicTriangleCounter` replay of that
+   session's op stream from the base graph;
+2. **exactness vs serial serving** — replaying the identical request
+   trace through one-session-at-a-time serial serving (a pool of
+   capacity 1: every graph switch evicts and rebuilds residency, with
+   mutated sessions written back) finishes in the same final counts;
+3. **throughput** — the concurrent multi-session service clears at least
+   ``MIN_SPEEDUP`` (2x) the aggregate throughput of that serial
+   baseline.  The gap it measures is the cost the resident pool
+   amortises: re-slicing and re-running a graph on every switch versus
+   serving repeats from resident caches.
+
+The benchmark's graphs come from a ``ba:<n>/<attach>/<seed>`` source
+scheme registered here through :func:`repro.registry.register_source` —
+the same extension point custom deployments use, exercised end to end.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--smoke]
+
+Exit code 0 on success, 1 on any gate violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro import registry
+from repro.core.dynamic import DynamicTriangleCounter
+from repro.errors import ReproError
+from repro.graph import generators
+from repro.serve import Service
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+MIN_SPEEDUP = 2.0
+MIN_RESIDENT = 8
+
+
+@lru_cache(maxsize=64)
+def _ba_graph(n: int, attach: int, seed: int):
+    return generators.barabasi_albert(n, attach, seed=seed)
+
+
+def _resolve_ba(remainder: str, spec: str):
+    """``ba:<n>/<attach>/<seed>`` — memoised so both serving modes and the
+    oracle replay share one base-graph build."""
+    try:
+        n, attach, seed = (int(part) for part in remainder.split("/"))
+    except ValueError:
+        raise ReproError(f"bad ba spec {spec!r}: expected ba:<n>/<attach>/<seed>") from None
+    return _ba_graph(n, attach, seed)
+
+
+def register_ba_scheme() -> None:
+    if "ba" not in registry.source_schemes():
+        registry.register_source("ba", _resolve_ba)
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+def make_client_ops(graph, client: int, clients_per_graph: int, num_batches: int,
+                    batch_size: int, seed: int):
+    """Per-client apply batches over a private vertex block of ``graph``.
+
+    Client ``client`` (0-based within its graph) only touches vertex
+    pairs inside its contiguous block, so ops from clients sharing a
+    session commute — the final graph is interleaving-independent.
+    """
+    n = graph.num_vertices
+    block = n // clients_per_graph
+    lo = client * block
+    hi = lo + block
+    rng = np.random.default_rng(seed)
+    present = {
+        (u, v)
+        for u, v in map(tuple, graph.edge_array().tolist())
+        if lo <= u < hi and lo <= v < hi
+    }
+    pool = sorted(present)
+    batches = []
+    for _ in range(num_batches):
+        batch = []
+        while len(batch) < batch_size:
+            if pool and rng.random() < 0.45:
+                index = int(rng.integers(len(pool)))
+                pool[index], pool[-1] = pool[-1], pool[index]
+                edge = pool.pop()
+                if edge not in present:
+                    continue
+                present.discard(edge)
+                batch.append(("-", *edge))
+            else:
+                u = int(rng.integers(lo, hi))
+                v = int(rng.integers(lo, hi))
+                key = (min(u, v), max(u, v))
+                if u == v or key in present:
+                    continue
+                present.add(key)
+                pool.append(key)
+                batch.append(("+", u, v))
+        batches.append(batch)
+    return batches
+
+
+def build_trace(specs, clients_per_graph: int, num_batches: int, batch_size: int):
+    """The full request trace: per-client scripts plus a serial order.
+
+    Each client's script is a closed loop per batch: ``count`` (warm hit
+    after the first), ``apply`` the batch, ``count`` again, and a
+    ``simulate`` on the last batch.  The serial order interleaves
+    round-robin across clients — the worst case for one-session-at-a-time
+    serving, the steady state for the resident pool.
+    """
+    scripts = []
+    # Spec-alternating client order: consecutive clients sit on different
+    # graphs, so the serial baseline's round-robin switches sessions on
+    # (almost) every request — the access pattern the resident pool is
+    # built for, and the worst case for one-session-at-a-time serving.
+    for client in range(clients_per_graph):
+        for spec_index, spec in enumerate(specs):
+            graph = _resolve_ba(spec.split(":", 1)[1], spec)
+            batches = make_client_ops(
+                graph, client, clients_per_graph, num_batches, batch_size,
+                seed=1000 * spec_index + client,
+            )
+            requests = []
+            for index, batch in enumerate(batches):
+                requests.append(("count", None))
+                requests.append(("apply", batch))
+                requests.append(("count", None))
+                if index == len(batches) - 1:
+                    requests.append(("simulate", None))
+            scripts.append({"spec": spec, "requests": requests, "ops": batches})
+    order = []
+    longest = max(len(script["requests"]) for script in scripts)
+    for step in range(longest):
+        for client_id, script in enumerate(scripts):
+            if step < len(script["requests"]):
+                order.append((client_id, step))
+    return scripts, order
+
+
+async def run_concurrent(service: Service, scripts) -> dict[int, list]:
+    """All clients at once, each a closed loop awaiting every response."""
+
+    async def client(script) -> list:
+        results = []
+        for kind, payload in script["requests"]:
+            if kind == "count":
+                results.append(await service.count(script["spec"]))
+            elif kind == "simulate":
+                results.append((await service.simulate(script["spec"])).triangles)
+            else:
+                report = await service.apply(script["spec"], payload)
+                results.append(report.triangles)
+        return results
+
+    outcomes = await asyncio.gather(*(client(script) for script in scripts))
+    return dict(enumerate(outcomes))
+
+
+async def run_serial(service: Service, scripts, order) -> dict[int, list]:
+    """The same trace, one request at a time in the round-robin order."""
+    results: dict[int, list] = {index: [] for index in range(len(scripts))}
+    for client_id, step in order:
+        script = scripts[client_id]
+        kind, payload = script["requests"][step]
+        if kind == "count":
+            results[client_id].append(await service.count(script["spec"]))
+        elif kind == "simulate":
+            results[client_id].append(
+                (await service.simulate(script["spec"])).triangles
+            )
+        else:
+            report = await service.apply(script["spec"], payload)
+            results[client_id].append(report.triangles)
+    return results
+
+
+def oracle_final_counts(specs, scripts) -> dict[str, int]:
+    """Serial replay of each session's op stream through the oracle."""
+    finals = {}
+    for spec in specs:
+        graph = _resolve_ba(spec.split(":", 1)[1], spec)
+        oracle = DynamicTriangleCounter(graph.num_vertices, graph)
+        for script in scripts:
+            if script["spec"] == spec:
+                for batch in script["ops"]:
+                    oracle.apply_ops(batch)
+        finals[spec] = oracle.triangles
+    return finals
+
+
+async def final_counts(service: Service, specs) -> dict[str, int]:
+    return {spec: await service.count(spec) for spec in specs}
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized workload with hard gates")
+    parser.add_argument("--graphs", type=int, default=None)
+    parser.add_argument("--clients-per-graph", type=int, default=None)
+    parser.add_argument("--batches", type=int, default=None)
+    args = parser.parse_args(argv[1:])
+
+    if args.smoke:
+        num_graphs = args.graphs or MIN_RESIDENT
+        clients_per_graph = args.clients_per_graph or 2
+        num_batches = args.batches or 2
+        n, attach, batch_size = 6000, 6, 6
+    else:
+        num_graphs = args.graphs or 12
+        clients_per_graph = args.clients_per_graph or 3
+        num_batches = args.batches or 4
+        n, attach, batch_size = 8000, 6, 10
+
+    register_ba_scheme()
+    specs = [f"ba:{n}/{attach}/{seed}" for seed in range(num_graphs)]
+    scripts, order = build_trace(specs, clients_per_graph, num_batches, batch_size)
+    total_requests = sum(len(script["requests"]) for script in scripts)
+    print(
+        f"workload: {num_graphs} graphs (BA n={n:,}, attach={attach}), "
+        f"{len(scripts)} clients, {total_requests} requests"
+    )
+
+    failures = 0
+    lines = [
+        f"serving bench: {num_graphs} graphs BA n={n:,}/{attach}, "
+        f"{len(scripts)} clients, {total_requests} requests"
+    ]
+
+    # --- concurrent multi-session service ------------------------------
+    async def concurrent_mode():
+        async with Service(max_sessions=num_graphs, record_journal=True) as service:
+            start = time.perf_counter()
+            results = await run_concurrent(service, scripts)
+            elapsed = time.perf_counter() - start
+            finals = await final_counts(service, specs)
+            report = service.report()
+            return results, finals, report, elapsed
+
+    results, finals, report, concurrent_s = asyncio.run(concurrent_mode())
+    concurrent_qps = total_requests / concurrent_s
+    print(
+        f"concurrent: {concurrent_s:.2f}s ({concurrent_qps:,.1f} queries/s, "
+        f"{report.coalesced} coalesced, resident {report.pool.peak_resident})"
+    )
+
+    if report.pool.peak_resident < min(num_graphs, MIN_RESIDENT):
+        print(
+            f"RESIDENCY GATE: peak {report.pool.peak_resident} < "
+            f"{min(num_graphs, MIN_RESIDENT)} concurrent resident sessions",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    # --- exactness vs the pure-Python oracle ---------------------------
+    oracle = oracle_final_counts(specs, scripts)
+    wrong = {spec for spec in specs if finals[spec] != oracle[spec]}
+    if wrong:
+        for spec in sorted(wrong):
+            print(
+                f"EXACTNESS: {spec} served {finals[spec]:,} vs oracle "
+                f"{oracle[spec]:,}",
+                file=sys.stderr,
+            )
+        failures += 1
+    else:
+        print(f"exactness: all {num_graphs} final counts match the oracle replay")
+
+    # --- serial one-session-at-a-time baseline -------------------------
+    async def serial_mode():
+        async with Service(max_sessions=1, max_workers=1) as service:
+            start = time.perf_counter()
+            results = await run_serial(service, scripts, order)
+            elapsed = time.perf_counter() - start
+            finals = await final_counts(service, specs)
+            return results, finals, elapsed
+
+    serial_results, serial_finals, serial_s = asyncio.run(serial_mode())
+    serial_qps = total_requests / serial_s
+    speedup = serial_s / concurrent_s if concurrent_s else float("inf")
+    print(
+        f"serial (pool=1): {serial_s:.2f}s ({serial_qps:,.1f} queries/s); "
+        f"speedup {speedup:.1f}x (threshold {MIN_SPEEDUP}x)"
+    )
+    if serial_finals != finals:
+        print("SERIAL REPLAY DIVERGED from the concurrent service", file=sys.stderr)
+        failures += 1
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"THROUGHPUT GATE: {speedup:.1f}x < {MIN_SPEEDUP}x", file=sys.stderr
+        )
+        failures += 1
+
+    lines.append(
+        f"concurrent {concurrent_s:.2f}s ({concurrent_qps:,.1f} q/s) vs serial "
+        f"{serial_s:.2f}s ({serial_qps:,.1f} q/s): speedup {speedup:.1f}x; "
+        f"exact={not wrong and serial_finals == finals}; "
+        f"peak resident {report.pool.peak_resident}"
+    )
+    if report.fleet is not None:
+        lines.append(
+            f"fleet pricing: critical path {report.fleet.latency_s * 1e3:.3f} ms, "
+            f"imbalance {report.fleet.latency_breakdown_s['imbalance']:.2f}, "
+            f"system energy {report.fleet.system_energy_j:.3e} J"
+        )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_serving.txt").write_text(
+        "\n".join(lines) + "\n", encoding="utf-8"
+    )
+    if failures:
+        print(f"FAILED: {failures} gate violation(s)", file=sys.stderr)
+        return 1
+    print("serving bench passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -46,7 +46,21 @@ from repro.errors import ReproError
 from repro.graph import BitMatrix, Graph, load_graph
 from repro import registry
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Serving-tier names resolved lazily so ``import repro`` stays light
+#: (the serve package pulls asyncio/executor machinery it doesn't need
+#: for the single-session workflows).
+_LAZY_SERVE = ("Service", "open_service")
+
+
+def __getattr__(name):
+    if name in _LAZY_SERVE or name == "serve":
+        import importlib
+
+        serve = importlib.import_module("repro.serve")
+        return serve if name == "serve" else getattr(serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "__version__",
@@ -59,6 +73,7 @@ __all__ = [
     "EventCounts",
     "ReplacementPolicy",
     "RunReport",
+    "Service",
     "SliceCache",
     "SlicedMatrix",
     "SliceStatistics",
@@ -66,6 +81,7 @@ __all__ = [
     "TCIMRunResult",
     "TCIMSession",
     "UpdateReport",
+    "open_service",
     "open_session",
     "registry",
     "resolve_graph",

@@ -38,6 +38,7 @@ Usage::
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping
 from dataclasses import asdict, dataclass, field
 
@@ -69,7 +70,14 @@ __all__ = [
 
 def resolve_graph(spec) -> Graph:
     """Resolve a graph source: a :class:`Graph`, a file path, or a
-    ``dataset:<key>[@<scale>]`` spec (e.g. ``dataset:roadnet-pa@0.02``)."""
+    ``<scheme>:<rest>`` spec such as ``dataset:roadnet-pa@0.02``.
+
+    Scheme specs dispatch through the source registry
+    (:func:`repro.registry.register_source`), so custom loaders — remote
+    fetchers, generators, caches — plug in without touching this
+    function; anything whose prefix is not a registered scheme is
+    treated as a file path, keeping paths with colons working.
+    """
     if isinstance(spec, Graph):
         return spec
     if not isinstance(spec, str):
@@ -77,19 +85,9 @@ def resolve_graph(spec) -> Graph:
             f"graph source must be a Graph, a path, or a dataset spec, "
             f"got {type(spec).__name__}"
         )
-    if spec.startswith("dataset:"):
-        from repro.graph import datasets
-
-        remainder = spec[len("dataset:"):]
-        if "@" in remainder:
-            key, _, scale_text = remainder.partition("@")
-            try:
-                scale = float(scale_text)
-            except ValueError:
-                raise ReproError(f"invalid scale {scale_text!r} in {spec!r}") from None
-        else:
-            key, scale = remainder, 1.0
-        return datasets.synthesize(key, scale=scale)
+    scheme, sep, remainder = spec.partition(":")
+    if sep and scheme in registry.source_schemes():
+        return registry.source_resolver(scheme)(remainder, spec)
     from repro.graph.io import load_graph
 
     return load_graph(spec)
@@ -219,6 +217,15 @@ class TCIMSession:
     specs and config mappings), or directly from a :class:`Graph`.
     The session is also a context manager; ``close()`` drops the cached
     structures.
+
+    **Concurrency**: every public method holds the session's reentrant
+    lock for its whole duration, so a session may be shared between
+    threads — an in-flight :meth:`apply` can never interleave with
+    :meth:`count`/:meth:`simulate` and expose half-maintained slice
+    structures.  The lock serialises *per session*; for concurrency
+    across many resident graphs, put sessions behind
+    :class:`repro.serve.Service`, which multiplexes them on a worker
+    pool.
     """
 
     def __init__(
@@ -231,6 +238,13 @@ class TCIMSession:
         # Validates the config eagerly (engine/partitioner names, capacity).
         self._accelerator = TCIMAccelerator(self.config)
         self._model = model
+        # One reentrant lock serialises every public entry point (count
+        # calls itself from _apply_segments, hence reentrant).
+        self._lock = threading.RLock()
+        # Bumped on every successful mutation (and on close); lets callers
+        # — the serving tier's cache coalescing in particular — detect
+        # that resident caches were rebuilt, i.e. engine work was redone.
+        self._generation = 0
         self._num_vertices = graph.num_vertices
         self._graph: Graph | None = graph
         self._edge_set: set[tuple[int, int]] | None = None
@@ -258,8 +272,9 @@ class TCIMSession:
 
     def close(self) -> None:
         """Drop every cached structure (the session stays usable)."""
-        self._invalidate()
-        self._sym_sliced = None
+        with self._lock:
+            self._invalidate()
+            self._sym_sliced = None
 
     # ------------------------------------------------------------------
     # State
@@ -270,24 +285,79 @@ class TCIMSession:
         return self._num_vertices
 
     @property
+    def lock(self) -> threading.RLock:
+        """The session's reentrant lock.
+
+        Every public method already holds it; take it explicitly to make
+        a multi-step read atomic against concurrent updates, e.g.
+        ``with session.lock: result, gen = session.run(), session.generation``.
+        """
+        return self._lock
+
+    @property
+    def generation(self) -> int:
+        """Monotone mutation counter.
+
+        Bumped every time the resident caches are invalidated (each
+        applied update batch, and ``close()``).  Two reads of the same
+        cached query under an unchanged generation did no new engine
+        work — the signal :class:`repro.serve.Service` uses to coalesce
+        repeat queries and to price only fresh work.
+        """
+        with self._lock:
+            return self._generation
+
+    @property
     def num_edges(self) -> int:
         """Current edge count."""
-        if self._edge_set is not None:
-            return len(self._edge_set)
-        return self.graph.num_edges
+        with self._lock:
+            if self._edge_set is not None:
+                return len(self._edge_set)
+            return self.graph.num_edges
 
     @property
     def graph(self) -> Graph:
         """Snapshot of the current graph (rebuilt lazily after updates)."""
-        if self._graph is None:
-            edges = np.array(sorted(self._edge_set), dtype=np.int64)
-            self._graph = Graph(self._num_vertices, edges.reshape(-1, 2))
-        return self._graph
+        with self._lock:
+            if self._graph is None:
+                edges = np.array(sorted(self._edge_set), dtype=np.int64)
+                self._graph = Graph(self._num_vertices, edges.reshape(-1, 2))
+            return self._graph
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether the undirected edge ``{u, v}`` is currently present."""
-        self._materialise_edge_set()
-        return (min(u, v), max(u, v)) in self._edge_set
+        with self._lock:
+            self._materialise_edge_set()
+            return (min(u, v), max(u, v)) in self._edge_set
+
+    def resident_bytes(self) -> int:
+        """Estimated footprint of the resident compressed structures.
+
+        Sums the numpy payloads of every cached :class:`SlicedMatrix`
+        (row, column, and incrementally maintained symmetric structures),
+        the oriented edge arrays, and a per-edge estimate for the
+        materialised edge set.  This is the figure
+        :class:`repro.serve.SessionPool` budgets its eviction against;
+        a freshly opened session reports only its graph's edge storage.
+        """
+        with self._lock:
+            total = 0
+            for sliced in (self._row_sliced, self._col_sliced, self._sym_sliced):
+                if sliced is not None:
+                    total += (
+                        sliced.data.nbytes
+                        + sliced.slice_ids.nbytes
+                        + sliced.indptr.nbytes
+                    )
+            if self._edge_arrays is not None:
+                total += sum(array.nbytes for array in self._edge_arrays)
+            if self._graph is not None:
+                total += self._graph.edge_array().nbytes
+            if self._edge_set is not None:
+                # CPython footprint of a set of int 2-tuples, measured
+                # ~200 B/edge; 128 keeps the estimate conservative-cheap.
+                total += 128 * len(self._edge_set)
+            return total
 
     # ------------------------------------------------------------------
     # Queries
@@ -299,9 +369,10 @@ class TCIMSession:
         been applied; otherwise one full run on the resident compressed
         structures (cached for repeat calls).
         """
-        if self._triangles is None:
-            self._triangles = self._full_run().triangles
-        return self._triangles
+        with self._lock:
+            if self._triangles is None:
+                self._triangles = self._full_run().triangles
+            return self._triangles
 
     def simulate(self) -> RunReport:
         """Full priced run: functional result + architecture-model pricing.
@@ -310,47 +381,53 @@ class TCIMSession:
         matching perf evaluation — the session only skips the re-slicing,
         never changes the dataflow.  Cached until the graph changes.
         """
-        if self._report is None:
-            from repro.arch.perf import default_pim_model
+        with self._lock:
+            if self._report is None:
+                from repro.arch.perf import default_pim_model
 
-            result = self._full_run()
-            model = self._model or default_pim_model()
-            if result.shards:
-                from repro.arch.pipeline import measured_shard_report
+                result = self._full_run()
+                model = self._model or default_pim_model()
+                if result.shards:
+                    from repro.arch.pipeline import measured_shard_report
 
-                perf = measured_shard_report(result, model)
-                shard_perf = [
-                    model.evaluate(shard.events, shard.rows)
-                    for shard in result.shards
-                ]
-            else:
-                perf = model.evaluate(result.events)
-                shard_perf = []
-            self._report = RunReport(result=result, perf=perf, shard_perf=shard_perf)
-        return self._report
+                    perf = measured_shard_report(result, model)
+                    shard_perf = [
+                        model.evaluate(shard.events, shard.rows)
+                        for shard in result.shards
+                    ]
+                else:
+                    perf = model.evaluate(result.events)
+                    shard_perf = []
+                self._report = RunReport(
+                    result=result, perf=perf, shard_perf=shard_perf
+                )
+            return self._report
 
     def run(self) -> TCIMRunResult:
         """The raw functional run result (``simulate()`` without pricing)."""
-        return self._full_run()
+        with self._lock:
+            return self._full_run()
 
     def slice_stats(self) -> SliceStatistics:
         """Table III/IV compression statistics of the resident structures."""
-        if self._slice_stats is None:
-            self._prepare()
-            self._slice_stats = slice_statistics(
-                self.graph,
-                slice_bits=self.config.slice_bits,
-                orientation=self.config.orientation,
-                row_sliced=self._row_sliced,
-                col_sliced=self._col_sliced,
-            )
-        return self._slice_stats
+        with self._lock:
+            if self._slice_stats is None:
+                self._prepare()
+                self._slice_stats = slice_statistics(
+                    self.graph,
+                    slice_bits=self.config.slice_bits,
+                    orientation=self.config.orientation,
+                    row_sliced=self._row_sliced,
+                    col_sliced=self._col_sliced,
+                )
+            return self._slice_stats
 
     def baseline(self, name: str) -> int:
         """Triangle count via a registered software baseline (cached)."""
-        if name not in self._baseline_cache:
-            self._baseline_cache[name] = int(registry.baseline(name)(self.graph))
-        return self._baseline_cache[name]
+        with self._lock:
+            if name not in self._baseline_cache:
+                self._baseline_cache[name] = int(registry.baseline(name)(self.graph))
+            return self._baseline_cache[name]
 
     # ------------------------------------------------------------------
     # Incremental updates (the vectorized fast path)
@@ -369,6 +446,13 @@ class TCIMSession:
         signed per-op deltas in :attr:`UpdateReport.per_op_deltas` — the
         differential-testing mode cross-checked against the
         :class:`DynamicTriangleCounter` oracle in the test-suite.
+
+        **Failure semantics**: if a batch raises (e.g. a capacity
+        :class:`~repro.errors.ArchitectureError`), the failing batch is
+        rolled back completely — slice structures, edge set, and count
+        all restored — while batches already applied stay applied.  The
+        session remains consistent and usable; re-submitting the same
+        stream is safe because applied operations filter out as no-ops.
         """
         parsed = self._parse_ops(ops)
         segments: list[tuple[str, list[tuple[int, int]]]] = []
@@ -376,7 +460,8 @@ class TCIMSession:
             if record or not segments or segments[-1][0] != code:
                 segments.append((code, []))
             segments[-1][1].append((u, v))
-        return self._apply_segments(segments, len(parsed), record)
+        with self._lock:
+            return self._apply_segments(segments, len(parsed), record)
 
     def apply_edges(
         self, insertions=(), deletions=(), record: bool = False
@@ -416,6 +501,11 @@ class TCIMSession:
         return parsed
 
     def _apply_segments(self, segments, requested: int, record: bool) -> UpdateReport:
+        # Callers hold self._lock.  On failure, the *failing* segment is
+        # rolled back completely (see _insert_batch/_delete_batch) while
+        # segments already applied stay applied — the session is always
+        # consistent, and re-submitting the stream is safe because
+        # already-applied operations filter out as no-ops.
         # The delta path needs a base count to update; bootstrap with one
         # full run on the resident structures if none exists yet.
         self.count()
@@ -425,16 +515,41 @@ class TCIMSession:
         delta_total = 0
         inserted = deleted = executed = 0
         per_op: list[int] | None = [] if record else None
-        for code, batch in segments:
-            canonical = incremental.canonical_delta_edges(batch, self._num_vertices)
-            if code == "+":
-                outcome, changed = self._insert_batch(canonical)
-                delta = outcome.triangles
-                inserted += changed
-            else:
-                outcome, changed = self._delete_batch(canonical)
-                delta = -outcome.triangles
-                deleted += changed
+        for index, (code, batch) in enumerate(segments):
+            try:
+                canonical = incremental.canonical_delta_edges(
+                    batch, self._num_vertices
+                )
+                if code == "+":
+                    outcome, changed = self._insert_batch(canonical)
+                    delta = outcome.triangles
+                    inserted += changed
+                else:
+                    outcome, changed = self._delete_batch(canonical)
+                    delta = -outcome.triangles
+                    deleted += changed
+            except Exception as error:
+                # The failing segment rolled back; segments before it are
+                # committed.  Attach what DID happen so callers that
+                # account for engine work (the serving tier's pricing and
+                # op journal) stay in sync with the session's real state.
+                error.partial_update = UpdateReport(
+                    requested=requested,
+                    inserted=inserted,
+                    deleted=deleted,
+                    delta_triangles=delta_total,
+                    triangles=self._triangles,
+                    segments=executed,
+                    events=events,
+                    cache_stats=cache_stats,
+                    per_op_deltas=per_op,
+                )
+                error.applied_operations = [
+                    (earlier_code, u, v)
+                    for earlier_code, earlier_batch in segments[:index]
+                    for u, v in earlier_batch
+                ]
+                raise
             if changed:
                 executed += 1
                 delta_total += delta
@@ -468,7 +583,14 @@ class TCIMSession:
         outcome = incremental.symmetric_delta(
             self._num_vertices, self._sym(), delta_edges, self.config
         )
-        incremental.set_bits(self._sym(), *_both_directions(delta_edges))
+        try:
+            incremental.set_bits(self._sym(), *_both_directions(delta_edges))
+        except Exception:
+            # The fresh edges were absent from the base, so their bits
+            # were all zero: clearing both directions restores the
+            # structure exactly even if set_bits died half-way.
+            incremental.clear_bits(self._sym(), *_both_directions(delta_edges))
+            raise
         self._edge_set.update(fresh)
         self._triangles += outcome.triangles
         self._invalidate()
@@ -554,7 +676,11 @@ class TCIMSession:
         The incrementally maintained pieces — the triangle count and the
         symmetric slice structure — survive; everything rebuilt from the
         graph is dropped and lazily re-created on the next query.
+        Callers hold ``self._lock``; runs only after a segment has fully
+        committed (or in ``close()``), never on a rolled-back failure, so
+        a bumped generation always marks a consistent new state.
         """
+        self._generation += 1
         self._graph = None if self._edge_set is not None else self._graph
         self._row_sliced = None
         self._col_sliced = None

@@ -196,33 +196,84 @@ class PimPerformanceModel:
             raise ArchitectureError(
                 f"{len(shard_events)} shards but {len(shard_rows)} row counts"
             )
+        # Load imbalance (1.0 is perfect) is latency the partitioner left
+        # on the table; leakage accrues once — the sub-arrays partition a
+        # single chip.
+        return self._concurrent_report(
+            shard_events, shard_rows, label="shard", leakage_groups=1
+        )
+
+    def evaluate_fleet(
+        self,
+        session_events: Sequence[EventCounts],
+        session_rows: Sequence[int] | None = None,
+    ) -> PerfReport:
+        """Price a fleet of concurrently resident sessions.
+
+        The serving tier (:mod:`repro.serve`) keeps many graphs resident
+        at once, each in its own array group with private peripherals —
+        the multi-graph generalisation of Fig. 4.  Groups execute their
+        sessions' engine work concurrently, so fleet latency is the
+        *slowest session's* critical path.  Dynamic energy sums over all
+        sessions; unlike :meth:`evaluate_shards` (sub-arrays partitioning
+        one chip), every resident group leaks over the whole fleet
+        runtime, so leakage scales with the number of resident sessions.
+        The controller/host is shared and accrues once.
+        """
+        if not session_events:
+            raise ArchitectureError("evaluate_fleet needs at least one session")
+        if session_rows is None:
+            session_rows = [0] * len(session_events)
+        if len(session_rows) != len(session_events):
+            raise ArchitectureError(
+                f"{len(session_events)} sessions but {len(session_rows)} row counts"
+            )
+        # Unlike shards, every resident group leaks for the whole fleet
+        # runtime; imbalance (1.0 = balanced) is throughput an
+        # admission/placement policy could still recover.
+        return self._concurrent_report(
+            session_events,
+            session_rows,
+            label="session",
+            leakage_groups=len(session_events),
+        )
+
+    def _concurrent_report(
+        self,
+        unit_events: Sequence[EventCounts],
+        unit_rows: Sequence[int],
+        label: str,
+        leakage_groups: int,
+    ) -> PerfReport:
+        """Shared critical-path pricing for concurrently executing units.
+
+        Reuses per-unit :meth:`evaluate` reports so this accounting can
+        never diverge from the serial model: dynamic energy is everything
+        not time-proportional, while leakage re-accrues over the critical
+        path for ``leakage_groups`` concurrently powered array groups and
+        the shared host accrues once.
+        """
         energy = self.energy
-        per_shard = [
+        per_unit = [
             self.evaluate(events, rows)
-            for events, rows in zip(shard_events, shard_rows)
+            for events, rows in zip(unit_events, unit_rows)
         ]
-        latencies = [report.latency_s for report in per_shard]
+        latencies = [report.latency_s for report in per_unit]
         critical = max(latencies)
-        # Reuse the per-shard reports' energy accounting so this mode can
-        # never diverge from evaluate(): dynamic energy is everything that
-        # is not time-proportional (leakage/host are re-accrued over the
-        # critical path below).
         dynamic = sum(
             sum(report.energy_breakdown_j.values())
             - report.energy_breakdown_j["leakage"]
             - report.energy_breakdown_j["host"]
-            for report in per_shard
+            for report in per_unit
         )
-        leakage = energy.leakage_power_w * critical
+        leakage = energy.leakage_power_w * critical * leakage_groups
         array_energy = dynamic + leakage
         system_energy = array_energy + energy.host_power_w * critical
         mean_latency = sum(latencies) / len(latencies)
         breakdown = {
-            f"shard{index}": latency for index, latency in enumerate(latencies)
+            f"{label}{index}": latency for index, latency in enumerate(latencies)
         }
         breakdown["critical_path"] = critical
-        # Load imbalance: 1.0 is perfect; the gap to it is latency the
-        # partitioner left on the table.
         breakdown["imbalance"] = critical / mean_latency if mean_latency else 1.0
         return PerfReport(
             latency_s=critical,

@@ -48,6 +48,7 @@ __all__ = [
     "ParallelPimModel",
     "simulate_parallel",
     "measured_shard_report",
+    "measured_fleet_report",
     "simulate_sharded",
 ]
 
@@ -197,6 +198,26 @@ def measured_shard_report(
         shard_events = [result.events]
         shard_rows = None
     return model.evaluate_shards(shard_events, shard_rows)
+
+
+def measured_fleet_report(
+    session_events: list[EventCounts],
+    session_rows: list[int] | None = None,
+    base_model: PimPerformanceModel | None = None,
+) -> PerfReport:
+    """Price a serving fleet from each resident session's measured events.
+
+    The serving-tier counterpart of :func:`measured_shard_report`:
+    ``session_events`` holds the merged :class:`EventCounts` of the
+    engine work each resident session actually executed (full runs plus
+    incremental delta re-joins, as accumulated by
+    :class:`repro.serve.Service`), and the report reflects the slowest
+    session — the fleet's measured critical path — with leakage accrued
+    per resident array group (see
+    :meth:`PimPerformanceModel.evaluate_fleet`).
+    """
+    model = base_model or default_pim_model()
+    return model.evaluate_fleet(session_events, session_rows)
 
 
 def simulate_sharded(

@@ -7,6 +7,7 @@ Sub-commands::
     tcim slice-stats GRAPH [--slice-bits] [--ordering]  # Table III/IV stats
     tcim simulate GRAPH [--array-mb ...]  # full TCIM run + latency/energy
     tcim stream GRAPH (--ops FILE | --random N)  # incremental op stream
+    tcim serve [--port N] [--max-sessions N]  # multi-session JSON service
     tcim device [--llg]                   # Table I device characterisation
     tcim validate GRAPH                   # cross-check all implementations
     tcim truss GRAPH                      # k-truss decomposition
@@ -468,6 +469,89 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import Service, serve_stdio, serve_tcp
+
+    config = _accelerator_config(args)
+    service = Service(
+        max_sessions=args.max_sessions,
+        max_resident_bytes=(
+            int(args.max_mb * 2**20) if args.max_mb is not None else None
+        ),
+        max_workers=args.pool_workers,
+        config=config,
+    )
+
+    # Snapshot the report before close() evicts the pool, so the final
+    # summary reflects the serving run, not the torn-down state.
+    captured: dict = {}
+
+    async def run_stdio() -> None:
+        try:
+            await serve_stdio(service)
+        finally:
+            captured["report"] = service.report()
+            await service.close()
+
+    async def run_tcp() -> None:
+        server = await serve_tcp(service, args.host, args.port)
+        addresses = ", ".join(
+            f"{sock.getsockname()[0]}:{sock.getsockname()[1]}"
+            for sock in server.sockets
+        )
+        print(f"tcim serve: listening on {addresses}", file=sys.stderr)
+        try:
+            async with server:
+                await server.serve_forever()
+        finally:
+            captured["report"] = service.report()
+            await service.close()
+
+    try:
+        asyncio.run(run_tcp() if args.port is not None else run_stdio())
+    except KeyboardInterrupt:
+        pass
+    report = captured.get("report") or service.report()
+    try:
+        return _print_serve_summary(report, args.json)
+    except BrokenPipeError:
+        # The client closed stdout mid-stream (e.g. `... | head`); drop
+        # the summary and exit quietly instead of dying on the flush.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _print_serve_summary(report, as_json: bool) -> int:
+    if as_json:
+        _emit_json(report.to_mapping())
+        return 0
+    table = Table(["metric", "value"], title="Serving summary")
+    table.add_row(["queries", format_count(report.queries)])
+    table.add_row(["throughput", f"{report.queries_per_second:,.1f} queries/s"])
+    table.add_row(["coalesced reads", format_count(report.coalesced)])
+    table.add_row(
+        ["sessions (resident/peak/capacity)",
+         f"{report.resident}/{report.pool.peak_resident}/{report.max_sessions}"],
+    )
+    table.add_row(["pool hits / misses", f"{report.pool.hits} / {report.pool.misses}"])
+    table.add_row(["evictions", format_count(report.pool.evictions)])
+    table.add_row(["resident bytes", format_bytes(report.resident_bytes)])
+    if report.fleet is not None:
+        table.add_row(
+            ["modelled fleet latency (critical path)",
+             format_seconds(report.fleet.latency_s)],
+        )
+        table.add_row(
+            ["modelled fleet system energy", f"{report.fleet.system_energy_j:.3e} J"]
+        )
+    print(table.render())
+    return 0
+
+
 def _cmd_device(args: argparse.Namespace) -> int:
     from repro.device import MTJDevice, SenseAmplifier, solve_llg
 
@@ -596,6 +680,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_accelerator_args(stream)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve many resident sessions over a JSON line protocol",
+        description=(
+            "Serve concurrent count/simulate/apply queries against a pool "
+            "of resident sessions.  Default: read one JSON request per "
+            "line from stdin until EOF (see docs/API.md 'Serving' for the "
+            "protocol); with --port, listen on TCP instead.  The "
+            "accelerator flags set the default config for sessions the "
+            "service opens; per-request 'config' objects override it."
+        ),
+    )
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="listen on TCP instead of reading stdin",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind address")
+    serve.add_argument(
+        "--max-sessions", type=int, default=8,
+        help="resident-session budget of the pool (LRU-evicted beyond it)",
+    )
+    serve.add_argument(
+        "--max-mb", type=float, default=None,
+        help="optional resident-memory budget in MiB",
+    )
+    serve.add_argument(
+        "--pool-workers", type=int, default=None,
+        help="threads for CPU-bound engine work (default: executor default)",
+    )
+    add_accelerator_args(serve)
+
     device = subparsers.add_parser("device", help="MTJ characterisation")
     device.add_argument("--llg", action="store_true", help="run the LLG transient")
 
@@ -611,6 +726,7 @@ _COMMANDS = {
     "slice-stats": _cmd_slice_stats,
     "simulate": _cmd_simulate,
     "stream": _cmd_stream,
+    "serve": _cmd_serve,
     "device": _cmd_device,
     "validate": _cmd_validate,
     "truss": _cmd_truss,

@@ -1,0 +1,42 @@
+"""Async multi-session serving tier (the "heavy traffic" layer).
+
+One :class:`~repro.api.TCIMSession` reproduces the paper's Fig. 4
+controller for a single resident graph.  This package serves *fleets* of
+them: a :class:`SessionPool` keeps many compressed graphs resident under
+an LRU memory budget, and a :class:`Service` multiplexes concurrent
+clients across them — coalescing repeat reads per session, serialising
+update streams per session while interleaving across sessions, and
+pricing the aggregate through the architecture model
+(:class:`ServiceReport`).
+
+Entry points::
+
+    from repro.serve import open_service          # async facade
+    tcim serve [--port N] ...                     # JSON line protocol
+
+See ``docs/API.md`` ("Serving") for pool semantics, eviction, and the
+concurrency guarantees of ``TCIMSession`` vs ``Service``.
+"""
+
+from repro.serve.pool import PoolStats, SessionEntry, SessionPool
+from repro.serve.protocol import handle_request, serve_stdio, serve_stream, serve_tcp
+from repro.serve.service import (
+    Service,
+    ServiceReport,
+    SessionServeStats,
+    open_service,
+)
+
+__all__ = [
+    "PoolStats",
+    "SessionEntry",
+    "SessionPool",
+    "SessionServeStats",
+    "Service",
+    "ServiceReport",
+    "open_service",
+    "handle_request",
+    "serve_stream",
+    "serve_stdio",
+    "serve_tcp",
+]

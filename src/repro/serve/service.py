@@ -1,0 +1,528 @@
+"""The async serving tier: many resident sessions, one entry point.
+
+:class:`Service` multiplexes concurrent clients over a
+:class:`~repro.serve.pool.SessionPool` of resident
+:class:`~repro.api.TCIMSession` objects:
+
+* **reads** (:meth:`Service.count`, :meth:`Service.simulate`,
+  :meth:`Service.slice_stats`, :meth:`Service.baseline`) are served from
+  each session's resident caches; identical in-flight reads against the
+  same session *coalesce* onto one executor job (keyed by the session's
+  mutation generation, so a read never coalesces across an update);
+* **writes** (:meth:`Service.apply`) serialise per session behind an
+  ``asyncio.Lock`` — an apply stream can never interleave with another
+  apply on the same graph — while applies on *different* sessions
+  interleave freely;
+* all CPU-bound engine work runs on a shared thread worker pool, so the
+  event loop stays responsive and independent sessions' numpy kernels
+  overlap.
+
+Every piece of engine work a session performs for the service — the
+residency-establishing first run, post-update re-runs (priced once per
+generation), and each incremental delta re-join — accumulates into the
+entry's merged :class:`EventCounts`.  :meth:`Service.report` prices that
+fleet through :func:`repro.arch.pipeline.measured_fleet_report`: the
+aggregate throughput, per-session critical paths, and pool occupancy of
+the whole serving run.
+
+Usage::
+
+    from repro.serve import open_service
+
+    async def main():
+        async with open_service(max_sessions=8) as service:
+            count = await service.count("dataset:com-dblp@0.05")
+            await service.apply("dataset:com-dblp@0.05", [("+", 0, 1)])
+            print(service.report().queries_per_second)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict, dataclass, field
+from functools import partial
+
+from repro.api import RunReport, UpdateReport
+from repro.core.accelerator import EventCounts
+from repro.core.slicing import SliceStatistics
+from repro.errors import ReproError
+from repro.serve.pool import PoolStats, SessionEntry, SessionPool
+
+__all__ = [
+    "SessionServeStats",
+    "ServiceReport",
+    "Service",
+    "open_service",
+]
+
+
+@dataclass
+class SessionServeStats:
+    """Serving statistics of one (possibly evicted) resident session."""
+
+    key: str
+    queries: int
+    by_kind: dict[str, int]
+    ops_applied: int
+    events: EventCounts
+    resident_bytes: int
+    #: Modelled critical path of this session's accumulated engine work.
+    latency_s: float = 0.0
+
+    def to_mapping(self) -> dict:
+        return {
+            "key": self.key,
+            "queries": self.queries,
+            "by_kind": dict(self.by_kind),
+            "ops_applied": self.ops_applied,
+            "events": asdict(self.events),
+            "resident_bytes": self.resident_bytes,
+            "latency_s": self.latency_s,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate outcome of a serving run, priced through ``arch/perf``.
+
+    ``fleet`` is the measured fleet :class:`~repro.arch.perf.PerfReport`
+    (critical path = slowest session, per-group leakage); it is ``None``
+    until any session has performed engine work.
+    """
+
+    wall_clock_s: float
+    queries: int
+    queries_per_second: float
+    #: Reads answered by an already in-flight identical computation.
+    coalesced: int
+    sessions: list[SessionServeStats] = field(default_factory=list)
+    fleet: object | None = None  # arch.perf.PerfReport, imported lazily
+    pool: PoolStats = field(default_factory=PoolStats)
+    resident: int = 0
+    max_sessions: int = 0
+    resident_bytes: int = 0
+
+    @property
+    def occupancy(self) -> float:
+        """Resident sessions over capacity (1.0 = full pool)."""
+        return self.resident / self.max_sessions if self.max_sessions else 0.0
+
+    def to_mapping(self) -> dict:
+        payload = {
+            "wall_clock_s": self.wall_clock_s,
+            "queries": self.queries,
+            "queries_per_second": self.queries_per_second,
+            "coalesced": self.coalesced,
+            "sessions": [stats.to_mapping() for stats in self.sessions],
+            "pool": asdict(self.pool),
+            "resident": self.resident,
+            "max_sessions": self.max_sessions,
+            "occupancy": self.occupancy,
+            "resident_bytes": self.resident_bytes,
+        }
+        if self.fleet is not None:
+            payload["fleet"] = {
+                "latency_s": self.fleet.latency_s,
+                "array_energy_j": self.fleet.array_energy_j,
+                "system_energy_j": self.fleet.system_energy_j,
+                "latency_breakdown_s": dict(self.fleet.latency_breakdown_s),
+            }
+        return payload
+
+
+class Service:
+    """Async front door over a pool of resident sessions.
+
+    Construct directly or via :func:`open_service`.  ``config`` and
+    ``overrides`` set the default accelerator configuration for sessions
+    the service opens; per-request configs key separate pool entries.
+    ``record_journal=True`` keeps each session's applied op batches in
+    execution order — the hook the differential serving tests replay.
+
+    The service is an async context manager; :meth:`close` drains the
+    worker pool and evicts every resident session.
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool | None = None,
+        *,
+        max_sessions: int = 8,
+        max_resident_bytes: int | None = None,
+        max_workers: int | None = None,
+        model=None,
+        config=None,
+        record_journal: bool = False,
+        **overrides,
+    ) -> None:
+        if pool is not None and (
+            max_sessions != 8
+            or max_resident_bytes is not None
+            or config is not None
+            or overrides
+        ):
+            # Silently dropping these would leave e.g. a "memory budget"
+            # the operator believes is active but the pool never saw.
+            raise ReproError(
+                "pass pool configuration (max_sessions/max_resident_bytes/"
+                "config/overrides) either to the SessionPool or to the "
+                "Service, not both"
+            )
+        self._pool = pool or SessionPool(
+            max_sessions,
+            max_resident_bytes,
+            config=config,
+            model=model,
+            **overrides,
+        )
+        self._model = model
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="tcim-serve"
+        )
+        self._record_journal = record_journal
+        #: key -> [asyncio.Lock, active-user count]; pruned when idle.
+        self._acquire_locks: dict[str, list] = {}
+        self._started = time.perf_counter()
+        self._queries = 0
+        self._coalesced = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "Service":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Drain in-flight work, shut the worker pool, evict all sessions."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, partial(self._executor.shutdown, wait=True))
+        self._pool.close()
+
+    @property
+    def pool(self) -> SessionPool:
+        """The underlying session pool."""
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    async def count(self, source, config=None, **overrides) -> int:
+        """Exact triangle count (incrementally maintained across applies)."""
+        return await self._read(source, config, overrides, "count", self._count_work)
+
+    async def simulate(self, source, config=None, **overrides) -> RunReport:
+        """Full priced run on the resident structures (cached per generation)."""
+        return await self._read(
+            source, config, overrides, "simulate", self._simulate_work
+        )
+
+    async def slice_stats(self, source, config=None, **overrides) -> SliceStatistics:
+        """Table III/IV compression statistics of the resident structures."""
+        return await self._read(
+            source, config, overrides, "slice_stats", self._slice_stats_work
+        )
+
+    async def baseline(self, source, name: str, config=None, **overrides) -> int:
+        """Triangle count via a registered software baseline."""
+        return await self._read(
+            source,
+            config,
+            overrides,
+            f"baseline:{name}",
+            partial(self._baseline_work, name=name),
+        )
+
+    async def apply(
+        self, source, ops, config=None, *, record: bool = False, **overrides
+    ) -> UpdateReport:
+        """Apply one ordered update stream to the resident session.
+
+        Applies to the same session run strictly one at a time, in
+        arrival order at the session's write lock; applies to different
+        sessions interleave across the worker pool.
+        """
+        ops = list(ops)
+        entry = await self._checkout(source, config, overrides)
+        try:
+            entry.count_query("apply")
+            if entry.write_lock is None:
+                entry.write_lock = asyncio.Lock()
+            loop = asyncio.get_running_loop()
+            async with entry.write_lock:
+                report = await loop.run_in_executor(
+                    self._executor, partial(self._apply_work, entry, ops, record)
+                )
+            self._queries += 1
+            return report
+        finally:
+            self._release(entry)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> ServiceReport:
+        """Aggregate serving report, priced through the performance model."""
+        wall = time.perf_counter() - self._started
+        resident_stats = [
+            self._snapshot(entry, resident=True) for entry in self._pool.entries()
+        ]
+        retired_stats = [
+            self._snapshot(entry, resident=False) for entry in self._pool.retired()
+        ]
+        stats = resident_stats + retired_stats
+        active = [s for s in stats if any(asdict(s.events).values())]
+        fleet = None
+        if active:
+            from repro.arch.perf import default_pim_model
+            from repro.arch.pipeline import measured_fleet_report
+
+            model = self._model or default_pim_model()
+            for session_stats in active:
+                session_stats.latency_s = model.evaluate(
+                    session_stats.events
+                ).latency_s
+            # The fleet figure models the *currently resident* groups
+            # operating concurrently; evicted sessions' array groups no
+            # longer exist, so pricing them as co-resident would inflate
+            # leakage and the critical path.  They keep their individual
+            # latency_s in the sessions list.
+            co_resident = [
+                s for s in resident_stats if any(asdict(s.events).values())
+            ]
+            if co_resident:
+                fleet = measured_fleet_report(
+                    [s.events for s in co_resident], base_model=model
+                )
+        return ServiceReport(
+            wall_clock_s=wall,
+            queries=self._queries,
+            queries_per_second=self._queries / wall if wall > 0 else 0.0,
+            coalesced=self._coalesced,
+            sessions=stats,
+            fleet=fleet,
+            # Copy: the report is a snapshot, not a live view that later
+            # pool activity (e.g. close()'s evictions) keeps mutating.
+            pool=PoolStats(**asdict(self._pool.stats)),
+            resident=self._pool.resident,
+            max_sessions=self._pool.max_sessions,
+            resident_bytes=self._pool.resident_bytes(),
+        )
+
+    def journal(self, source, config=None, **overrides) -> list:
+        """The recorded op batches of one session key, in execution order.
+
+        Requires ``record_journal=True``.  A key that was evicted and
+        re-acquired has history on both the retired entries and the
+        resident one; the returned stream concatenates them in eviction
+        order, so replaying it from the base graph reproduces the
+        session's current state.  (Retired entries are retained up to a
+        bound — journal replay is a testing facility, not durable
+        storage.)  Raises if the key has never been served.
+        """
+        if not self._record_journal:
+            raise ReproError("journal recording is off; open the Service "
+                             "with record_journal=True")
+        key = self._pool.key_for(source, config, overrides)
+        batches: list = []
+        seen = False
+        for entry in self._pool.retired() + self._pool.entries():
+            if entry.key == key:
+                seen = True
+                batches.extend(entry.journal)
+        if not seen:
+            raise ReproError(f"no session for key {key!r}")
+        return batches
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    async def _checkout(self, source, config, overrides) -> SessionEntry:
+        if self._closed:
+            raise ReproError("service is closed")
+        key = self._pool.key_for(source, config, overrides)
+        # Serialise acquires per key so a pool miss is built exactly once
+        # even when many clients hit a cold key simultaneously.  Slots
+        # are refcounted and dropped when idle, so a long-running server
+        # doesn't accumulate one lock per key it has ever seen.
+        slot = self._acquire_locks.get(key)
+        if slot is None:
+            slot = self._acquire_locks[key] = [asyncio.Lock(), 0]
+        slot[1] += 1
+        loop = asyncio.get_running_loop()
+        try:
+            async with slot[0]:
+                return await loop.run_in_executor(
+                    self._executor,
+                    partial(self._pool.acquire, source, config, **overrides),
+                )
+        finally:
+            slot[1] -= 1
+            if slot[1] == 0 and self._acquire_locks.get(key) is slot:
+                del self._acquire_locks[key]
+
+    def _release(self, entry: SessionEntry) -> None:
+        """Return the lease off the event loop.
+
+        Release can evict (closing a session, snapshotting its graph) and
+        the byte-budget check sums ``resident_bytes`` under session
+        locks, so it runs on the worker pool; inline only as a fallback
+        while the executor is shutting down.
+        """
+        try:
+            self._executor.submit(self._pool.release, entry)
+        except RuntimeError:
+            self._pool.release(entry)
+
+    async def _read(self, source, config, overrides, kind: str, work) -> object:
+        entry = await self._checkout(source, config, overrides)
+        try:
+            entry.count_query(kind)
+            loop = asyncio.get_running_loop()
+            # The service-maintained generation mirror: reading the real
+            # session.generation here would block the event loop behind
+            # an in-flight apply's session lock.
+            generation = entry.known_generation
+            slot = entry.inflight.get(kind)
+            if slot is not None and slot[0] == generation and not slot[1].done():
+                # Identical read already computing against the same
+                # resident state: join it instead of queueing a duplicate.
+                self._coalesced += 1
+                future = slot[1]
+            else:
+                future = loop.run_in_executor(self._executor, partial(work, entry))
+                entry.inflight[kind] = (generation, future)
+            result = await future
+            self._queries += 1
+            return result
+        finally:
+            self._release(entry)
+
+    def _warm(self, entry: SessionEntry) -> None:
+        """Establish (and price) residency: the Fig. 4 'load the sliced
+        graph into the array' step, exactly once per pool entry."""
+        if entry.warmed:
+            return
+        session = entry.session
+        with session.lock:
+            result = session.run()
+            generation = session.generation
+        with entry.stats_lock:
+            entry.known_generation = max(entry.known_generation, generation)
+            if not entry.warmed:
+                entry.events = entry.events.merge(result.events)
+                entry.priced_generations.add(generation)
+                entry.warmed = True
+
+    def _price_run(self, entry: SessionEntry) -> None:
+        """Merge the current generation's full-run events, at most once."""
+        session = entry.session
+        with session.lock:
+            result = session.run()
+            generation = session.generation
+        with entry.stats_lock:
+            entry.known_generation = max(entry.known_generation, generation)
+            if generation not in entry.priced_generations:
+                entry.events = entry.events.merge(result.events)
+                entry.priced_generations.add(generation)
+
+    def _count_work(self, entry: SessionEntry) -> int:
+        self._warm(entry)
+        return entry.session.count()
+
+    def _simulate_work(self, entry: SessionEntry) -> RunReport:
+        self._warm(entry)
+        report = entry.session.simulate()
+        self._price_run(entry)
+        return report
+
+    def _slice_stats_work(self, entry: SessionEntry) -> SliceStatistics:
+        self._warm(entry)
+        return entry.session.slice_stats()
+
+    def _baseline_work(self, entry: SessionEntry, name: str) -> int:
+        self._warm(entry)
+        return entry.session.baseline(name)
+
+    def _apply_work(self, entry: SessionEntry, ops, record: bool) -> UpdateReport:
+        self._warm(entry)
+        session = entry.session
+        try:
+            report = session.apply(ops, record=record)
+        except Exception as error:
+            # A mid-stream failure still committed every earlier segment
+            # (the failing one rolled back): fold the partial accounting
+            # the session attaches into this entry so the priced events
+            # and the journal keep matching the session's real state.
+            partial = getattr(error, "partial_update", None)
+            applied = getattr(error, "applied_operations", None)
+            with entry.stats_lock:
+                entry.known_generation = max(
+                    entry.known_generation, session.generation
+                )
+                if partial is not None:
+                    entry.events = entry.events.merge(partial.events)
+                    entry.ops_applied += partial.inserted + partial.deleted
+                if self._record_journal and applied:
+                    entry.journal.append(list(applied))
+            raise
+        with entry.stats_lock:
+            entry.known_generation = max(
+                entry.known_generation, session.generation
+            )
+            entry.events = entry.events.merge(report.events)
+            # Effective ops (edges actually changed), matching the unit
+            # the partial-failure path can account in.
+            entry.ops_applied += report.inserted + report.deleted
+            if self._record_journal:
+                entry.journal.append(list(ops))
+        return report
+
+    def _snapshot(self, entry: SessionEntry, resident: bool) -> SessionServeStats:
+        with entry.stats_lock:
+            return SessionServeStats(
+                key=entry.key,
+                queries=entry.total_queries,
+                by_kind=dict(entry.queries),
+                ops_applied=entry.ops_applied,
+                events=entry.events,
+                resident_bytes=entry.session.resident_bytes() if resident else 0,
+            )
+
+
+def open_service(
+    pool: SessionPool | None = None,
+    *,
+    max_sessions: int = 8,
+    max_resident_bytes: int | None = None,
+    max_workers: int | None = None,
+    model=None,
+    config=None,
+    record_journal: bool = False,
+    **overrides,
+) -> Service:
+    """Open a :class:`Service` (the serving counterpart of ``open_session``).
+
+    Returns the service directly; use ``async with`` for scoped cleanup::
+
+        async with open_service(max_sessions=16, num_arrays=4) as service:
+            print(await service.count("dataset:com-dblp@0.05"))
+    """
+    return Service(
+        pool,
+        max_sessions=max_sessions,
+        max_resident_bytes=max_resident_bytes,
+        max_workers=max_workers,
+        model=model,
+        config=config,
+        record_journal=record_journal,
+        **overrides,
+    )

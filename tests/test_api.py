@@ -454,3 +454,231 @@ class TestCachedStructureReuse:
         plan = plan_shards(paper_graph, "upper", 3, "edges")
         with pytest.raises(ArchitectureError, match="plan"):
             accelerator.run(paper_graph, plan=plan)
+
+
+class TestConcurrency:
+    """The per-session lock: one session driven from two threads.
+
+    Without the session RLock this fails (silent count corruption: a
+    reader's full run overwrites the incrementally maintained total
+    mid-stream, losing applied deltas — reproduced 6/6 in development);
+    with it, writer and readers serialise and the final state is exact.
+    """
+
+    def _batches(self, graph, num_batches, rng):
+        present = set(map(tuple, graph.edge_array().tolist()))
+        batches = []
+        for _ in range(num_batches):
+            batch = []
+            for _ in range(6):
+                u, v = int(rng.integers(graph.num_vertices)), int(
+                    rng.integers(graph.num_vertices)
+                )
+                if u == v:
+                    continue
+                key = (min(u, v), max(u, v))
+                if key in present:
+                    present.discard(key)
+                    batch.append(("-", u, v))
+                else:
+                    present.add(key)
+                    batch.append(("+", u, v))
+            batches.append(batch)
+        return batches
+
+    def test_two_thread_stream_and_queries(self):
+        import sys
+        import threading
+
+        switch = sys.getswitchinterval()
+        sys.setswitchinterval(1e-4)  # force frequent interleaving
+        try:
+            graph = generators.barabasi_albert(1200, 5, seed=1)
+            session = open_session(graph)
+            session.count()
+            batches = self._batches(graph, 120, np.random.default_rng(0))
+            errors: list = []
+            done = threading.Event()
+
+            def writer():
+                try:
+                    for batch in batches:
+                        session.apply(batch)
+                except Exception as error:  # surfaced via the errors list
+                    errors.append(error)
+                finally:
+                    done.set()
+
+            def reader():
+                try:
+                    while not done.is_set():
+                        session.run()
+                except Exception as error:
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=writer),
+                threading.Thread(target=reader),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors, errors
+            oracle = DynamicTriangleCounter(graph.num_vertices, graph)
+            for batch in batches:
+                oracle.apply_ops(batch)
+            assert session.count() == oracle.triangles
+            assert session.run().triangles == oracle.triangles
+        finally:
+            sys.setswitchinterval(switch)
+
+    def test_lock_is_reentrant_and_public(self, paper_graph):
+        session = open_session(paper_graph)
+        with session.lock:
+            with session.lock:  # reentrant by contract
+                assert session.count() == 2
+
+    def test_generation_bumps_only_on_mutation(self, paper_graph):
+        session = open_session(paper_graph)
+        generation = session.generation
+        session.count()
+        session.simulate()
+        assert session.generation == generation
+        session.apply([("+", 0, 3)])
+        assert session.generation > generation
+        bumped = session.generation
+        session.apply([("+", 0, 3)])  # no-op stream: nothing invalidated
+        assert session.generation == bumped
+
+    def test_resident_bytes_grows_with_residency(self, paper_graph):
+        session = open_session(paper_graph)
+        fresh = session.resident_bytes()
+        session.simulate()
+        assert session.resident_bytes() > fresh
+
+
+class TestApplyRollback:
+    """Injected failures mid-stream: the failing segment rolls back fully."""
+
+    def _session_and_stream(self):
+        graph = generators.barabasi_albert(300, 4, seed=2)
+        session = open_session(graph)
+        session.count()
+        present = set(map(tuple, graph.edge_array().tolist()))
+        absent = [
+            (u, v)
+            for u in range(0, 20)
+            for v in range(u + 1, 40)
+            if (u, v) not in present
+        ]
+        existing = sorted(present)[:3]
+        # Three segments: inserts, deletes (real edges), inserts.
+        stream = [
+            [("+", *edge) for edge in absent[:3]],
+            [("-", *edge) for edge in existing],
+            [("+", *absent[3])],
+        ]
+        return graph, session, stream
+
+    def _assert_consistent(self, session, graph, applied_batches):
+        oracle = DynamicTriangleCounter(graph.num_vertices, graph)
+        for batch in applied_batches:
+            oracle.apply_ops(batch)
+        assert session.count() == oracle.triangles
+        assert session.num_edges == oracle.num_edges
+        # The maintained symmetric structure equals a from-scratch build.
+        fresh = SlicedMatrix.from_graph(session.graph, "symmetric")
+        mutated = session._sym()
+        assert np.array_equal(fresh.indptr, mutated.indptr)
+        assert np.array_equal(fresh.slice_ids, mutated.slice_ids)
+        assert np.array_equal(fresh.data, mutated.data)
+        # Full queries still work and agree.
+        assert session.run().triangles == oracle.triangles
+
+    @pytest.mark.parametrize("failing_call", [2, 3])
+    def test_delta_join_failure_on_late_segment(self, monkeypatch, failing_call):
+        import repro.core.incremental as incremental
+
+        graph, session, stream = self._session_and_stream()
+        real = incremental.symmetric_delta
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == failing_call:
+                raise RuntimeError("injected delta-join failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(incremental, "symmetric_delta", flaky)
+        ops = [op for batch in stream for op in batch]
+        with pytest.raises(RuntimeError, match="injected"):
+            session.apply(ops)
+        # Segments before the failing one stay applied; the failing one
+        # (and everything after) rolled back completely.
+        self._assert_consistent(session, graph, stream[: failing_call - 1])
+        # The session stays usable: re-submitting finishes the stream
+        # (already-applied operations filter out as no-ops).
+        monkeypatch.setattr(incremental, "symmetric_delta", real)
+        session.apply(ops)
+        self._assert_consistent(session, graph, stream)
+
+    def test_set_bits_failure_during_insert_segment(self, monkeypatch):
+        import repro.core.incremental as incremental
+
+        graph, session, stream = self._session_and_stream()
+        real = incremental.set_bits
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            # Call 1 commits segment 1's inserts; call 2 is segment 3's
+            # post-join maintenance (deletes only restore via set_bits on
+            # rollback) -- fail there, after two committed segments.
+            if calls["n"] == 2:
+                raise MemoryError("injected maintenance failure")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(incremental, "set_bits", flaky)
+        ops = [op for batch in stream for op in batch]
+        with pytest.raises(MemoryError, match="injected"):
+            session.apply(ops)
+        monkeypatch.setattr(incremental, "set_bits", real)
+        self._assert_consistent(session, graph, stream[:2])
+
+    def test_capacity_failure_on_second_segment(self):
+        # Hub at the last vertex: the first (insert) segment fits, the
+        # delete segment's symmetric hub row exceeds the per-array
+        # capacity -- the non-injected variant of the late-segment test.
+        n = 8194
+        graph = Graph(n, [(i, n - 1) for i in range(n - 1)])
+        session = open_session(graph, array_bytes=800)
+        before = session.count()
+        with pytest.raises(ArchitectureError, match="row region"):
+            session.apply([("+", 0, 1), ("-", 0, n - 1)])
+        assert session.has_edge(0, n - 1)
+        assert session.has_edge(0, 1)  # first segment committed
+        # The committed insert closes exactly one triangle (0, 1, hub);
+        # the rolled-back delete must not have changed anything else.
+        assert session.count() == before + 1
+        fresh = SlicedMatrix.from_graph(session.graph, "symmetric")
+        mutated = session._sym()
+        assert np.array_equal(fresh.indptr, mutated.indptr)
+        assert np.array_equal(fresh.slice_ids, mutated.slice_ids)
+        assert np.array_equal(fresh.data, mutated.data)
+
+
+class TestResolveGraphScaleValidation:
+    @pytest.mark.parametrize("scale", ["0", "-1", "-0.5", "nan", "inf", "-inf"])
+    def test_nonsensical_scales_rejected_at_parse_time(self, scale):
+        spec = f"dataset:com-dblp@{scale}"
+        with pytest.raises(ReproError, match="positive finite") as excinfo:
+            resolve_graph(spec)
+        assert spec in str(excinfo.value)
+
+    def test_non_numeric_scale_still_named(self):
+        with pytest.raises(ReproError, match="invalid scale"):
+            resolve_graph("dataset:com-dblp@fast")
+
+    def test_valid_scales_unaffected(self):
+        assert resolve_graph("dataset:ego-facebook@0.05").num_vertices > 0

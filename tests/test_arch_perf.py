@@ -144,3 +144,55 @@ class TestEndToEndShape:
             graph.num_edges, degree_statistics(graph)["sum_squared"]
         )
         assert pim_seconds < software_seconds < graphx_seconds
+
+
+class TestFleetPricing:
+    def test_critical_path_is_slowest_session(self):
+        model = default_pim_model()
+        light = _events(and_ops=100, writes=10, edges=50)
+        heavy = _events(and_ops=10_000, writes=1_000, edges=5_000)
+        fleet = model.evaluate_fleet([light, heavy])
+        assert fleet.latency_s == pytest.approx(model.evaluate(heavy).latency_s)
+        assert fleet.latency_breakdown_s["critical_path"] == fleet.latency_s
+        assert fleet.latency_breakdown_s["imbalance"] > 1.0
+
+    def test_leakage_scales_with_resident_groups(self):
+        model = default_pim_model()
+        events = _events()
+        one = model.evaluate_fleet([events])
+        four = model.evaluate_fleet([events] * 4)
+        # Same critical path, but four resident groups leak concurrently
+        # and dynamic energy sums over all four sessions.
+        assert four.latency_s == pytest.approx(one.latency_s)
+        assert four.energy_breakdown_j["leakage"] == pytest.approx(
+            4 * one.energy_breakdown_j["leakage"]
+        )
+        assert four.energy_breakdown_j["dynamic"] == pytest.approx(
+            4 * one.energy_breakdown_j["dynamic"]
+        )
+        # The shared host accrues once, over the critical path.
+        assert four.energy_breakdown_j["host"] == pytest.approx(
+            one.energy_breakdown_j["host"]
+        )
+
+    def test_single_session_fleet_matches_evaluate(self):
+        model = default_pim_model()
+        events = _events()
+        fleet = model.evaluate_fleet([events], [42])
+        single = model.evaluate(events, 42)
+        assert fleet.latency_s == pytest.approx(single.latency_s)
+        assert fleet.system_energy_j == pytest.approx(single.system_energy_j)
+
+    def test_validation(self):
+        model = default_pim_model()
+        with pytest.raises(ArchitectureError, match="at least one session"):
+            model.evaluate_fleet([])
+        with pytest.raises(ArchitectureError, match="row counts"):
+            model.evaluate_fleet([_events()], [1, 2])
+
+    def test_measured_fleet_report_helper(self):
+        from repro.arch.pipeline import measured_fleet_report
+
+        report = measured_fleet_report([_events(), _events(and_ops=5)])
+        assert report.latency_s > 0
+        assert "session1" in report.latency_breakdown_s

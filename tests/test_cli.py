@@ -349,3 +349,86 @@ class TestConfigFileAndSet:
         output = capsys.readouterr().out
         assert "tcim-session" in output
         assert "all implementations agree" in output
+
+
+class TestServeCommand:
+    def _request_lines(self, path, extra=()):
+        import json
+
+        lines = [
+            json.dumps({"id": 1, "op": "count", "graph": path}),
+            json.dumps(
+                {"id": 2, "op": "apply", "graph": path, "ops": [["+", 0, 3]]}
+            ),
+            json.dumps({"id": 3, "op": "count", "graph": path}),
+            *extra,
+        ]
+        return "\n".join(lines) + "\n"
+
+    def _responses(self, output):
+        import json
+
+        responses = {}
+        summary = []
+        for line in output.splitlines():
+            if line.startswith("{"):
+                response = json.loads(line)
+                responses[response["id"]] = response
+            else:
+                summary.append(line)
+        return responses, "\n".join(summary)
+
+    def test_serve_stdin_round_trip(self, capsys, monkeypatch, tmp_path, paper_graph):
+        import io
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(self._request_lines(str(path)))
+        )
+        assert main(["serve", "--max-sessions", "4"]) == 0
+        responses, summary = self._responses(capsys.readouterr().out)
+        assert responses[1]["result"]["triangles"] == 2
+        assert responses[2]["ok"]
+        assert responses[3]["result"]["triangles"] == 4
+        assert "Serving summary" in summary
+        assert "queries" in summary
+
+    def test_serve_json_report(self, capsys, monkeypatch, tmp_path, paper_graph):
+        import io
+        import json
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(self._request_lines(str(path)))
+        )
+        assert main(["serve", "--json"]) == 0
+        output = capsys.readouterr().out
+        # Responses are one-line JSON objects; the final ServiceReport is
+        # pretty-printed, so it starts at the first multi-line brace.
+        head, _, report_text = output.partition("{\n")
+        report = json.loads("{" + report_text)
+        assert report["queries"] == 3
+        assert report["pool"]["misses"] == 1
+        assert report["sessions"][0]["ops_applied"] == 1
+
+    def test_serve_default_config_applies(self, capsys, monkeypatch, tmp_path, paper_graph):
+        import io
+        import json
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        lines = self._request_lines(
+            str(path),
+            extra=[json.dumps({"id": 4, "op": "simulate", "graph": str(path)})],
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", "--num-arrays", "2", "--json"]) == 0
+        output = capsys.readouterr().out
+        responses, _ = {}, None
+        for line in output.splitlines():
+            if line.startswith('{"'):
+                response = json.loads(line)
+                responses[response["id"]] = response
+        assert responses[4]["result"]["num_arrays"] == 2

@@ -37,6 +37,7 @@ def _run(script: str, *args: str) -> str:
         ("full_pipeline.py", ("roadnet-tx", "0.005"), "agree"),
         ("link_prediction.py", ("0.05",), "hit rate"),
         ("streaming_updates.py", ("0.005",), "maximum trussness"),
+        ("serving.py", ("0.01",), "all final counts match the oracle replay"),
     ],
 )
 def test_example_runs(script, args, sentinel):
