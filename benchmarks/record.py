@@ -1,0 +1,194 @@
+"""Record the engine's perf trajectory: write ``BENCH_engine.json``.
+
+Runs compact versions of the smoke benchmarks — cold build vs plan-reuse
+repeat-query latency, incremental streaming throughput, and multi-session
+serving throughput — and writes one machine-readable JSON file at the
+repository root.  CI uploads the file as an artifact per run, so the
+sequence of artifacts is the measured performance trajectory of the
+engine across PRs; the ``modelled`` section adds the architecture
+model's pricing of the same quantities (plan compile as a one-time
+cost, reuse as pure array reads — see EXPERIMENTS.md).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py [--quick]
+
+``--quick`` shrinks the workloads ~4x for laptop runs; CI runs the full
+sizes.  Exit code 0 always (recording, not gating — the gates live in
+``smoke_plan.py`` / ``smoke_streaming.py`` / ``bench_serving.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import open_session
+from repro.core.accelerator import AcceleratorConfig, TCIMAccelerator
+from repro.core.engine import oriented_edges
+from repro.core.plan import build_join_plan
+from repro.core.slicing import SlicedMatrix
+from repro.graph import generators
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_engine.json"
+
+
+def best_of(repeats, work):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = work()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_engine(num_vertices: int, attach: int) -> dict:
+    """Cold build vs plan-reuse repeat query on the smoke-scale graph."""
+    graph = generators.barabasi_albert(num_vertices, attach, seed=0)
+    start = time.perf_counter()
+    row = SlicedMatrix.from_graph(graph, "upper")
+    col = SlicedMatrix.from_graph(graph, "lower")
+    edge_arrays = oriented_edges(graph, "upper")
+    build_s = time.perf_counter() - start
+    accelerator = TCIMAccelerator(AcceleratorConfig())
+    resident = dict(row_sliced=row, col_sliced=col, edge_arrays=edge_arrays)
+    cold_s, cold = best_of(1, lambda: accelerator.run(graph, **resident))
+    compile_s, plan = best_of(1, lambda: build_join_plan(row, col, *edge_arrays))
+    planless_s, _ = best_of(3, lambda: accelerator.run(graph, **resident))
+    planned_s, planned = best_of(
+        3, lambda: accelerator.run(graph, **resident, join_plan=plan)
+    )
+    assert planned.triangles == cold.triangles
+    from repro.arch.perf import default_pim_model
+
+    model = default_pim_model()
+    return {
+        "graph": {"num_vertices": graph.num_vertices, "num_edges": graph.num_edges},
+        "triangles": cold.triangles,
+        "slice_build_s": build_s,
+        "cold_query_s": cold_s,
+        "plan_compile_s": compile_s,
+        "repeat_query_planless_s": planless_s,
+        "repeat_query_planned_s": planned_s,
+        "plan_reuse_speedup": planless_s / planned_s if planned_s else None,
+        "plan_pairs": plan.num_pairs,
+        "plan_bytes": plan.nbytes,
+        "modelled": {
+            "query_latency_s": model.evaluate(cold.events).latency_s,
+            "plan_compile_latency_s": model.evaluate_plan_compile(
+                cold.events.edges_processed, plan.num_pairs
+            ).latency_s,
+            "plan_reuse_latency_s": model.evaluate_plan_reuse(
+                cold.events
+            ).latency_s,
+        },
+    }
+
+
+def measure_streaming(num_vertices: int, attach: int, num_ops: int) -> dict:
+    """Incremental op throughput vs estimated per-op full recounts."""
+    graph = generators.barabasi_albert(num_vertices, attach, seed=42)
+    rng = np.random.default_rng(7)
+    present = set(map(tuple, graph.edge_array().tolist()))
+    ops = []
+    while len(ops) < num_ops:
+        if present and rng.random() < 0.5:
+            edge = list(present)[int(rng.integers(len(present)))]
+            present.discard(edge)
+            ops.append(("-", *edge))
+        else:
+            u, v = int(rng.integers(num_vertices)), int(rng.integers(num_vertices))
+            if u == v or (min(u, v), max(u, v)) in present:
+                continue
+            present.add((min(u, v), max(u, v)))
+            ops.append(("+", u, v))
+    session = open_session(graph)
+    session.count()
+    start = time.perf_counter()
+    session.apply(ops)
+    incremental_s = time.perf_counter() - start
+    recount_s, _ = best_of(
+        2, lambda: TCIMAccelerator(AcceleratorConfig()).run(session.graph)
+    )
+    return {
+        "num_ops": num_ops,
+        "incremental_s": incremental_s,
+        "ops_per_second": num_ops / incremental_s if incremental_s else None,
+        "full_recount_s": recount_s,
+        "speedup_vs_per_op_recounts": (
+            recount_s * num_ops / incremental_s if incremental_s else None
+        ),
+    }
+
+
+def measure_serving(num_graphs: int, reads_per_graph: int) -> dict:
+    """Aggregate read throughput over a pool of resident sessions."""
+    from repro.serve import open_service
+
+    graphs = [
+        generators.barabasi_albert(4_000, 6, seed=seed) for seed in range(num_graphs)
+    ]
+
+    async def drive() -> dict:
+        async with open_service(max_sessions=num_graphs) as service:
+            for graph in graphs:  # establish residency outside the timed region
+                await service.count(graph)
+            start = time.perf_counter()
+            await asyncio.gather(
+                *(
+                    service.count(graphs[i % num_graphs])
+                    for i in range(num_graphs * reads_per_graph)
+                )
+            )
+            elapsed = time.perf_counter() - start
+            report = service.report()
+            return {
+                "sessions": num_graphs,
+                "reads": num_graphs * reads_per_graph,
+                "read_wall_s": elapsed,
+                "queries_per_second": (
+                    num_graphs * reads_per_graph / elapsed if elapsed else None
+                ),
+                "coalesced": report.coalesced,
+                "resident_bytes": report.resident_bytes,
+                "plan_bytes": sum(s.plan_bytes for s in report.sessions),
+            }
+
+    return asyncio.run(drive())
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    scale = 4 if quick else 1
+    payload = {
+        "schema": 1,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "quick": quick,
+        "engine": measure_engine(20_000 // scale, 8),
+        "streaming": measure_streaming(20_000 // scale, 8, 500 // scale),
+        "serving": measure_serving(4, 50 // scale),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    print(
+        "plan reuse: "
+        f"{payload['engine']['repeat_query_planless_s'] * 1e3:.2f} ms -> "
+        f"{payload['engine']['repeat_query_planned_s'] * 1e3:.2f} ms "
+        f"({payload['engine']['plan_reuse_speedup']:.1f}x); "
+        f"streaming {payload['streaming']['ops_per_second']:,.0f} ops/s; "
+        f"serving {payload['serving']['queries_per_second']:,.0f} queries/s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

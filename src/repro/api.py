@@ -10,8 +10,10 @@ workloads through :class:`~repro.core.dynamic.DynamicTriangleCounter`
 resident controller directly:
 
 * the graph is loaded **once** — the oriented edge list, both
-  :class:`SlicedMatrix` structures, the slice statistics, and the shard
-  plan are cached and reused across queries;
+  :class:`SlicedMatrix` structures, the slice statistics, the shard
+  plan, and the compiled valid-pair :class:`~repro.core.plan.JoinPlan`
+  are cached and reused across queries (repeat queries skip the
+  merge-join entirely; disable with ``use_plan=False`` / ``--no-plan``);
 * :meth:`TCIMSession.count` / :meth:`TCIMSession.simulate` /
   :meth:`TCIMSession.slice_stats` / :meth:`TCIMSession.baseline` serve
   repeated queries without re-slicing;
@@ -46,6 +48,7 @@ import numpy as np
 
 from repro import registry
 from repro.core import incremental
+from repro.core import plan as joinplan
 from repro.core.accelerator import (
     AcceleratorConfig,
     EventCounts,
@@ -254,6 +257,21 @@ class TCIMSession:
         self._edge_arrays: tuple[np.ndarray, np.ndarray] | None = None
         self._plan = None
         self._sym_sliced: SlicedMatrix | None = None
+        # The compiled valid-pair index (repro.core.plan.JoinPlan):
+        # built once per generation, incrementally patched by apply, and
+        # handed to every vectorized engine run so repeat queries skip
+        # the merge-join.  Gated by config.use_plan (CLI --no-plan).
+        self._join_plan = None
+        self._use_plan = bool(self.config.use_plan) and (
+            self.config.engine == "vectorized"
+        )
+        # Committed delta batches not yet folded into the oriented
+        # structures/plan.  Applies only queue here (O(1)); the next
+        # engine query flushes the queue as one patch pass — so pure
+        # update streams never pay splice costs, and read-after-write
+        # pays one patch instead of a re-slice + plan recompile.
+        self._pending_patches: list[tuple[np.ndarray, bool]] = []
+        self._pending_edges = 0
         # Cached query results, invalidated by updates.
         self._slice_stats: SliceStatistics | None = None
         self._run: TCIMRunResult | None = None
@@ -335,8 +353,8 @@ class TCIMSession:
 
         Sums the numpy payloads of every cached :class:`SlicedMatrix`
         (row, column, and incrementally maintained symmetric structures),
-        the oriented edge arrays, and a per-edge estimate for the
-        materialised edge set.  This is the figure
+        the oriented edge arrays, the compiled join plan, and a per-edge
+        estimate for the materialised edge set.  This is the figure
         :class:`repro.serve.SessionPool` budgets its eviction against;
         a freshly opened session reports only its graph's edge storage.
         """
@@ -351,6 +369,8 @@ class TCIMSession:
                     )
             if self._edge_arrays is not None:
                 total += sum(array.nbytes for array in self._edge_arrays)
+            if self._join_plan is not None:
+                total += self._join_plan.nbytes
             if self._graph is not None:
                 total += self._graph.edge_array().nbytes
             if self._edge_set is not None:
@@ -358,6 +378,27 @@ class TCIMSession:
                 # ~200 B/edge; 128 keeps the estimate conservative-cheap.
                 total += 128 * len(self._edge_set)
             return total
+
+    @property
+    def join_plan(self):
+        """The resident :class:`~repro.core.plan.JoinPlan` (or ``None``).
+
+        Compiled lazily by the first engine-executing query when
+        ``config.use_plan`` holds, then patched in place of rebuilt as
+        updates commit.  Reading the property folds any pending update
+        batches in first, so the returned plan always reflects the
+        current graph.  Plans are immutable objects — the reference
+        returned here stays internally consistent even if a later update
+        swaps the session to a patched successor.
+        """
+        with self._lock:
+            self._flush_patches()
+            return self._join_plan
+
+    def plan_resident_bytes(self) -> int:
+        """Footprint of the compiled join plan (0 when none is resident)."""
+        with self._lock:
+            return self._join_plan.nbytes if self._join_plan is not None else 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -593,7 +634,7 @@ class TCIMSession:
             raise
         self._edge_set.update(fresh)
         self._triangles += outcome.triangles
-        self._invalidate()
+        self._commit_mutation(delta_edges, insert=True)
         return outcome, len(fresh)
 
     def _delete_batch(self, canonical: np.ndarray):
@@ -618,7 +659,7 @@ class TCIMSession:
             raise
         self._edge_set.difference_update(present)
         self._triangles -= outcome.triangles
-        self._invalidate()
+        self._commit_mutation(delta_edges, insert=False)
         return outcome, len(present)
 
     def _sym(self) -> SlicedMatrix:
@@ -634,7 +675,12 @@ class TCIMSession:
             self._edge_set = set(map(tuple, self.graph.edge_array().tolist()))
 
     def _prepare(self) -> None:
-        """Build (once) the resident structures full runs consume."""
+        """Build (once) the resident structures full runs consume.
+
+        Pending committed update batches are folded in first, so every
+        structure handed to the engine reflects the current graph.
+        """
+        self._flush_patches()
         orientation = self.config.orientation
         if self._row_sliced is None:
             self._row_sliced = SlicedMatrix.from_graph(
@@ -656,6 +702,26 @@ class TCIMSession:
                 sources=self._edge_arrays[0],
             )
 
+    def _ensure_join_plan(self):
+        """Compile (once per generation) the resident join plan.
+
+        Callers hold ``self._lock`` and have run :meth:`_prepare`.  The
+        staleness check is defensive: :meth:`_commit_mutation` always
+        leaves the plan either patched-current or dropped, so a stale
+        plan here would be a bug — rebuilt rather than served wrong.
+        """
+        if not self._use_plan:
+            return None
+        if self._join_plan is not None and not self._join_plan.matches(
+            self._row_sliced, self._col_sliced
+        ):
+            self._join_plan = None
+        if self._join_plan is None:
+            self._join_plan = joinplan.build_join_plan(
+                self._row_sliced, self._col_sliced, *self._edge_arrays
+            )
+        return self._join_plan
+
     def _full_run(self) -> TCIMRunResult:
         if self._run is None:
             self._prepare()
@@ -665,26 +731,122 @@ class TCIMSession:
                 col_sliced=self._col_sliced,
                 edge_arrays=self._edge_arrays,
                 plan=self._plan,
+                join_plan=self._ensure_join_plan(),
             )
             self._triangles = self._run.triangles
             self._slice_stats = self._run.slice_stats
         return self._run
 
+    def _commit_mutation(self, delta_edges: np.ndarray, insert: bool) -> None:
+        """Record one committed delta batch against the resident caches.
+
+        Callers hold ``self._lock`` and run this only after a segment has
+        fully committed (never on a rolled-back failure), so a bumped
+        generation always marks a consistent new state.  Query-result
+        caches are dropped (they priced the old graph); the *structural*
+        residents — both oriented slice structures, the oriented edge
+        arrays, and the compiled join plan — are kept, with the batch
+        queued for :meth:`_flush_patches` to splice in when the next
+        engine query needs them.  Deferring keeps pure update streams at
+        pure delta-join cost while read-after-write pays one patch pass
+        instead of a re-slice and plan recompile.
+        """
+        self._generation += 1
+        self._graph = None if self._edge_set is not None else self._graph
+        self._slice_stats = None
+        self._run = None
+        self._report = None
+        self._baseline_cache.clear()
+        # Shard-plan positions index the old oriented edge list.
+        self._plan = None
+        if (
+            self._row_sliced is None
+            or self._col_sliced is None
+            or self._edge_arrays is None
+        ):
+            self._drop_structural_caches()
+            return
+        self._pending_patches.append((delta_edges, insert))
+        self._pending_edges += int(delta_edges.shape[0])
+        # A deep backlog (a churn comparable to the graph itself) is
+        # cheaper to re-slice than to splice batch by batch.
+        if self._pending_edges > max(1024, self.num_edges // 4):
+            self._drop_structural_caches()
+
+    def _flush_patches(self) -> None:
+        """Fold every pending committed batch into the resident caches.
+
+        Callers hold ``self._lock``.  Any patching failure falls back to
+        dropping the caches (they are rebuildable from the graph), never
+        to an inconsistent session — patching is an optimisation, not a
+        source of truth.
+        """
+        if not self._pending_patches:
+            return
+        pending, self._pending_patches = self._pending_patches, []
+        self._pending_edges = 0
+        if (
+            self._row_sliced is None
+            or self._col_sliced is None
+            or self._edge_arrays is None
+        ):
+            return
+        try:
+            orientation = self.config.orientation
+            for delta_edges, insert in pending:
+                mutate = incremental.set_bits if insert else incremental.clear_bits
+                row_delta = mutate(
+                    self._row_sliced,
+                    *joinplan.oriented_structure_bits(
+                        delta_edges, orientation, "row"
+                    ),
+                )
+                col_delta = mutate(
+                    self._col_sliced,
+                    *joinplan.oriented_structure_bits(
+                        delta_edges, orientation, "col"
+                    ),
+                )
+                new_edges = joinplan.merge_oriented_edges(
+                    *self._edge_arrays,
+                    delta_edges,
+                    orientation,
+                    self._num_vertices,
+                    insert,
+                )
+                if self._join_plan is not None:
+                    self._join_plan = joinplan.patch_join_plan(
+                        self._join_plan,
+                        self._row_sliced,
+                        self._col_sliced,
+                        *self._edge_arrays,
+                        *new_edges,
+                        row_delta,
+                        col_delta,
+                    )
+                self._edge_arrays = new_edges
+        except Exception:
+            self._drop_structural_caches()
+
+    def _drop_structural_caches(self) -> None:
+        self._row_sliced = None
+        self._col_sliced = None
+        self._edge_arrays = None
+        self._join_plan = None
+        self._pending_patches.clear()
+        self._pending_edges = 0
+
     def _invalidate(self) -> None:
-        """Drop state derived from the (now stale) full-graph snapshot.
+        """Drop every cache derived from the current graph (see ``close``).
 
         The incrementally maintained pieces — the triangle count and the
         symmetric slice structure — survive; everything rebuilt from the
         graph is dropped and lazily re-created on the next query.
-        Callers hold ``self._lock``; runs only after a segment has fully
-        committed (or in ``close()``), never on a rolled-back failure, so
-        a bumped generation always marks a consistent new state.
+        Callers hold ``self._lock``.
         """
         self._generation += 1
         self._graph = None if self._edge_set is not None else self._graph
-        self._row_sliced = None
-        self._col_sliced = None
-        self._edge_arrays = None
+        self._drop_structural_caches()
         self._plan = None
         self._slice_stats = None
         self._run = None

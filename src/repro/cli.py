@@ -18,10 +18,11 @@ the form ``dataset:<key>[@<scale>]``, e.g. ``dataset:roadnet-pa@0.02``.
 
 ``count``, ``simulate`` and ``stream`` share the accelerator flags
 (:func:`add_accelerator_args`): ``--engine``, ``--num-arrays``,
-``--shard-by``, ``--workers``, plus ``--config FILE`` (a TOML or JSON
-file of :class:`AcceleratorConfig` fields), repeatable ``--set
-key=value`` overrides, and ``--json`` structured output.  Precedence:
-``--set`` > explicit flags > ``--config`` file > built-in defaults.
+``--shard-by``, ``--workers``, ``--no-plan`` (disable the resident join
+plan), plus ``--config FILE`` (a TOML or JSON file of
+:class:`AcceleratorConfig` fields), repeatable ``--set key=value``
+overrides, and ``--json`` structured output.  Precedence: ``--set`` >
+explicit flags > ``--config`` file > built-in defaults.
 
 Every command runs on top of :class:`repro.api.TCIMSession`, the
 stateful facade that keeps the compressed graph resident across queries.
@@ -78,6 +79,14 @@ def add_accelerator_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="worker processes for sharded runs (0 = serial in-process)",
+    )
+    parser.add_argument(
+        "--no-plan",
+        action="store_true",
+        help=(
+            "disable the resident join plan (re-derive the valid-pair "
+            "merge-join on every query; results are identical)"
+        ),
     )
     parser.add_argument(
         "--config",
@@ -146,6 +155,8 @@ def _accelerator_config(args: argparse.Namespace, **flag_overrides) -> Accelerat
         value = getattr(args, name, None)
         if value is not None:
             mapping[name] = value
+    if getattr(args, "no_plan", False):
+        mapping["use_plan"] = False
     for name, value in flag_overrides.items():
         if value is not None:
             mapping[name] = value
@@ -287,6 +298,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     result = report.result
     table = Table(["metric", "value"], title="TCIM simulation")
     table.add_row(["engine", config.engine])
+    plan_bytes = session.plan_resident_bytes()
+    table.add_row(
+        ["join plan", format_bytes(plan_bytes) if plan_bytes else "disabled"]
+    )
     if config.num_arrays > 1:
         table.add_row(["arrays", f"{config.num_arrays} (shard_by={config.shard_by})"])
     table.add_row(["triangles", format_count(result.triangles)])

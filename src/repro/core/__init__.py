@@ -24,9 +24,11 @@ from repro.core.reuse import (
 from repro.core.dynamic import DynamicTriangleCounter
 from repro.core.incremental import (
     DeltaOutcome,
+    StructureDelta,
     canonical_delta_edges,
     symmetric_delta,
 )
+from repro.core.plan import JoinPlan, build_join_plan, patch_join_plan
 from repro.core.sharding import (
     PARTITIONERS,
     ShardPlan,
@@ -40,7 +42,11 @@ from repro.core.trace import AccessTrace, compare_policies, extract_column_trace
 __all__ = [
     "DeltaOutcome",
     "DynamicTriangleCounter",
+    "JoinPlan",
+    "StructureDelta",
+    "build_join_plan",
     "canonical_delta_edges",
+    "patch_join_plan",
     "symmetric_delta",
     "PARTITIONERS",
     "ShardPlan",

@@ -59,6 +59,14 @@ class AcceleratorConfig:
     pool (0 = serial in-process).  ``num_arrays=1`` is bit-identical to
     the plain vectorized engine; sharded runs require it (the legacy
     loop stays single-array).
+
+    ``use_plan`` lets a resident caller (:class:`repro.api.TCIMSession`)
+    compile the valid-pair join once per graph generation
+    (:mod:`repro.core.plan`) and serve repeat queries from it; disable
+    (CLI ``--no-plan``) to force the per-query merge-join.  Results are
+    bit-identical either way — the flag trades plan memory for repeat-
+    query latency, never exactness.  It only affects the vectorized
+    engine; the legacy oracle never uses plans.
     """
 
     slice_bits: int = 64
@@ -70,6 +78,7 @@ class AcceleratorConfig:
     num_arrays: int = 1
     shard_by: str = "edges"
     workers: int = 0
+    use_plan: bool = True
 
     @property
     def slice_bytes(self) -> int:
@@ -84,6 +93,8 @@ class AcceleratorConfig:
     #: Fields coerced through ``int()`` by :meth:`from_mapping` (config
     #: files and ``--set key=value`` overrides arrive as strings).
     _INT_FIELDS = ("slice_bits", "array_bytes", "seed", "num_arrays", "workers")
+    #: Boolean fields, accepting true/false/1/0/yes/no strings.
+    _BOOL_FIELDS = ("use_plan",)
 
     @classmethod
     def from_mapping(
@@ -122,6 +133,17 @@ class AcceleratorConfig:
                 raise ArchitectureError(
                     f"config field {name!r} needs an integer, got {value!r}"
                 ) from None
+        if name in cls._BOOL_FIELDS:
+            if isinstance(value, bool):
+                return value
+            text = str(value).strip().lower()
+            if text in ("true", "1", "yes", "on"):
+                return True
+            if text in ("false", "0", "no", "off"):
+                return False
+            raise ArchitectureError(
+                f"config field {name!r} needs a boolean, got {value!r}"
+            )
         if name == "policy":
             return value if isinstance(value, ReplacementPolicy) else str(value)
         return str(value)
@@ -303,6 +325,7 @@ class TCIMAccelerator:
         col_sliced: SlicedMatrix | None = None,
         edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
         plan=None,
+        join_plan=None,
     ) -> TCIMRunResult:
         """Execute Algorithm 1 on ``graph`` and collect all statistics.
 
@@ -313,6 +336,14 @@ class TCIMAccelerator:
         in the array) skip the rebuild; omitted pieces are built here as
         before.  Passed structures must match the config's ``slice_bits``
         and the graph's vertex count.
+
+        ``join_plan`` additionally passes a compiled
+        :class:`repro.core.plan.JoinPlan` for the oriented edge list
+        against exactly these slice structures: the vectorized engine
+        then skips candidate expansion and the merge-join per query
+        (sharded runs slice per-array sub-plans out of it).  Requires
+        the vectorized engine; results are bit-identical with or
+        without it.
         """
         config = self.config
         orientation = config.orientation
@@ -340,11 +371,16 @@ class TCIMAccelerator:
                     f"{name} covers {sliced.num_rows} rows but the graph has "
                     f"{graph.num_vertices} vertices"
                 )
+        if join_plan is not None and config.engine != "vectorized":
+            raise ArchitectureError(
+                "join plans require the vectorized engine, "
+                f"got engine={config.engine!r}"
+            )
         shards: list = []
         if config.num_arrays > 1:
             accumulator, events, cache_stats, shards = self._run_sharded(
                 graph, row_sliced, col_sliced,
-                edge_arrays=edge_arrays, plan=plan,
+                edge_arrays=edge_arrays, plan=plan, join_plan=join_plan,
             )
             row_region = max((s.row_region_slices for s in shards), default=0)
             column_capacity = min(
@@ -359,10 +395,19 @@ class TCIMAccelerator:
                     f"array too small: row region needs {row_region} slices but "
                     f"capacity is {config.capacity_slices}"
                 )
-            kernel = registry.engine_kernel(config.engine)
-            accumulator, events, cache_stats = kernel(
-                self, graph, row_sliced, col_sliced, column_capacity
-            )
+            if join_plan is not None:
+                # The planned fast path is an execution strategy of the
+                # built-in vectorized kernel, not a separate engine, so
+                # it bypasses the registry indirection.
+                accumulator, events, cache_stats = self._run_vectorized(
+                    graph, row_sliced, col_sliced, column_capacity,
+                    join_plan=join_plan,
+                )
+            else:
+                kernel = registry.engine_kernel(config.engine)
+                accumulator, events, cache_stats = kernel(
+                    self, graph, row_sliced, col_sliced, column_capacity
+                )
         triangles = accumulator if orientation == "upper" else accumulator // 6
         stats = slice_statistics(
             graph,
@@ -388,6 +433,7 @@ class TCIMAccelerator:
         row_sliced: SlicedMatrix,
         col_sliced: SlicedMatrix,
         column_capacity: int,
+        join_plan=None,
     ) -> tuple[int, EventCounts, CacheStatistics]:
         """Batched numpy dataflow (see :mod:`repro.core.engine`)."""
         from repro.core.engine import execute_batched
@@ -400,6 +446,7 @@ class TCIMAccelerator:
             column_capacity,
             policy=self.config.policy,
             seed=self.config.seed,
+            plan=join_plan,
         )
         return accumulator, EventCounts(**fields), cache_stats
 
@@ -410,6 +457,7 @@ class TCIMAccelerator:
         col_sliced: SlicedMatrix,
         edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
         plan=None,
+        join_plan=None,
     ) -> tuple[int, EventCounts, CacheStatistics, list]:
         """Multi-array dataflow (see :mod:`repro.core.sharding`)."""
         from repro.core.engine import oriented_edges
@@ -447,6 +495,7 @@ class TCIMAccelerator:
             seed=config.seed,
             workers=config.workers,
             edge_arrays=(sources, destinations),
+            join_plan=join_plan,
         )
         return (
             outcome.accumulator,

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import GraphError
+from repro.graph import bitops
 from repro.graph.bitmatrix import BitMatrix
 from repro.graph.graph import Graph
 from repro.core.slicing import SlicedMatrix, valid_pair_positions
@@ -119,7 +120,7 @@ def triangle_count_dense(
         # Data reuse (Section IV-A): one row is shared by all its non-zeros,
         # so broadcast it against the block of needed columns.
         conj = transposed.data[successors] & matrix.row(row)[np.newaxis, :]
-        total += int(np.bitwise_count(conj).sum())
+        total += bitops.popcount(conj)
         word_ops += conj.size
         edges_processed += int(successors.size)
     triangles = total if orientation == "upper" else total // 6
@@ -188,8 +189,9 @@ def triangle_count_sliced(
             row_pos, col_pos = valid_pair_positions(row_ids, col_ids)
             if row_pos.size == 0:
                 continue
-            conj = row_data[row_pos] & col_data[col_pos]
-            total += int(np.bitwise_count(conj).sum())
+            total += bitops.conjunction_popcount(
+                row_data[row_pos], col_data[col_pos]
+            )
             and_ops += int(row_pos.size)
             word_ops += int(row_pos.size) * words_per_slice
     triangles = total if orientation == "upper" else total // 6
@@ -244,7 +246,7 @@ def triangles_per_vertex_sliced(
             if row_pos.size == 0:
                 continue
             conj = row_data[row_pos] & col_data[col_pos]
-            closed = int(np.bitwise_count(conj).sum())
+            closed = bitops.popcount(conj)
             if not closed:
                 continue
             counts[row] += closed

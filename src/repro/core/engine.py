@@ -13,8 +13,10 @@ This module executes the *same* dataflow in bulk:
    ``row * slices_per_row + slice_id`` keys
    (:meth:`SlicedMatrix.global_keys`); the engine probes whichever side
    (row structure or column structure) fans out fewer candidate slices;
-3. all matched payloads of the batch are gathered and ANDed at once, and
-   triangles accumulate through one :func:`np.bitwise_count` reduction;
+3. all matched payloads of the batch are gathered and ANDed at once
+   through 64-bit word views of the slice payloads
+   (:func:`repro.graph.bitops.word_view`), accumulating triangles with
+   one word-level popcount per batch into preallocated scratch buffers;
 4. the column-slice access trace is emitted as an integer key array and
    classified by :func:`repro.core.reuse.simulate_key_trace`, whose
    eviction-free prefix is vectorized.
@@ -34,6 +36,14 @@ sharded multi-array subsystem (:mod:`repro.core.sharding`, modelling the
 paper's Fig. 4 bank organisation): passing ``edges`` restricts the run to
 one shard's slice of the oriented edge list, with its own private column
 cache trace and a row region sized to the rows that shard touches.
+
+Resident join plans (:mod:`repro.core.plan`) capture steps 1–2 once per
+session generation: passing ``plan=`` skips candidate expansion and the
+merge-join entirely and goes straight to gather → AND → popcount over
+the plan's matched position arrays — the repeat-query fast path the
+serving tier leans on.  The planned path is bit-identical too (same
+accumulator, events, and cache statistics); ``tests/test_plan.py`` holds
+the differential suite.
 """
 
 from __future__ import annotations
@@ -43,9 +53,17 @@ import numpy as np
 from repro.core.reuse import CacheStatistics, simulate_key_trace
 from repro.core.slicing import SlicedMatrix
 from repro.errors import ArchitectureError
+from repro.graph import bitops
 from repro.graph.graph import Graph
 
-__all__ = ["ENGINES", "execute_batched", "oriented_edges", "DEFAULT_BATCH_CANDIDATES"]
+__all__ = [
+    "ENGINES",
+    "execute_batched",
+    "join_batches",
+    "pair_popcount",
+    "oriented_edges",
+    "DEFAULT_BATCH_CANDIDATES",
+]
 
 #: Recognised values of ``AcceleratorConfig.engine``.
 ENGINES = ("vectorized", "legacy")
@@ -60,6 +78,10 @@ DEFAULT_BATCH_CANDIDATES = 1 << 21
 #: cap) instead of per-candidate binary search.  O(1) probes beat
 #: ``searchsorted``'s log factor by ~10x where the table fits.
 DENSE_LOOKUP_MAX_KEYS = 1 << 24
+
+#: Payload lanes (words or bytes) ANDed per conjunction chunk; bounds the
+#: scratch buffers of :func:`pair_popcount` to a few tens of MB.
+CONJUNCTION_CHUNK_LANES = 1 << 21
 
 
 def oriented_edges(graph: Graph, orientation: str) -> tuple[np.ndarray, np.ndarray]:
@@ -83,66 +105,113 @@ def oriented_edges(graph: Graph, orientation: str) -> tuple[np.ndarray, np.ndarr
     return sources, indices
 
 
-def execute_batched(
-    graph: Graph | None,
+class _Workspace:
+    """Reusable gather/AND/popcount buffers for one engine invocation.
+
+    ``pair_popcount`` chunks its position arrays and re-gathers into
+    these buffers with ``np.take(..., out=...)`` instead of allocating
+    fresh temporaries per chunk — at millions of matched pairs per query
+    the allocator traffic is a measurable slice of the planned fast
+    path.
+    """
+
+    __slots__ = ("left", "right", "counts")
+
+    def __init__(self) -> None:
+        self.left: np.ndarray | None = None
+        self.right: np.ndarray | None = None
+        self.counts: np.ndarray | None = None
+
+    def buffers(
+        self, rows: int, lanes: int, dtype: np.dtype
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        left = self.left
+        if (
+            left is None
+            or left.shape[0] < rows
+            or left.shape[1] != lanes
+            or left.dtype != dtype
+        ):
+            self.left = np.empty((rows, lanes), dtype=dtype)
+            self.right = np.empty((rows, lanes), dtype=dtype)
+            self.counts = np.empty((rows, lanes), dtype=np.uint8)
+        return self.left, self.right, self.counts
+
+
+def pair_popcount(
+    row_data: np.ndarray,
+    col_data: np.ndarray,
+    row_positions: np.ndarray,
+    col_positions: np.ndarray,
+    workspace: _Workspace | None = None,
+) -> int:
+    """Gather → AND → popcount over matched slice-pair positions.
+
+    The computational-array step of the dataflow for an arbitrary list
+    of matched pairs: ``sum(popcount(row_data[r] & col_data[c]))`` over
+    ``zip(row_positions, col_positions)``.  Payloads are processed as
+    64-bit words (:func:`repro.graph.bitops.word_view`) whenever the
+    slice width is a multiple of 64 bits — 8x fewer lanes than per-byte
+    counting — and per-byte otherwise; both give identical sums.
+    """
+    total_pairs = int(row_positions.size)
+    if total_pairs == 0:
+        return 0
+    wide_row = bitops.word_view(row_data)
+    wide_col = bitops.word_view(col_data)
+    if wide_row is not None and wide_col is not None:
+        row_data, col_data = wide_row, wide_col
+    lanes = row_data.shape[1]
+    if lanes == 0:
+        return 0
+    if workspace is None:
+        workspace = _Workspace()
+    chunk_rows = max(1, CONJUNCTION_CHUNK_LANES // lanes)
+    left, right, counts = workspace.buffers(
+        min(chunk_rows, total_pairs), lanes, row_data.dtype
+    )
+    accumulator = 0
+    for start in range(0, total_pairs, chunk_rows):
+        stop = min(start + chunk_rows, total_pairs)
+        n = stop - start
+        a = left[:n]
+        b = right[:n]
+        c = counts[:n]
+        np.take(row_data, row_positions[start:stop], axis=0, out=a)
+        np.take(col_data, col_positions[start:stop], axis=0, out=b)
+        np.bitwise_and(a, b, out=a)
+        np.bitwise_count(a, out=c)
+        accumulator += int(c.sum())
+    return accumulator
+
+
+def join_batches(
     row_sliced: SlicedMatrix,
     col_sliced: SlicedMatrix,
-    orientation: str,
-    column_capacity: int,
-    policy,
-    seed: int,
+    sources: np.ndarray,
+    destinations: np.ndarray,
     batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
-    edges: tuple[np.ndarray, np.ndarray] | None = None,
-    row_writes: int | None = None,
-) -> tuple[int, dict, CacheStatistics]:
-    """Run the batched dataflow.
+    with_edge_ids: bool = False,
+):
+    """Merge-join the valid slice pairs of an oriented edge list, batched.
 
-    Returns ``(accumulator, event_fields, cache_stats)`` where
-    ``accumulator`` is the raw popcount sum (pre orientation division) and
-    ``event_fields`` holds every :class:`EventCounts` field.  Kept free of
-    an ``EventCounts`` import so :mod:`repro.core.accelerator` can import
-    this module without a cycle.
+    Yields ``(row_positions, col_positions, edge_ids)`` per batch:
+    positions of each matched pair in ``row_sliced.data`` /
+    ``col_sliced.data``, in the legacy iteration order (edges in input
+    order, slice ids ascending within an edge).  ``edge_ids`` (the index
+    into ``sources`` of each match's edge) is only materialised when
+    ``with_edge_ids`` — the plan compiler needs it, the executor does
+    not.
 
-    ``edges`` restricts the run to one shard: a ``(sources, destinations)``
-    pair holding a subset of the oriented edge list *in the legacy
-    iteration order* (rows ascending, successors ascending within a row).
-    The shard pays row-slice WRITEs only for the rows it actually touches
-    and runs its own private column-cache trace — exactly the behaviour of
-    one sub-array of the paper's Fig. 4 organisation.  ``edges=None``
-    (the default) processes the whole oriented edge list.  ``row_writes``
-    optionally passes the shard's precomputed row-slice WRITE count
-    (callers like the orchestrator already hold the touched-row slice
-    counts); ignored without ``edges``.  With ``edges`` given, ``graph``
-    is never consulted and may be ``None`` (the incremental engine joins
-    delta edge lists against standalone slice structures).
+    This is the shared join of the batched executor and the
+    :mod:`repro.core.plan` compiler; keeping it in one place is what
+    makes the planned fast path structurally incapable of joining
+    differently from the plan-free one.
     """
     if batch_candidates < 1:
         batch_candidates = 1
-    if edges is None:
-        sources, destinations = oriented_edges(graph, orientation)
-        # Rows without successors carry no valid slices, so the per-row sum
-        # of the legacy loop equals the total valid-slice count.
-        row_writes = row_sliced.num_valid_slices
-    else:
-        if orientation not in ("upper", "symmetric"):
-            raise ArchitectureError(
-                f"orientation must be 'upper' or 'symmetric', got {orientation!r}"
-            )
-        sources, destinations = edges
-        sources = np.asarray(sources, dtype=np.int64)
-        destinations = np.asarray(destinations, dtype=np.int64)
-        if row_writes is None:
-            # A shard loads only the rows it owns edges for, once each.
-            _, touched_counts = row_sliced.row_slice_ranges(np.unique(sources))
-            row_writes = int(touched_counts.sum())
     num_edges = int(sources.size)
     slices_per_row = row_sliced.slices_per_row
-    events = {
-        "row_slice_writes": row_writes,
-        "edges_processed": num_edges,
-        "index_lookups": num_edges,
-        "dense_pair_operations": num_edges * slices_per_row,
-    }
     row_starts, row_counts = row_sliced.row_slice_ranges(sources)
     col_starts, col_counts = col_sliced.row_slice_ranges(destinations)
     # A valid pair needs both sides valid, so either side can be probed
@@ -173,14 +242,8 @@ def execute_batched(
     if 0 < key_space <= DENSE_LOOKUP_MAX_KEYS and total_candidates >= key_space // 16:
         position_table = np.full(key_space, -1, dtype=np.int32)
         position_table[build_keys] = np.arange(build_keys.size, dtype=np.int32)
-    # The cache key of a column-slice access is exactly that slice's global
-    # key in the column structure, whichever side was probed.
-    col_global = col_sliced.global_keys()
     bounds = np.zeros(num_edges + 1, dtype=np.int64)
     np.cumsum(probe_counts, out=bounds[1:])
-    accumulator = 0
-    matches = 0
-    trace_parts: list[np.ndarray] = []
     start = 0
     while start < num_edges:
         stop = int(
@@ -215,15 +278,119 @@ def execute_batched(
         if matched.any():
             probe_hit = probe_positions[matched]
             build_hit = build_positions[matched]
+            edge_ids = None
+            if with_edge_ids:
+                edge_ids = np.repeat(
+                    np.arange(start, stop, dtype=np.int64), counts
+                )[matched]
             if probe_rows:
-                conjunction = row_sliced.data[probe_hit] & col_sliced.data[build_hit]
-                trace_parts.append(col_global[build_hit])
+                yield probe_hit, build_hit, edge_ids
             else:
-                conjunction = row_sliced.data[build_hit] & col_sliced.data[probe_hit]
-                trace_parts.append(col_global[probe_hit])
-            accumulator += int(np.bitwise_count(conjunction).sum())
-            matches += int(probe_hit.size)
+                yield build_hit, probe_hit, edge_ids
         start = stop
+
+
+def execute_batched(
+    graph: Graph | None,
+    row_sliced: SlicedMatrix,
+    col_sliced: SlicedMatrix,
+    orientation: str,
+    column_capacity: int,
+    policy,
+    seed: int,
+    batch_candidates: int = DEFAULT_BATCH_CANDIDATES,
+    edges: tuple[np.ndarray, np.ndarray] | None = None,
+    row_writes: int | None = None,
+    plan=None,
+) -> tuple[int, dict, CacheStatistics]:
+    """Run the batched dataflow.
+
+    Returns ``(accumulator, event_fields, cache_stats)`` where
+    ``accumulator`` is the raw popcount sum (pre orientation division) and
+    ``event_fields`` holds every :class:`EventCounts` field.  Kept free of
+    an ``EventCounts`` import so :mod:`repro.core.accelerator` can import
+    this module without a cycle.
+
+    ``edges`` restricts the run to one shard: a ``(sources, destinations)``
+    pair holding a subset of the oriented edge list *in the legacy
+    iteration order* (rows ascending, successors ascending within a row).
+    The shard pays row-slice WRITEs only for the rows it actually touches
+    and runs its own private column-cache trace — exactly the behaviour of
+    one sub-array of the paper's Fig. 4 organisation.  ``edges=None``
+    (the default) processes the whole oriented edge list.  ``row_writes``
+    optionally passes the shard's precomputed row-slice WRITE count
+    (callers like the orchestrator already hold the touched-row slice
+    counts); ignored without ``edges``.  With ``edges`` given, ``graph``
+    is never consulted and may be ``None`` (the incremental engine joins
+    delta edge lists against standalone slice structures).
+
+    ``plan`` passes a resident :class:`repro.core.plan.JoinPlan` compiled
+    against *these* slice structures (same ``structure_version``) and
+    *this* edge list: candidate expansion and the merge-join are skipped
+    entirely and the matched positions/cache trace come straight off the
+    plan.  The plan must be current — a stale one (the structures mutated
+    since compilation) raises :class:`~repro.errors.ArchitectureError`
+    rather than silently gathering the wrong slices.  Results are
+    bit-identical to the plan-free path, events and cache statistics
+    included.
+    """
+    if orientation not in ("upper", "symmetric"):
+        raise ArchitectureError(
+            f"orientation must be 'upper' or 'symmetric', got {orientation!r}"
+        )
+    if batch_candidates < 1:
+        batch_candidates = 1
+    if plan is not None:
+        if edges is None and graph is not None:
+            # The oriented edge count is known without materialising the
+            # list; a plan compiled for a different edge list must not be
+            # trusted for its event accounting (mirrors the sharded
+            # orchestrator's check).
+            expected = (
+                graph.num_edges
+                if orientation == "upper"
+                else 2 * graph.num_edges
+            )
+            if plan.num_edges != expected:
+                raise ArchitectureError(
+                    f"join plan covers {plan.num_edges} edges but the "
+                    f"oriented graph has {expected}; compile a plan for "
+                    "this edge list"
+                )
+        return _execute_planned(
+            row_sliced, col_sliced, column_capacity, policy, seed, plan,
+            edges=edges, row_writes=row_writes,
+        )
+    if edges is None:
+        sources, destinations = oriented_edges(graph, orientation)
+        # Rows without successors carry no valid slices, so the per-row sum
+        # of the legacy loop equals the total valid-slice count.
+        row_writes = row_sliced.num_valid_slices
+    else:
+        sources, destinations = edges
+        sources = np.asarray(sources, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        if row_writes is None:
+            # A shard loads only the rows it owns edges for, once each.
+            _, touched_counts = row_sliced.row_slice_ranges(np.unique(sources))
+            row_writes = int(touched_counts.sum())
+    num_edges = int(sources.size)
+    events = _base_events(num_edges, row_sliced.slices_per_row, row_writes)
+    # The cache key of a column-slice access is exactly that slice's global
+    # key in the column structure, whichever side was probed.
+    col_global = col_sliced.global_keys()
+    accumulator = 0
+    matches = 0
+    trace_parts: list[np.ndarray] = []
+    workspace = _Workspace()
+    for row_hit, col_hit, _ in join_batches(
+        row_sliced, col_sliced, sources, destinations, batch_candidates
+    ):
+        accumulator += pair_popcount(
+            row_sliced.data, col_sliced.data, row_hit, col_hit, workspace
+        )
+        trace_parts.append(col_global[col_hit])
+        matches += int(row_hit.size)
     events["and_operations"] = matches
     events["bitcount_operations"] = matches
     trace = (
@@ -235,3 +402,54 @@ def execute_batched(
     events["col_slice_writes"] = cache_stats.writes
     events["col_slice_hits"] = cache_stats.hits
     return accumulator, events, cache_stats
+
+
+def _execute_planned(
+    row_sliced: SlicedMatrix,
+    col_sliced: SlicedMatrix,
+    column_capacity: int,
+    policy,
+    seed: int,
+    plan,
+    edges: tuple[np.ndarray, np.ndarray] | None,
+    row_writes: int | None,
+) -> tuple[int, dict, CacheStatistics]:
+    """The resident-plan fast path: gather → AND → popcount, nothing else."""
+    stale = plan.staleness(row_sliced, col_sliced)
+    if stale:
+        raise ArchitectureError(f"stale join plan: {stale}; rebuild or patch it")
+    if edges is None:
+        num_edges = plan.num_edges
+        row_writes = row_sliced.num_valid_slices
+    else:
+        num_edges = int(np.asarray(edges[0]).size)
+        if num_edges != plan.num_edges:
+            raise ArchitectureError(
+                f"join plan covers {plan.num_edges} edges but the run "
+                f"supplies {num_edges}; compile a plan for this edge list"
+            )
+        if row_writes is None:
+            sources = np.asarray(edges[0], dtype=np.int64)
+            _, touched_counts = row_sliced.row_slice_ranges(np.unique(sources))
+            row_writes = int(touched_counts.sum())
+    events = _base_events(num_edges, row_sliced.slices_per_row, row_writes)
+    accumulator = pair_popcount(
+        row_sliced.data, col_sliced.data, plan.row_positions, plan.col_positions
+    )
+    matches = plan.num_pairs
+    events["and_operations"] = matches
+    events["bitcount_operations"] = matches
+    cache_stats = plan.cache_statistics(column_capacity, policy, seed)
+    events["col_slice_writes"] = cache_stats.writes
+    events["col_slice_hits"] = cache_stats.hits
+    return accumulator, events, cache_stats
+
+
+def _base_events(num_edges: int, slices_per_row: int, row_writes: int) -> dict:
+    """The per-edge event fields every execution path shares."""
+    return {
+        "row_slice_writes": row_writes,
+        "edges_processed": num_edges,
+        "index_lookups": num_edges,
+        "dense_pair_operations": num_edges * slices_per_row,
+    }

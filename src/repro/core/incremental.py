@@ -59,6 +59,7 @@ from repro.errors import ArchitectureError, GraphError
 
 __all__ = [
     "DeltaOutcome",
+    "StructureDelta",
     "canonical_delta_edges",
     "delta_sliced",
     "set_bit",
@@ -135,7 +136,52 @@ def delta_sliced(
 # ----------------------------------------------------------------------
 # In-place bit maintenance of a symmetric SlicedMatrix
 # ----------------------------------------------------------------------
-def set_bits(sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray) -> None:
+@dataclass(frozen=True)
+class StructureDelta:
+    """Structural change report of one :func:`set_bits`/:func:`clear_bits`.
+
+    Describes exactly how the valid-slice arrays moved, in the
+    coordinates a position-holding artifact (the keys cache, a resident
+    :class:`~repro.core.plan.JoinPlan`) needs to renumber itself:
+
+    ``inserted_before``
+        Sorted insertion points in *pre-insert* coordinates — the
+        ``obj`` argument handed to :func:`np.insert` (duplicates mark
+        several new slices landing at one point).  A pre-mutation
+        position ``p`` now lives at
+        ``p + searchsorted(inserted_before, p, side="right")``.
+    ``removed_at``
+        Sorted removed positions in *pre-delete* coordinates; a
+        surviving position ``p`` now lives at
+        ``p - searchsorted(removed_at, p)``.
+    ``inserted_rows`` / ``removed_rows``
+        Owning row of each inserted/removed slice (aligned with the
+        position arrays) — the rows whose valid-slice *set* changed,
+        i.e. whose join pairs must be recomputed.
+
+    One call only ever inserts (``set_bits``) or removes
+    (``clear_bits``), never both.  :attr:`changed` is ``False`` for a
+    payload-only mutation, whose positions all stay valid.
+    """
+
+    inserted_before: np.ndarray
+    inserted_rows: np.ndarray
+    removed_at: np.ndarray
+    removed_rows: np.ndarray
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.inserted_before.size or self.removed_at.size)
+
+    @classmethod
+    def unchanged(cls) -> "StructureDelta":
+        empty = np.empty(0, dtype=np.int64)
+        return cls(empty, empty, empty, empty)
+
+
+def set_bits(
+    sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray
+) -> StructureDelta:
     """Set many bits at once, inserting new valid slices as needed.
 
     One ``np.insert`` covers every structural change of the batch, so a
@@ -144,10 +190,14 @@ def set_bits(sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray) -> None:
     invariants (ascending slice ids per row, no invalid slices stored),
     so a mutated matrix is indistinguishable from one rebuilt from
     scratch — the property the equivalence tests rely on.
+
+    Returns a :class:`StructureDelta` naming the inserted slices (empty
+    for a payload-only update), and bumps
+    :attr:`SlicedMatrix.structure_version` iff slices were inserted.
     """
     rows, cols, positions, exists, bytes_, masks = _locate_bits(sliced, rows, cols)
     if rows.size == 0:
-        return
+        return StructureDelta.unchanged()
     # Existing slices: in-place OR.  ``.at`` handles several bits landing
     # in the same (slice, byte) cell.
     if exists.any():
@@ -156,7 +206,7 @@ def set_bits(sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray) -> None:
         )
     missing = ~exists
     if not missing.any():
-        return
+        return StructureDelta.unchanged()
     # New slices: group the missing bits by global slice key, build each
     # payload, and splice them all in with one insert per array.
     spr = np.int64(sliced.slices_per_row)
@@ -180,18 +230,31 @@ def set_bits(sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray) -> None:
         sliced.slice_ids, insert_at, unique_keys % spr
     )
     sliced.data = np.insert(sliced.data, insert_at, payloads, axis=0)
-    owner_counts = np.bincount(
-        unique_keys // spr, minlength=sliced.num_rows
-    )
+    owner_rows = (unique_keys // spr).astype(np.int64)
+    owner_counts = np.bincount(owner_rows, minlength=sliced.num_rows)
     sliced.indptr[1:] += np.cumsum(owner_counts)
-    sliced._keys_cache = None
+    sliced.mark_structure_changed()
+    empty = np.empty(0, dtype=np.int64)
+    return StructureDelta(
+        inserted_before=insert_at.astype(np.int64),
+        inserted_rows=owner_rows,
+        removed_at=empty,
+        removed_rows=empty,
+    )
 
 
-def clear_bits(sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray) -> None:
-    """Clear many bits at once, dropping slices that become empty."""
+def clear_bits(
+    sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray
+) -> StructureDelta:
+    """Clear many bits at once, dropping slices that become empty.
+
+    Returns a :class:`StructureDelta` naming the dropped slices (empty
+    when every touched slice kept at least one bit), and bumps
+    :attr:`SlicedMatrix.structure_version` iff slices were dropped.
+    """
     rows, cols, positions, exists, bytes_, masks = _locate_bits(sliced, rows, cols)
     if not exists.any():
-        return
+        return StructureDelta.unchanged()
     np.bitwise_and.at(
         sliced.data,
         (positions[exists], bytes_[exists]),
@@ -200,24 +263,31 @@ def clear_bits(sliced: SlicedMatrix, rows: np.ndarray, cols: np.ndarray) -> None
     touched = np.unique(positions[exists])
     emptied = touched[~sliced.data[touched].any(axis=1)]
     if emptied.size == 0:
-        return
+        return StructureDelta.unchanged()
     owners = np.searchsorted(sliced.indptr, emptied, side="right") - 1
     sliced.slice_ids = np.delete(sliced.slice_ids, emptied)
     sliced.data = np.delete(sliced.data, emptied, axis=0)
     sliced.indptr[1:] -= np.cumsum(
         np.bincount(owners, minlength=sliced.num_rows)
     )
-    sliced._keys_cache = None
+    sliced.mark_structure_changed()
+    empty = np.empty(0, dtype=np.int64)
+    return StructureDelta(
+        inserted_before=empty,
+        inserted_rows=empty,
+        removed_at=emptied.astype(np.int64),
+        removed_rows=owners.astype(np.int64),
+    )
 
 
-def set_bit(sliced: SlicedMatrix, row: int, col: int) -> None:
+def set_bit(sliced: SlicedMatrix, row: int, col: int) -> StructureDelta:
     """Single-bit convenience wrapper over :func:`set_bits`."""
-    set_bits(sliced, np.array([row]), np.array([col]))
+    return set_bits(sliced, np.array([row]), np.array([col]))
 
 
-def clear_bit(sliced: SlicedMatrix, row: int, col: int) -> None:
+def clear_bit(sliced: SlicedMatrix, row: int, col: int) -> StructureDelta:
     """Single-bit convenience wrapper over :func:`clear_bits`."""
-    clear_bits(sliced, np.array([row]), np.array([col]))
+    return clear_bits(sliced, np.array([row]), np.array([col]))
 
 
 def _locate_bits(sliced: SlicedMatrix, rows, cols):

@@ -1,0 +1,509 @@
+"""Resident join plans: compile the valid-pair index once, reuse forever.
+
+The paper's central software insight (Section IV-B, Table IV) is that
+only *valid slice pairs* ever reach the computational array — and for a
+resident graph, which pairs those are is a pure function of the slice
+*structure*, not of the payload bits.  Yet every query through
+:func:`repro.core.engine.execute_batched` re-derives them: candidate
+expansion, the merge-join against the sorted global keys, and the
+column-key cache trace are recomputed per call, which dominates repeat
+queries on an unchanged graph (the serving tier's bread and butter).
+
+A :class:`JoinPlan` materialises that derivation once:
+
+* ``row_positions`` / ``col_positions`` — the matched pair positions
+  into the row/column :class:`~repro.core.slicing.SlicedMatrix` payload
+  arrays, in the exact legacy iteration order (int32 wherever the
+  position space allows);
+* ``trace_keys`` — the column-slice cache trace the pairs induce, whose
+  hit/miss/exchange classification is memoised per cache configuration;
+* ``pair_counts`` — pairs per oriented edge, so any edge subset (a
+  shard of the Fig. 4 bank organisation) can slice its own sub-plan out
+  with :meth:`JoinPlan.subset`.
+
+With a plan, a query is gather → AND → popcount and nothing else; the
+engine's ``plan=`` fast path is bit-identical to the plan-free one.
+
+Plans stay *coherent* with their structures through
+:attr:`SlicedMatrix.structure_version`: the in-place slice maintenance
+of :mod:`repro.core.incremental` reports every structural change as a
+:class:`~repro.core.incremental.StructureDelta`, and
+:func:`patch_join_plan` splices exactly the affected edges' pair sets
+into a new plan — position renumbering for shifted slices, a delta
+re-join only for edges whose endpoint structures changed — instead of
+recompiling the whole thing.  ``tests/test_plan.py`` asserts a patched
+plan is array-equal to a from-scratch rebuild after every operation of
+randomized insert/delete streams.
+
+This mirrors what real-PIM follow-ups observe (PIM-TC, Asquini et al.
+2025): precomputed, partition-local work assignments are what make
+repeated and dynamic triangle workloads pay off on processing-in-memory
+substrates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import engine
+from repro.core.incremental import StructureDelta
+from repro.core.reuse import CacheStatistics, ReplacementPolicy, simulate_key_trace
+from repro.core.slicing import SlicedMatrix
+from repro.errors import ArchitectureError
+
+__all__ = [
+    "JoinPlan",
+    "build_join_plan",
+    "patch_join_plan",
+    "merge_oriented_edges",
+    "oriented_structure_bits",
+]
+
+
+def _position_dtype(size: int) -> np.dtype:
+    """int32 wherever the position space allows, int64 beyond."""
+    return np.dtype(np.int32 if size <= np.iinfo(np.int32).max else np.int64)
+
+
+def _expand_runs(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices of the runs ``[starts[i], starts[i] + counts[i])``.
+
+    The engine's batch-expansion trick: one ``arange`` plus a repeat of
+    the per-run delta enumerates every run element at once.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    delta = starts.astype(np.int64, copy=False) - offsets
+    return np.arange(total, dtype=np.int64) + np.repeat(delta, counts)
+
+
+@dataclass(eq=False)
+class JoinPlan:
+    """The compiled valid-pair index of one oriented edge list.
+
+    Built by :func:`build_join_plan` against a specific pair of slice
+    structures; validity is keyed on their
+    :attr:`~repro.core.slicing.SlicedMatrix.structure_version` (payload
+    mutation inside existing slices leaves a plan valid — the positions
+    and the trace depend only on which slices exist).  Plans are
+    immutable in practice: :func:`patch_join_plan` returns a *new* plan,
+    so a reader holding a reference never observes a half-patched state.
+    """
+
+    #: Matched pair position into the row structure's payload array.
+    row_positions: np.ndarray
+    #: Matched pair position into the column structure's payload array.
+    col_positions: np.ndarray
+    #: Column-structure global key of each pair — the cache access trace.
+    trace_keys: np.ndarray
+    #: Pairs per oriented edge (aligned with the compiled edge list).
+    pair_counts: np.ndarray
+    #: Edges the plan covers.
+    num_edges: int
+    #: ``structure_version`` of the row structure at compile/patch time.
+    row_version: int
+    #: ``structure_version`` of the column structure at compile/patch time.
+    col_version: int
+    #: Valid-slice counts at compile time (second staleness guard: two
+    #: *different* structures can share a version counter value).
+    row_valid_slices: int
+    col_valid_slices: int
+    _bounds: np.ndarray | None = field(default=None, repr=False)
+    #: ``(capacity, policy, seed) -> CacheStatistics`` — the trace is part
+    #: of the plan, so its classification per cache configuration is too.
+    _stats_memo: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_pairs(self) -> int:
+        """Matched valid slice pairs (= AND operations per query)."""
+        return int(self.row_positions.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident footprint of the plan arrays (pool-budget quantity)."""
+        return (
+            self.row_positions.nbytes
+            + self.col_positions.nbytes
+            + self.trace_keys.nbytes
+            + self.pair_counts.nbytes
+        )
+
+    @property
+    def bounds(self) -> np.ndarray:
+        """Exclusive prefix bounds of each edge's pair run (cached)."""
+        if self._bounds is None:
+            bounds = np.zeros(self.num_edges + 1, dtype=np.int64)
+            np.cumsum(self.pair_counts, out=bounds[1:])
+            self._bounds = bounds
+        return self._bounds
+
+    def staleness(
+        self, row_sliced: SlicedMatrix, col_sliced: SlicedMatrix
+    ) -> str | None:
+        """Why this plan cannot serve these structures (``None`` = current)."""
+        if (
+            self.row_version != row_sliced.structure_version
+            or self.row_valid_slices != row_sliced.num_valid_slices
+        ):
+            return (
+                f"row structure moved to version "
+                f"{row_sliced.structure_version} "
+                f"({row_sliced.num_valid_slices} slices), plan was compiled "
+                f"at version {self.row_version} ({self.row_valid_slices})"
+            )
+        if (
+            self.col_version != col_sliced.structure_version
+            or self.col_valid_slices != col_sliced.num_valid_slices
+        ):
+            return (
+                f"column structure moved to version "
+                f"{col_sliced.structure_version} "
+                f"({col_sliced.num_valid_slices} slices), plan was compiled "
+                f"at version {self.col_version} ({self.col_valid_slices})"
+            )
+        return None
+
+    def matches(self, row_sliced: SlicedMatrix, col_sliced: SlicedMatrix) -> bool:
+        """Whether the plan is current for these structures."""
+        return self.staleness(row_sliced, col_sliced) is None
+
+    # ------------------------------------------------------------------
+    # Query-time services
+    # ------------------------------------------------------------------
+    def cache_statistics(self, capacity: int, policy, seed: int) -> CacheStatistics:
+        """Hit/miss/exchange classification of the plan's trace (memoised).
+
+        The trace is a plan artifact, so for a fixed cache configuration
+        its simulation result is too; repeat queries pay a dictionary
+        lookup instead of an O(n log n) trace pass.  A fresh copy is
+        returned per call so callers may merge/mutate freely.
+        """
+        key = (int(capacity), ReplacementPolicy(policy).value, int(seed))
+        stats = self._stats_memo.get(key)
+        if stats is None:
+            stats = simulate_key_trace(
+                self.trace_keys, capacity, policy=policy, seed=seed
+            )
+            self._stats_memo[key] = stats
+        return dataclasses.replace(stats)
+
+    def subset(self, positions: np.ndarray) -> "JoinPlan":
+        """The sub-plan of an edge subset (one shard's share of the plan).
+
+        ``positions`` are ascending indices into the compiled edge list —
+        exactly one entry of a :class:`~repro.core.sharding.ShardPlan`'s
+        ``assignments`` — so the sub-plan's pair order matches what a
+        plan-free run over that edge subset would produce.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        counts = self.pair_counts[positions]
+        take = _expand_runs(self.bounds[positions], counts)
+        return JoinPlan(
+            row_positions=self.row_positions[take],
+            col_positions=self.col_positions[take],
+            trace_keys=self.trace_keys[take],
+            pair_counts=counts,
+            num_edges=int(positions.size),
+            row_version=self.row_version,
+            col_version=self.col_version,
+            row_valid_slices=self.row_valid_slices,
+            col_valid_slices=self.col_valid_slices,
+        )
+
+
+def build_join_plan(
+    row_sliced: SlicedMatrix,
+    col_sliced: SlicedMatrix,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    batch_candidates: int = engine.DEFAULT_BATCH_CANDIDATES,
+) -> JoinPlan:
+    """Compile the join plan of an oriented edge list — the one-time cost.
+
+    Runs the engine's own merge-join (:func:`repro.core.engine.join_batches`)
+    and records, instead of executing, every matched pair.  Sharing the
+    join keeps the compiled plan structurally identical to what the
+    plan-free executor would derive per query.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    destinations = np.asarray(destinations, dtype=np.int64)
+    num_edges = int(sources.size)
+    row_parts: list[np.ndarray] = []
+    col_parts: list[np.ndarray] = []
+    edge_parts: list[np.ndarray] = []
+    for row_hit, col_hit, edge_ids in engine.join_batches(
+        row_sliced, col_sliced, sources, destinations,
+        batch_candidates, with_edge_ids=True,
+    ):
+        row_parts.append(row_hit)
+        col_parts.append(col_hit)
+        edge_parts.append(edge_ids)
+    row_dtype = _position_dtype(max(row_sliced.num_valid_slices, 1) - 1)
+    col_dtype = _position_dtype(max(col_sliced.num_valid_slices, 1) - 1)
+    key_space = col_sliced.num_rows * col_sliced.slices_per_row
+    trace_dtype = _position_dtype(key_space)
+    if row_parts:
+        row_positions = np.concatenate(row_parts).astype(row_dtype, copy=False)
+        col_positions = np.concatenate(col_parts).astype(col_dtype, copy=False)
+        edge_ids = np.concatenate(edge_parts)
+        pair_counts = np.bincount(edge_ids, minlength=num_edges)
+        trace_keys = col_sliced.global_keys()[col_positions].astype(
+            trace_dtype, copy=False
+        )
+    else:
+        row_positions = np.empty(0, dtype=row_dtype)
+        col_positions = np.empty(0, dtype=col_dtype)
+        pair_counts = np.zeros(num_edges, dtype=np.int64)
+        trace_keys = np.empty(0, dtype=trace_dtype)
+    return JoinPlan(
+        row_positions=row_positions,
+        col_positions=col_positions,
+        trace_keys=trace_keys,
+        pair_counts=pair_counts.astype(np.int64, copy=False),
+        num_edges=num_edges,
+        row_version=row_sliced.structure_version,
+        col_version=col_sliced.structure_version,
+        row_valid_slices=row_sliced.num_valid_slices,
+        col_valid_slices=col_sliced.num_valid_slices,
+    )
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance
+# ----------------------------------------------------------------------
+def oriented_structure_bits(
+    delta_edges: np.ndarray, orientation: str, structure: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """The (rows, cols) bit coordinates a delta batch touches in one
+    oriented structure.
+
+    ``structure`` is ``"row"`` (the successor structure) or ``"col"``
+    (the predecessor structure, i.e. the transpose's rows).  For the
+    ``"upper"`` orientation an edge ``u < v`` is bit ``(u, v)`` of the
+    row structure and bit ``(v, u)`` of the column structure; for
+    ``"symmetric"`` both structures hold both directions.
+    """
+    if structure not in ("row", "col"):
+        raise ArchitectureError(f"structure must be 'row' or 'col', got {structure!r}")
+    u, v = delta_edges[:, 0], delta_edges[:, 1]
+    if orientation == "upper":
+        return (u, v) if structure == "row" else (v, u)
+    if orientation == "symmetric":
+        return np.concatenate([u, v]), np.concatenate([v, u])
+    raise ArchitectureError(
+        f"orientation must be 'upper' or 'symmetric', got {orientation!r}"
+    )
+
+
+def merge_oriented_edges(
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    delta_edges: np.ndarray,
+    orientation: str,
+    num_vertices: int,
+    insert: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Splice a canonical delta batch into a sorted oriented edge list.
+
+    ``insert=True`` merges the delta edges in (they must be absent);
+    ``insert=False`` removes them (they must be present) — the session
+    filters no-ops before calling, exactly as for the slice maintenance.
+    Preserves the legacy iteration order (lexicographic by source, then
+    destination) for both orientations.
+    """
+    u, v = delta_edges[:, 0], delta_edges[:, 1]
+    if orientation == "upper":
+        delta_src, delta_dst = u, v
+    elif orientation == "symmetric":
+        delta_src = np.concatenate([u, v])
+        delta_dst = np.concatenate([v, u])
+    else:
+        raise ArchitectureError(
+            f"orientation must be 'upper' or 'symmetric', got {orientation!r}"
+        )
+    scale = np.int64(max(num_vertices, 1))
+    delta_keys = delta_src * scale + delta_dst
+    order = np.argsort(delta_keys, kind="stable")
+    delta_keys = delta_keys[order]
+    delta_src, delta_dst = delta_src[order], delta_dst[order]
+    old_keys = sources * scale + destinations
+    where = np.searchsorted(old_keys, delta_keys)
+    if insert:
+        if old_keys.size:
+            clamped = np.minimum(where, old_keys.size - 1)
+            if bool((old_keys[clamped] == delta_keys).any()):
+                raise ArchitectureError(
+                    "delta batch overlaps the resident edge list; filter "
+                    "no-op insertions before splicing"
+                )
+        return (
+            np.insert(sources, where, delta_src),
+            np.insert(destinations, where, delta_dst),
+        )
+    if old_keys.size == 0 or bool(
+        (old_keys[np.minimum(where, old_keys.size - 1)] != delta_keys).any()
+    ):
+        raise ArchitectureError(
+            "delta batch names edges missing from the resident edge list; "
+            "filter no-op deletions before splicing"
+        )
+    return np.delete(sources, where), np.delete(destinations, where)
+
+
+def _shift_positions(positions: np.ndarray, delta: StructureDelta) -> np.ndarray:
+    """Renumber surviving slice positions across one structural mutation."""
+    if delta.inserted_before.size and delta.removed_at.size:
+        raise ArchitectureError(
+            "a single StructureDelta cannot both insert and remove slices"
+        )
+    if delta.inserted_before.size:
+        return positions + np.searchsorted(
+            delta.inserted_before, positions, side="right"
+        )
+    if delta.removed_at.size:
+        return positions - np.searchsorted(delta.removed_at, positions)
+    return positions
+
+
+def _membership(sorted_keys: np.ndarray, probes: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``probes`` in a sorted key array."""
+    if sorted_keys.size == 0:
+        return np.zeros(probes.size, dtype=bool)
+    where = np.searchsorted(sorted_keys, probes)
+    clamped = np.minimum(where, sorted_keys.size - 1)
+    return sorted_keys[clamped] == probes
+
+
+def patch_join_plan(
+    plan: JoinPlan,
+    row_sliced: SlicedMatrix,
+    col_sliced: SlicedMatrix,
+    old_sources: np.ndarray,
+    old_destinations: np.ndarray,
+    new_sources: np.ndarray,
+    new_destinations: np.ndarray,
+    row_delta: StructureDelta,
+    col_delta: StructureDelta,
+    batch_candidates: int = engine.DEFAULT_BATCH_CANDIDATES,
+) -> JoinPlan:
+    """Splice one committed update batch into a compiled plan.
+
+    ``plan`` was compiled for ``(old_sources, old_destinations)`` against
+    the structures *before* the batch; ``row_sliced``/``col_sliced`` are
+    the structures *after* the in-place slice maintenance, whose
+    structural changes are described by ``row_delta``/``col_delta``
+    (exactly what :func:`repro.core.incremental.set_bits`/``clear_bits``
+    return).  Only the affected edges — those added or removed, plus any
+    existing edge whose source row or destination column gained/lost a
+    valid slice — are re-joined; every other pair survives with a
+    vectorised position renumbering.  Returns a **new** plan (the input
+    is never mutated), array-equal to ``build_join_plan`` on the new
+    edge list against the new structures.
+    """
+    num_rows = row_sliced.num_rows
+    scale = np.int64(max(num_rows, 1))
+    old_keys = old_sources * scale + old_destinations
+    new_keys = new_sources * scale + new_destinations
+    affected_row = np.zeros(num_rows, dtype=bool)
+    affected_row[row_delta.inserted_rows] = True
+    affected_row[row_delta.removed_rows] = True
+    affected_col = np.zeros(col_sliced.num_rows, dtype=bool)
+    affected_col[col_delta.inserted_rows] = True
+    affected_col[col_delta.removed_rows] = True
+    keep_old = (
+        _membership(new_keys, old_keys)
+        & ~affected_row[old_sources]
+        & ~affected_col[old_destinations]
+    )
+    redo_new = (
+        ~_membership(old_keys, new_keys)
+        | affected_row[new_sources]
+        | affected_col[new_destinations]
+    )
+    keep_new = ~redo_new
+    if int(keep_old.sum()) != int(keep_new.sum()):
+        raise ArchitectureError(
+            "plan patch lost alignment between the old and new edge lists; "
+            "this is a bug — rebuild the plan"
+        )
+    # --- surviving pairs: gather, then renumber shifted positions ------
+    keep_idx = np.flatnonzero(keep_old)
+    kept_counts = plan.pair_counts[keep_idx]
+    kept_take = _expand_runs(plan.bounds[keep_idx], kept_counts)
+    kept_row = _shift_positions(plan.row_positions[kept_take], row_delta)
+    kept_col = _shift_positions(plan.col_positions[kept_take], col_delta)
+    # Global keys of surviving column slices are invariant (owner row and
+    # slice id never change), so the kept trace is a pure gather.
+    kept_trace = plan.trace_keys[kept_take]
+    # --- affected edges: delta re-join against the updated structures --
+    redo_idx = np.flatnonzero(redo_new)
+    redo_row_parts: list[np.ndarray] = []
+    redo_col_parts: list[np.ndarray] = []
+    redo_edge_parts: list[np.ndarray] = []
+    for row_hit, col_hit, edge_ids in engine.join_batches(
+        row_sliced,
+        col_sliced,
+        new_sources[redo_idx],
+        new_destinations[redo_idx],
+        batch_candidates,
+        with_edge_ids=True,
+    ):
+        redo_row_parts.append(row_hit)
+        redo_col_parts.append(col_hit)
+        redo_edge_parts.append(edge_ids)
+    if redo_row_parts:
+        redo_row = np.concatenate(redo_row_parts)
+        redo_col = np.concatenate(redo_col_parts)
+        redo_counts = np.bincount(
+            np.concatenate(redo_edge_parts), minlength=redo_idx.size
+        )
+        redo_trace = col_sliced.global_keys()[redo_col]
+    else:
+        redo_row = np.empty(0, dtype=np.int64)
+        redo_col = np.empty(0, dtype=np.int64)
+        redo_counts = np.zeros(redo_idx.size, dtype=np.int64)
+        redo_trace = np.empty(0, dtype=np.int64)
+    # --- splice ---------------------------------------------------------
+    num_edges = int(new_sources.size)
+    pair_counts = np.zeros(num_edges, dtype=np.int64)
+    pair_counts[keep_new] = kept_counts
+    pair_counts[redo_idx] = redo_counts
+    bounds = np.zeros(num_edges + 1, dtype=np.int64)
+    np.cumsum(pair_counts, out=bounds[1:])
+    total = int(bounds[-1])
+    row_dtype = _position_dtype(max(row_sliced.num_valid_slices, 1) - 1)
+    col_dtype = _position_dtype(max(col_sliced.num_valid_slices, 1) - 1)
+    trace_dtype = _position_dtype(col_sliced.num_rows * col_sliced.slices_per_row)
+    row_positions = np.empty(total, dtype=row_dtype)
+    col_positions = np.empty(total, dtype=col_dtype)
+    trace_keys = np.empty(total, dtype=trace_dtype)
+    kept_targets = _expand_runs(bounds[np.flatnonzero(keep_new)], kept_counts)
+    row_positions[kept_targets] = kept_row
+    col_positions[kept_targets] = kept_col
+    trace_keys[kept_targets] = kept_trace
+    redo_targets = _expand_runs(bounds[redo_idx], redo_counts)
+    row_positions[redo_targets] = redo_row
+    col_positions[redo_targets] = redo_col
+    trace_keys[redo_targets] = redo_trace
+    patched = JoinPlan(
+        row_positions=row_positions,
+        col_positions=col_positions,
+        trace_keys=trace_keys,
+        pair_counts=pair_counts,
+        num_edges=num_edges,
+        row_version=row_sliced.structure_version,
+        col_version=col_sliced.structure_version,
+        row_valid_slices=row_sliced.num_valid_slices,
+        col_valid_slices=col_sliced.num_valid_slices,
+    )
+    patched._bounds = bounds
+    return patched

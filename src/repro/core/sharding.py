@@ -223,6 +223,7 @@ def _run_one_shard(
     shard_id: int,
     shard_sources: np.ndarray,
     shard_destinations: np.ndarray,
+    shard_join_plan,
     graph: Graph,
     row_sliced: SlicedMatrix,
     col_sliced: SlicedMatrix,
@@ -235,7 +236,9 @@ def _run_one_shard(
     """Execute one shard on its private simulated array.
 
     Top-level (not a closure) so :class:`ProcessPoolExecutor` can pickle
-    it along with its arguments.
+    it along with its arguments.  ``shard_join_plan`` optionally carries
+    this shard's slice of a compiled :class:`repro.core.plan.JoinPlan`
+    (see :meth:`JoinPlan.subset`); the kernel then skips the merge-join.
     """
     from repro.core.accelerator import EventCounts
     from repro.core.engine import DEFAULT_BATCH_CANDIDATES
@@ -263,6 +266,7 @@ def _run_one_shard(
         ),
         edges=(shard_sources, shard_destinations),
         row_writes=int(touched_counts.sum()),
+        plan=shard_join_plan,
     )
     return ShardResult(
         shard_id=shard_id,
@@ -288,6 +292,7 @@ def execute_sharded(
     workers: int = 0,
     batch_candidates: int | None = None,
     edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
+    join_plan=None,
 ) -> ShardedOutcome:
     """Fan the shards of ``plan`` out over simulated arrays and merge.
 
@@ -301,6 +306,13 @@ def execute_sharded(
     them out over a :class:`ProcessPoolExecutor` — results are identical
     because shards share no mutable state.  ``edge_arrays`` optionally
     passes the already-materialised ``(sources, destinations)`` pair.
+
+    ``join_plan`` optionally passes the full edge list's compiled
+    :class:`repro.core.plan.JoinPlan`; each shard then receives its
+    :meth:`~repro.core.plan.JoinPlan.subset` and skips the per-query
+    merge-join.  The plan must cover exactly the edges of ``plan`` (same
+    oriented edge list) — a count mismatch raises rather than silently
+    mis-joining.
     """
     from repro.core.accelerator import EventCounts
 
@@ -328,6 +340,11 @@ def execute_sharded(
             f"has {sources.size}; the plan was built for a different graph "
             "— rebuild it with plan_shards"
         )
+    if join_plan is not None and join_plan.num_edges != int(sources.size):
+        raise ArchitectureError(
+            f"join plan covers {join_plan.num_edges} edges but the oriented "
+            f"edge list has {sources.size}; compile a plan for this edge list"
+        )
     shared = (
         graph,
         row_sliced,
@@ -339,7 +356,12 @@ def execute_sharded(
         batch_candidates,
     )
     jobs = [
-        (shard_id, sources[positions], destinations[positions])
+        (
+            shard_id,
+            sources[positions],
+            destinations[positions],
+            join_plan.subset(positions) if join_plan is not None else None,
+        )
         for shard_id, positions in enumerate(plan.assignments)
     ]
     if workers > 0 and len(jobs) > 1:

@@ -66,6 +66,7 @@ class SlicedMatrix:
         "indptr",
         "slice_ids",
         "data",
+        "structure_version",
         "_keys_cache",
     )
 
@@ -99,6 +100,15 @@ class SlicedMatrix:
         self.indptr = indptr
         self.slice_ids = slice_ids
         self.data = data
+        #: Monotone counter of *structural* changes: bumped whenever the
+        #: set of valid slices changes (a slice inserted or dropped), so
+        #: positions into :attr:`slice_ids`/:attr:`data` from before the
+        #: bump are invalid.  Payload-only mutation (setting/clearing
+        #: bits inside an existing slice) does not bump it — positions
+        #: and :meth:`global_keys` stay valid.  Derived artifacts (the
+        #: keys cache here, :class:`repro.core.plan.JoinPlan` outside)
+        #: key their coherence on this counter.
+        self.structure_version = 0
         self._keys_cache: np.ndarray | None = None
 
     # ------------------------------------------------------------------
@@ -202,6 +212,19 @@ class SlicedMatrix:
         return cls.from_nonzeros(
             rows, cols, dense.shape[0], dense.shape[1], slice_bits=slice_bits
         )
+
+    def mark_structure_changed(self) -> None:
+        """Record a structural mutation: bump the version, drop caches.
+
+        The one place every mutator (see :mod:`repro.core.incremental`)
+        must call after inserting or deleting valid slices.  Centralising
+        the invalidation here is what keeps :meth:`global_keys` and any
+        resident :class:`~repro.core.plan.JoinPlan` coherent — the
+        regression suite in ``tests/test_plan.py`` mutates structures
+        every way the incremental path can and asserts both stay exact.
+        """
+        self.structure_version += 1
+        self._keys_cache = None
 
     # ------------------------------------------------------------------
     # Size / statistics (Table III & IV quantities)

@@ -30,6 +30,8 @@ __all__ = [
     "popcount",
     "popcount_per_word",
     "popcount_python",
+    "word_view",
+    "conjunction_popcount",
     "iter_set_bits",
     "bit_get",
     "bit_set",
@@ -108,13 +110,19 @@ def popcount(words: np.ndarray) -> int:
     This is the ``BitCount`` primitive of paper Eq. (4); the in-memory
     architecture realises it with 8->256 look-up tables
     (:class:`repro.memory.bitcounter.BitCounter`), while software callers use
-    this vectorised version.
+    this vectorised version.  Byte-packed (uint8) inputs are counted
+    through a 64-bit word reinterpretation when the layout allows, so
+    every kernel shares the one audited word-level path.
     """
     words = np.asarray(words)
     if words.size == 0:
         return 0
     if words.dtype.kind != "u":
         raise TypeError(f"popcount expects unsigned integers, got {words.dtype}")
+    if words.dtype == np.uint8:
+        as_words = word_view(words)
+        if as_words is not None:
+            words = as_words
     return int(np.bitwise_count(words).sum())
 
 
@@ -131,6 +139,51 @@ def popcount_python(value: int) -> int:
     if value < 0:
         raise ValueError("popcount_python expects a non-negative integer")
     return value.bit_count()
+
+
+def word_view(data: np.ndarray) -> np.ndarray | None:
+    """Reinterpret a byte-packed payload array as 64-bit words, if possible.
+
+    For a C-contiguous uint8 array whose trailing axis holds a multiple
+    of 8 bytes, returns a zero-copy ``uint64`` view with the same leading
+    shape (a ``(n, bytes)`` slice-payload block becomes ``(n, bytes//8)``
+    words).  Returns ``None`` when the layout does not admit the
+    reinterpretation (odd slice widths, non-contiguous views) — callers
+    fall back to the per-byte path.  Population counts are invariant
+    under the reinterpretation, but word *values* are endian-dependent,
+    so use the view only for counting/AND-style lane work.
+    """
+    data = np.asarray(data)
+    if (
+        data.dtype != np.uint8
+        or data.ndim == 0
+        or not data.flags.c_contiguous
+        or data.shape[-1] % 8
+        or data.shape[-1] == 0
+    ):
+        return None
+    return data.view(_WORD_DTYPE)
+
+
+def conjunction_popcount(a: np.ndarray, b: np.ndarray) -> int:
+    """``popcount(a & b)`` over two equal-shape unsigned payload blocks.
+
+    The AND + BitCount step of paper Eq. (5) for a block of gathered
+    slice payloads.  uint8 blocks are processed through
+    :func:`word_view` when the slice width allows — 8x fewer lanes than
+    per-byte ``np.bitwise_count`` — and fall back to bytes otherwise.
+    The result is bit-identical either way.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError(f"operand shapes differ: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0
+    wide_a, wide_b = word_view(a), word_view(b)
+    if wide_a is not None and wide_b is not None:
+        a, b = wide_a, wide_b
+    return int(np.bitwise_count(a & b).sum())
 
 
 def iter_set_bits(words: np.ndarray, num_bits: int | None = None) -> Iterator[int]:

@@ -68,6 +68,10 @@ class SessionServeStats:
     ops_applied: int
     events: EventCounts
     resident_bytes: int
+    #: Share of ``resident_bytes`` held by the compiled join plan — the
+    #: memory the pool spends to make this session's repeat reads
+    #: near-free (see docs/API.md, "Join plans").
+    plan_bytes: int = 0
     #: Modelled critical path of this session's accumulated engine work.
     latency_s: float = 0.0
 
@@ -79,6 +83,7 @@ class SessionServeStats:
             "ops_applied": self.ops_applied,
             "events": asdict(self.events),
             "resident_bytes": self.resident_bytes,
+            "plan_bytes": self.plan_bytes,
             "latency_s": self.latency_s,
         }
 
@@ -495,6 +500,7 @@ class Service:
                 ops_applied=entry.ops_applied,
                 events=entry.events,
                 resident_bytes=entry.session.resident_bytes() if resident else 0,
+                plan_bytes=entry.session.plan_resident_bytes() if resident else 0,
             )
 
 

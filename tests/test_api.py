@@ -635,6 +635,8 @@ class TestApplyRollback:
             # Call 1 commits segment 1's inserts; call 2 is segment 3's
             # post-join maintenance (deletes only restore via set_bits on
             # rollback) -- fail there, after two committed segments.
+            # (The deferred structure patches of _flush_patches run at
+            # query time, not here, so they do not shift the numbering.)
             if calls["n"] == 2:
                 raise MemoryError("injected maintenance failure")
             return real(*args, **kwargs)

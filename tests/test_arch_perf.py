@@ -95,6 +95,68 @@ class TestPimModel:
         assert model.energy.write_energy_j > model.energy.and_energy_j
 
 
+class TestJoinPlanPricing:
+    """Plan compile priced once; plan reuse priced as pure array reads."""
+
+    @pytest.fixture(scope="class")
+    def model(self) -> PimPerformanceModel:
+        return default_pim_model()
+
+    def test_compile_scales_with_edges_and_pairs(self, model):
+        small = model.evaluate_plan_compile(num_edges=100, num_pairs=50)
+        more_edges = model.evaluate_plan_compile(num_edges=10_000, num_pairs=50)
+        more_pairs = model.evaluate_plan_compile(num_edges=100, num_pairs=50_000)
+        assert more_edges.latency_s > small.latency_s
+        assert more_pairs.latency_s > small.latency_s
+        assert small.latency_s == pytest.approx(
+            sum(small.latency_breakdown_s.values())
+        )
+        assert small.system_energy_j == pytest.approx(
+            sum(small.energy_breakdown_j.values())
+        )
+
+    def test_compile_rejects_negative_counts(self, model):
+        with pytest.raises(ArchitectureError):
+            model.evaluate_plan_compile(num_edges=-1, num_pairs=0)
+
+    def test_reuse_is_cheaper_than_a_plan_free_query(self, model):
+        # Same events: the array-side work is unchanged, the per-edge
+        # index machinery collapses to per-pair record reads.
+        events = _events(and_ops=1000, edges=50_000)
+        plain = model.evaluate(events)
+        reuse = model.evaluate_plan_reuse(events)
+        assert reuse.latency_s < plain.latency_s
+        assert reuse.system_energy_j < plain.system_energy_j
+        # Array-side components are identical, only control changes.
+        for component in ("and", "write", "bitcount_drain"):
+            assert reuse.latency_breakdown_s[component] == pytest.approx(
+                plain.latency_breakdown_s[component]
+            )
+        assert reuse.latency_s == pytest.approx(
+            sum(reuse.latency_breakdown_s.values())
+        )
+        assert reuse.system_energy_j == pytest.approx(
+            sum(reuse.energy_breakdown_j.values())
+        )
+
+    def test_compile_amortises_over_repeat_queries(self, model):
+        # The resident-plan story in one inequality: compile + N reuse
+        # queries beats N plan-free queries for modest N.
+        events = _events(and_ops=1000, edges=50_000)
+        plain = model.evaluate(events).latency_s
+        compile_once = model.evaluate_plan_compile(
+            num_edges=events.edges_processed, num_pairs=events.and_operations
+        ).latency_s
+        reuse = model.evaluate_plan_reuse(events).latency_s
+        repeats = 10
+        assert compile_once + repeats * reuse < repeats * plain
+
+    def test_zero_events_zero_reuse_cost(self, model):
+        report = model.evaluate_plan_reuse(EventCounts())
+        assert report.latency_s == 0.0
+        assert report.system_energy_j == 0.0
+
+
 class TestSoftwareModels:
     def test_software_slower_than_pim(self):
         graph = generators.powerlaw_cluster(300, 4, 0.6, seed=0)

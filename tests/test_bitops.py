@@ -97,6 +97,59 @@ class TestPopcount:
         vector = np.array(bits, dtype=bool)
         assert bitops.popcount(bitops.pack_bits(vector)) == int(vector.sum())
 
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=64))
+    def test_uint8_word_routing_matches_per_byte(self, values):
+        # popcount routes contiguous uint8 blocks through the uint64 view
+        # when the width allows; the count must be invariant either way.
+        data = np.array(values, dtype=np.uint8)
+        assert bitops.popcount(data) == int(np.bitwise_count(data).sum())
+
+
+class TestWordView:
+    def test_views_word_multiple_widths(self):
+        data = np.arange(32, dtype=np.uint8).reshape(4, 8)
+        view = bitops.word_view(data)
+        assert view is not None
+        assert view.shape == (4, 1) and view.dtype == np.uint64
+        assert np.shares_memory(view, data)  # zero-copy
+
+    def test_rejects_odd_widths_and_noncontiguous(self):
+        assert bitops.word_view(np.zeros((4, 3), dtype=np.uint8)) is None
+        assert bitops.word_view(np.zeros((4, 8), dtype=np.uint64)) is None
+        strided = np.zeros((4, 16), dtype=np.uint8)[:, ::2]
+        assert bitops.word_view(strided) is None
+        assert bitops.word_view(np.zeros((0, 0), dtype=np.uint8)) is None
+
+
+class TestConjunctionPopcount:
+    @given(
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=30)
+    def test_matches_naive_and_popcount(self, rows, words, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 256, size=(rows, 8 * words), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(rows, 8 * words), dtype=np.uint8)
+        expected = int(np.bitwise_count(a & b).sum())
+        assert bitops.conjunction_popcount(a, b) == expected
+
+    def test_byte_fallback_for_odd_widths(self):
+        a = np.array([[0xFF, 0x0F, 0x01]], dtype=np.uint8)
+        b = np.array([[0xF0, 0xFF, 0x01]], dtype=np.uint8)
+        assert bitops.conjunction_popcount(a, b) == 4 + 4 + 1
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.conjunction_popcount(
+                np.zeros((2, 8), dtype=np.uint8), np.zeros((3, 8), dtype=np.uint8)
+            )
+
+    def test_empty(self):
+        empty = np.zeros((0, 8), dtype=np.uint8)
+        assert bitops.conjunction_popcount(empty, empty) == 0
+
 
 class TestIterSetBits:
     def test_simple(self):

@@ -172,6 +172,37 @@ class TestShardedFlags:
         assert "modelled TCIM latency" in output
         assert "Per-shard breakdown" not in output
 
+    def test_no_plan_flag_matches_planned_results(self, capsys):
+        spec = "dataset:roadnet-pa@0.005"
+        assert main(["count", spec]) == 0
+        planned = capsys.readouterr().out
+        assert main(["count", spec, "--no-plan"]) == 0
+        planless = capsys.readouterr().out
+
+        def triangles(text):
+            for line in text.splitlines():
+                if "triangles" in line:
+                    return line
+            return None
+
+        assert triangles(planned) == triangles(planless)
+
+    def test_simulate_reports_plan_residency(self, capsys):
+        spec = "dataset:roadnet-pa@0.005"
+        assert main(["simulate", spec]) == 0
+        assert "join plan" in capsys.readouterr().out
+        assert main(["simulate", spec, "--no-plan"]) == 0
+        output = capsys.readouterr().out
+        assert "disabled" in output
+
+    def test_set_use_plan_override(self, capsys):
+        spec = "dataset:roadnet-pa@0.005"
+        assert main(["simulate", spec, "--set", "use_plan=false"]) == 0
+        assert "disabled" in capsys.readouterr().out
+        # --set wins over --no-plan (highest precedence layer).
+        assert main(["simulate", spec, "--no-plan", "--set", "use_plan=true"]) == 0
+        assert "disabled" not in capsys.readouterr().out
+
     def test_legacy_engine_rejects_sharding(self, capsys):
         assert main(
             [

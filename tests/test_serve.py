@@ -239,6 +239,11 @@ class TestService:
                 assert payload["queries"] == 3
                 assert payload["fleet"]["latency_s"] == report.fleet.latency_s
                 json.dumps(payload)  # wire-serialisable
+                # Resident sessions surface their join-plan share of the
+                # byte budget (count() compiles a plan on warm-up).
+                for stats in report.sessions:
+                    assert 0 < stats.plan_bytes <= stats.resident_bytes
+                    assert stats.to_mapping()["plan_bytes"] == stats.plan_bytes
 
         run(main())
 
