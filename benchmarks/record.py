@@ -1,7 +1,8 @@
 """Record the engine's perf trajectory: write ``BENCH_engine.json``.
 
 Runs compact versions of the smoke benchmarks — cold build vs plan-reuse
-repeat-query latency, incremental streaming throughput, and multi-session
+repeat-query latency, incremental streaming throughput, per-workload
+(support/truss/cluster) resident-vs-oracle latency, and multi-session
 serving throughput — and writes one machine-readable JSON file at the
 repository root.  CI uploads the file as an artifact per run, so the
 sequence of artifacts is the measured performance trajectory of the
@@ -129,6 +130,69 @@ def measure_streaming(num_vertices: int, attach: int, num_ops: int) -> dict:
     }
 
 
+def measure_workloads(num_vertices: int, attach: int) -> dict:
+    """Per-workload rows: resident kernel path vs pure-Python oracles."""
+    from repro.analysis import metrics
+    from repro.analysis.truss import edge_support, truss_decomposition
+    from repro.arch.perf import default_pim_model
+
+    graph = generators.barabasi_albert(num_vertices, attach, seed=0)
+    session = open_session(graph)
+    session.support()  # warm: slices, symmetric plan, caches
+    model = default_pim_model()
+    per_edge, events, _ = session._supports_run()
+
+    def timed_workload(work):
+        def rerun():
+            # Re-run the engine path against the resident symmetric plan
+            # rather than returning the memoised result.
+            session._workload_cache.clear()
+            return work()
+
+        elapsed, _ = best_of(3, rerun)
+        return elapsed
+
+    rows = {
+        "support": {
+            "resident_s": timed_workload(session.support),
+            "oracle_s": best_of(1, lambda: edge_support(graph))[0],
+            "modelled_latency_s": model.evaluate_workload(
+                events, "support", num_edges=graph.num_edges, plan_reuse=True
+            ).latency_s,
+        },
+        "truss": {
+            "resident_s": timed_workload(session.truss),
+            "oracle_s": best_of(1, lambda: truss_decomposition(graph))[0],
+            "modelled_latency_s": model.evaluate_workload(
+                events, "truss", num_edges=graph.num_edges, plan_reuse=True
+            ).latency_s,
+        },
+        "cluster": {
+            "resident_s": timed_workload(session.clustering),
+            "oracle_s": best_of(
+                1, lambda: metrics.local_clustering(graph)
+            )[0],
+            "modelled_latency_s": model.evaluate_workload(
+                events,
+                "cluster",
+                num_vertices=graph.num_vertices,
+                plan_reuse=True,
+            ).latency_s,
+        },
+    }
+    for row in rows.values():
+        row["speedup"] = (
+            row["oracle_s"] / row["resident_s"] if row["resident_s"] else None
+        )
+    payload = {
+        "graph": {"num_vertices": graph.num_vertices, "num_edges": graph.num_edges},
+        "total_support": int(per_edge.sum()),
+        "workloads": rows,
+    }
+    session.close()
+    return payload
+
+
 def measure_serving(num_graphs: int, reads_per_graph: int) -> dict:
     """Aggregate read throughput over a pool of resident sessions."""
     from repro.serve import open_service
@@ -175,6 +239,7 @@ def main(argv: list[str]) -> int:
         "quick": quick,
         "engine": measure_engine(20_000 // scale, 8),
         "streaming": measure_streaming(20_000 // scale, 8, 500 // scale),
+        "workloads": measure_workloads(8_000 // scale, 8),
         "serving": measure_serving(4, 50 // scale),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -185,7 +250,12 @@ def main(argv: list[str]) -> int:
         f"{payload['engine']['repeat_query_planned_s'] * 1e3:.2f} ms "
         f"({payload['engine']['plan_reuse_speedup']:.1f}x); "
         f"streaming {payload['streaming']['ops_per_second']:,.0f} ops/s; "
-        f"serving {payload['serving']['queries_per_second']:,.0f} queries/s"
+        f"serving {payload['serving']['queries_per_second']:,.0f} queries/s; "
+        "workloads "
+        + ", ".join(
+            f"{kind} {row['speedup']:.1f}x"
+            for kind, row in payload["workloads"]["workloads"].items()
+        )
     )
     return 0
 

@@ -4,9 +4,11 @@ The paper motivates triangle counting with "community discovery, link
 prediction, and Spam filtering".  The common-neighbour score — the
 classic link-prediction baseline — is *exactly* TCIM's inner primitive:
 ``|N(u) & N(v)| = BitCount(AND(row_u, row_v))``.  This example hides a
-fraction of a social graph's edges, scores candidate pairs with the
-bit-matrix AND+popcount kernel, and checks how many held-out edges land
-in the top predictions.
+fraction of a social graph's edges, scores candidate pairs through the
+session's :meth:`~repro.api.TCIMSession.common_neighbors` workload (the
+engine's gather → AND → popcount kernel over the resident sliced
+structures), and checks how many held-out edges land in the top
+predictions.
 
 Run:  python examples/link_prediction.py [scale]
 """
@@ -18,8 +20,8 @@ import sys
 import numpy as np
 
 from repro.analysis.reporting import Table
+from repro.api import open_session
 from repro.graph import datasets
-from repro.graph.bitmatrix import BitMatrix
 from repro.graph.graph import Graph
 
 
@@ -40,24 +42,16 @@ def main(scale: float = 0.15, holdout_fraction: float = 0.05, seed: int = 7) -> 
         f"hidden edges: {len(hidden):,}"
     )
 
-    # Score all 2-hop candidate pairs with AND + BitCount on packed rows —
-    # the same word-level work the MRAM array executes.
-    matrix = BitMatrix.from_graph(observed, "symmetric")
+    # Score all 2-hop candidate pairs through the session's workload
+    # kernel — the same gather → AND → popcount the MRAM array executes,
+    # served from the resident sliced structures.
+    session = open_session(observed)
     scores: dict[tuple[int, int], int] = {}
     for u in range(observed.num_vertices):
-        neighbours = observed.neighbors(u)
-        if neighbours.size == 0:
-            continue
-        # Candidates: neighbours-of-neighbours above u, not already linked.
-        two_hop = np.unique(
-            np.concatenate([observed.neighbors(v) for v in neighbours.tolist()])
-        )
-        candidates = two_hop[(two_hop > u)]
-        if candidates.size == 0:
-            continue
-        common = matrix.and_popcount_many(u, candidates)
-        for v, score in zip(candidates.tolist(), common.tolist()):
-            if score > 0 and not observed.has_edge(u, v):
+        # Candidates: unlinked vertices two hops from u, scored by shared
+        # neighbours; keep each unordered pair once (u < v).
+        for v, score in session.common_neighbors(u):
+            if v > u and score > 0:
                 scores[(u, v)] = score
 
     ranked = sorted(scores.items(), key=lambda item: item[1], reverse=True)

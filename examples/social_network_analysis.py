@@ -3,10 +3,13 @@
 The paper motivates triangle counting as the first step of clustering-
 coefficient and transitivity computation, community discovery and link
 prediction.  This example runs that pipeline on a synthetic stand-in of
-the email-enron graph: triangles come from the TCIM accelerator
-simulation, and the derived metrics (transitivity, clustering, top
-triangle-dense vertices) are computed on top, with the classical CPU
-baselines timed alongside for comparison.
+the email-enron graph through one resident
+:class:`~repro.api.TCIMSession`: triangles come from the session's
+accelerator run, and the derived metrics (transitivity, clustering, top
+triangle-dense vertices) from its
+:meth:`~repro.api.TCIMSession.clustering` workload — the same engine
+popcounts reduced per vertex — with the classical CPU baselines timed
+alongside for comparison.
 
 Run:  python examples/social_network_analysis.py [scale]
 """
@@ -18,16 +21,11 @@ import time
 
 import numpy as np
 
-from repro.analysis.metrics import (
-    average_clustering,
-    degree_statistics,
-    transitivity,
-    triangles_per_vertex,
-)
+from repro.analysis.metrics import degree_statistics
 from repro.analysis.reporting import Table, format_seconds
+from repro.api import open_session
 from repro.arch.perf import default_pim_model
 from repro.baselines import triangle_count_edge_iterator, triangle_count_forward
-from repro.core.accelerator import TCIMAccelerator
 from repro.graph import datasets
 
 
@@ -38,9 +36,10 @@ def main(scale: float = 0.3) -> None:
         f"n={graph.num_vertices:,} m={graph.num_edges:,}"
     )
 
+    session = open_session(graph)
     timings = Table(["method", "triangles", "wall-clock"], title="\nTriangle counting")
     start = time.perf_counter()
-    result = TCIMAccelerator().run(graph)
+    result = session.run()
     tcim_wall = time.perf_counter() - start
     timings.add_row(["TCIM accelerator (simulated)", result.triangles, format_seconds(tcim_wall)])
     for name, fn in (
@@ -59,16 +58,18 @@ def main(scale: float = 0.3) -> None:
         f"{report.array_energy_j * 1e6:.1f} uJ array energy"
     )
 
+    clustering = session.clustering()
+    assert clustering.triangles == result.triangles
     metrics = Table(["metric", "value"], title="\nNetwork metrics (built on the TC result)")
-    metrics.add_row(["triangles", result.triangles])
-    metrics.add_row(["transitivity", f"{transitivity(graph, result.triangles):.4f}"])
-    metrics.add_row(["average clustering", f"{average_clustering(graph):.4f}"])
+    metrics.add_row(["triangles", clustering.triangles])
+    metrics.add_row(["transitivity", f"{clustering.transitivity:.4f}"])
+    metrics.add_row(["average clustering", f"{clustering.average:.4f}"])
     degrees = degree_statistics(graph)
     metrics.add_row(["max degree", int(degrees["max"])])
     metrics.add_row(["mean degree", f"{degrees['mean']:.2f}"])
     print(metrics.render())
 
-    per_vertex = triangles_per_vertex(graph)
+    per_vertex = clustering.triangles_per_vertex
     top = np.argsort(per_vertex)[::-1][:5]
     hubs = Table(["vertex", "triangles", "degree"], title="\nTop triangle-dense vertices")
     for vertex in top.tolist():

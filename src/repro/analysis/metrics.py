@@ -42,24 +42,32 @@ def triangles_per_vertex(graph: Graph) -> np.ndarray:
     return counts
 
 
-def local_clustering(graph: Graph) -> np.ndarray:
+def local_clustering(graph: Graph, triangles: np.ndarray | None = None) -> np.ndarray:
     """Watts-Strogatz local clustering coefficient per vertex.
 
     ``C_v = triangles(v) / C(deg(v), 2)``; vertices of degree < 2 get 0.
+    ``triangles`` optionally passes precomputed per-vertex triangle
+    counts (e.g. a :class:`~repro.core.kernels.VertexTallyKernel` run) to
+    skip the :func:`triangles_per_vertex` recomputation.
     """
     degrees = graph.degrees().astype(np.float64)
     possible = degrees * (degrees - 1) / 2.0
-    triangles = triangles_per_vertex(graph).astype(np.float64)
+    if triangles is None:
+        triangles = triangles_per_vertex(graph)
+    triangles = np.asarray(triangles).astype(np.float64)
     with np.errstate(divide="ignore", invalid="ignore"):
         coefficients = np.where(possible > 0, triangles / possible, 0.0)
     return coefficients
 
 
-def average_clustering(graph: Graph) -> float:
-    """Mean of the local clustering coefficients (0.0 for empty graphs)."""
+def average_clustering(graph: Graph, triangles: np.ndarray | None = None) -> float:
+    """Mean of the local clustering coefficients (0.0 for empty graphs).
+
+    ``triangles`` passes through to :func:`local_clustering`.
+    """
     if graph.num_vertices == 0:
         return 0.0
-    return float(local_clustering(graph).mean())
+    return float(local_clustering(graph, triangles=triangles).mean())
 
 
 def wedge_count(graph: Graph) -> int:

@@ -41,20 +41,37 @@ def edge_support(graph: Graph) -> dict[tuple[int, int], int]:
     return support
 
 
-def truss_decomposition(graph: Graph) -> dict[tuple[int, int], int]:
+def truss_decomposition(
+    graph: Graph,
+    support: dict[tuple[int, int], int] | None = None,
+) -> dict[tuple[int, int], int]:
     """Trussness of every edge (the peeling algorithm).
 
     Returns ``{(u, v): k}`` where ``k`` is the largest value such that the
     k-truss contains the edge; every edge of a graph with any edges has
     trussness >= 2.
+
+    ``support`` optionally seeds the peel with precomputed edge supports
+    (e.g. :meth:`repro.api.TCIMSession.support`'s engine-computed map) so
+    the O(E·d) :func:`edge_support` recomputation is skipped.  The map
+    must cover every edge of ``graph``; a missing edge raises
+    :class:`~repro.errors.GraphError` rather than peeling a wrong graph.
     """
     adjacency: dict[int, set[int]] = {v: set() for v in range(graph.num_vertices)}
     for u, v in graph.edge_array().tolist():
         adjacency[u].add(v)
         adjacency[v].add(u)
-    support = edge_support(graph)
+    if support is None:
+        support = edge_support(graph)
     trussness: dict[tuple[int, int], int] = {}
-    remaining = dict(support)
+    try:
+        remaining = {
+            (u, v): int(support[(u, v)]) for u, v in graph.edge_array().tolist()
+        }
+    except KeyError as missing:
+        raise GraphError(
+            f"precomputed support is missing edge {missing.args[0]}"
+        ) from None
     k = 2
     while remaining:
         # Peel every edge whose support cannot sustain the (k+1)-truss.
@@ -77,16 +94,31 @@ def truss_decomposition(graph: Graph) -> dict[tuple[int, int], int]:
     return trussness
 
 
-def k_truss(graph: Graph, k: int) -> Graph:
-    """The k-truss subgraph (same vertex set, edges of trussness >= k)."""
+def k_truss(
+    graph: Graph,
+    k: int,
+    support: dict[tuple[int, int], int] | None = None,
+) -> Graph:
+    """The k-truss subgraph (same vertex set, edges of trussness >= k).
+
+    ``support`` optionally passes precomputed edge supports through to
+    :func:`truss_decomposition`, avoiding a silent per-call recompute.
+    """
     if k < 2:
         raise GraphError(f"k must be >= 2, got {k}")
-    trussness = truss_decomposition(graph)
+    trussness = truss_decomposition(graph, support=support)
     edges = [edge for edge, value in trussness.items() if value >= k]
     return Graph(graph.num_vertices, np.array(edges, dtype=np.int64).reshape(-1, 2))
 
 
-def max_trussness(graph: Graph) -> int:
-    """The largest k with a non-empty k-truss (0 for an edgeless graph)."""
-    trussness = truss_decomposition(graph)
+def max_trussness(
+    graph: Graph,
+    support: dict[tuple[int, int], int] | None = None,
+) -> int:
+    """The largest k with a non-empty k-truss (0 for an edgeless graph).
+
+    ``support`` optionally passes precomputed edge supports through to
+    :func:`truss_decomposition`, avoiding a silent per-call recompute.
+    """
+    trussness = truss_decomposition(graph, support=support)
     return max(trussness.values(), default=0)

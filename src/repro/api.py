@@ -48,6 +48,7 @@ import numpy as np
 
 from repro import registry
 from repro.core import incremental
+from repro.core import kernels
 from repro.core import plan as joinplan
 from repro.core.accelerator import (
     AcceleratorConfig,
@@ -59,10 +60,11 @@ from repro.core.engine import oriented_edges
 from repro.core.reuse import CacheStatistics
 from repro.core.sharding import plan_shards
 from repro.core.slicing import SlicedMatrix, SliceStatistics, slice_statistics
-from repro.errors import GraphError, ReproError
+from repro.errors import ArchitectureError, GraphError, ReproError
 from repro.graph.graph import Graph
 
 __all__ = [
+    "ClusteringReport",
     "RunReport",
     "UpdateReport",
     "TCIMSession",
@@ -211,6 +213,39 @@ class UpdateReport:
         return payload
 
 
+@dataclass
+class ClusteringReport:
+    """Clustering metrics derived from one per-vertex tally workload.
+
+    Every field comes from the engine's per-edge supports reduced onto
+    vertices — one gather → AND → popcount pass over the resident
+    symmetric structures serves the local coefficients, the global
+    transitivity, and the triangle total at once.  Value-identical to
+    the pure-Python oracles in :mod:`repro.analysis.metrics`.
+    """
+
+    #: Local clustering coefficient per vertex (0.0 where degree < 2).
+    local: np.ndarray
+    #: Exact triangle count through each vertex.
+    triangles_per_vertex: np.ndarray
+    #: Mean of the local coefficients (Watts–Strogatz).
+    average: float
+    #: Global transitivity ``3 * triangles / wedges`` (0.0 without wedges).
+    transitivity: float
+    #: Number of wedges (paths of length 2), ``sum C(deg, 2)``.
+    wedges: int
+    #: Total triangle count.
+    triangles: int
+
+    def to_mapping(self) -> dict:
+        """JSON-able summary (the serving tier's ``cluster`` payload)."""
+        return {
+            "num_vertices": int(self.local.size),
+            "average_clustering": self.average,
+            "transitivity": self.transitivity,
+            "wedges": self.wedges,
+            "triangles": self.triangles,
+        }
 
 
 class TCIMSession:
@@ -265,6 +300,21 @@ class TCIMSession:
         self._use_plan = bool(self.config.use_plan) and (
             self.config.engine == "vectorized"
         )
+        # The symmetric-orientation twin of the resident plan: workload
+        # queries (support/truss/clustering/common-neighbors) all join
+        # the symmetric structure against itself, so they share one
+        # compiled valid-pair index.  The symmetric structure mutates
+        # eagerly per committed batch (see _insert_batch/_delete_batch),
+        # so this plan is patched eagerly too — gated only by
+        # config.use_plan because workloads always run the vectorized
+        # kernel path regardless of config.engine.
+        self._sym_edge_arrays: tuple[np.ndarray, np.ndarray] | None = None
+        self._sym_plan = None
+        self._use_workload_plan = bool(self.config.use_plan)
+        #: Cached workload results (per-edge supports, support map,
+        #: clustering, common-neighbor candidate lists), invalidated on
+        #: every mutation.
+        self._workload_cache: dict = {}
         # Committed delta batches not yet folded into the oriented
         # structures/plan.  Applies only queue here (O(1)); the next
         # engine query flushes the queue as one patch pass — so pure
@@ -367,10 +417,12 @@ class TCIMSession:
                         + sliced.slice_ids.nbytes
                         + sliced.indptr.nbytes
                     )
-            if self._edge_arrays is not None:
-                total += sum(array.nbytes for array in self._edge_arrays)
-            if self._join_plan is not None:
-                total += self._join_plan.nbytes
+            for arrays in (self._edge_arrays, self._sym_edge_arrays):
+                if arrays is not None:
+                    total += sum(array.nbytes for array in arrays)
+            for plan in (self._join_plan, self._sym_plan):
+                if plan is not None:
+                    total += plan.nbytes
             if self._graph is not None:
                 total += self._graph.edge_array().nbytes
             if self._edge_set is not None:
@@ -396,9 +448,17 @@ class TCIMSession:
             return self._join_plan
 
     def plan_resident_bytes(self) -> int:
-        """Footprint of the compiled join plan (0 when none is resident)."""
+        """Footprint of the compiled join plans (0 when none is resident).
+
+        Counts both the count-orientation plan and its symmetric twin
+        serving the workload queries.
+        """
         with self._lock:
-            return self._join_plan.nbytes if self._join_plan is not None else 0
+            return sum(
+                plan.nbytes
+                for plan in (self._join_plan, self._sym_plan)
+                if plan is not None
+            )
 
     # ------------------------------------------------------------------
     # Queries
@@ -469,6 +529,129 @@ class TCIMSession:
             if name not in self._baseline_cache:
                 self._baseline_cache[name] = int(registry.baseline(name)(self.graph))
             return self._baseline_cache[name]
+
+    # ------------------------------------------------------------------
+    # Bulk-bitwise workloads (the shared kernel path)
+    # ------------------------------------------------------------------
+    def support(self) -> dict[tuple[int, int], int]:
+        """Triangle support of every undirected edge.
+
+        ``support[(u, v)] = |N(u) ∩ N(v)|`` for each edge ``u < v`` — the
+        quantity k-truss peeling consumes.  Computed by one per-edge
+        :class:`~repro.core.kernels.EdgeSupportKernel` pass over the
+        resident symmetric structures (sharded across
+        ``config.num_arrays``, reusing the resident symmetric join plan),
+        value-identical to :func:`repro.analysis.truss.edge_support`.
+        Cached until the graph changes.
+        """
+        with self._lock:
+            cached = self._workload_cache.get("support_map")
+            if cached is None:
+                per_edge, _, _ = self._supports_run()
+                sources, destinations = self._ensure_sym_edges()
+                forward = sources < destinations
+                cached = {
+                    (u, v): score
+                    for u, v, score in zip(
+                        sources[forward].tolist(),
+                        destinations[forward].tolist(),
+                        per_edge[forward].tolist(),
+                    )
+                }
+                self._workload_cache["support_map"] = cached
+            # Hand out a copy: peeling callers mutate their support maps.
+            return dict(cached)
+
+    def truss(self, k: int | None = None):
+        """Truss decomposition seeded from the engine-computed supports.
+
+        ``truss()`` returns the full ``{(u, v): trussness}`` mapping;
+        ``truss(k)`` returns the k-truss subgraph as a :class:`Graph`.
+        The peeling itself is the oracle's
+        (:func:`repro.analysis.truss.truss_decomposition`), but its
+        O(E·d) support recomputation is replaced by :meth:`support`.
+        """
+        from repro.analysis.truss import k_truss, truss_decomposition
+
+        with self._lock:
+            decomposition = self._workload_cache.get("truss")
+            if decomposition is None:
+                decomposition = truss_decomposition(
+                    self.graph, support=self.support()
+                )
+                self._workload_cache["truss"] = decomposition
+            if k is None:
+                return dict(decomposition)
+            return k_truss(self.graph, k, support=self.support())
+
+    def clustering(self) -> ClusteringReport:
+        """Clustering metrics from one per-vertex tally workload.
+
+        Local coefficients, per-vertex triangle counts, their average,
+        the global transitivity, and the triangle total — all reduced
+        from the same per-edge supports :meth:`support` computes, and
+        value-identical to the :mod:`repro.analysis.metrics` oracles.
+        """
+        from repro.analysis import metrics
+
+        with self._lock:
+            cached = self._workload_cache.get("clustering")
+            if cached is None:
+                per_edge, _, _ = self._supports_run()
+                sources, _ = self._ensure_sym_edges()
+                tallies = kernels.vertex_tallies_from_supports(
+                    sources, per_edge, self._num_vertices
+                )
+                graph = self.graph
+                local = metrics.local_clustering(graph, triangles=tallies)
+                wedges = metrics.wedge_count(graph)
+                triangles = int(per_edge.sum()) // 6
+                cached = ClusteringReport(
+                    local=local,
+                    triangles_per_vertex=tallies,
+                    average=float(local.mean()) if local.size else 0.0,
+                    transitivity=metrics.transitivity(graph, triangles),
+                    wedges=wedges,
+                    triangles=triangles,
+                )
+                self._workload_cache["clustering"] = cached
+            return cached
+
+    def common_neighbors(self, u: int, v: int | None = None, *, k: int | None = None):
+        """Common-neighbor link-prediction scores from vertex ``u``.
+
+        * ``common_neighbors(u, v)`` → the score ``|N(u) ∩ N(v)|``;
+        * ``common_neighbors(u)`` → every candidate within two hops of
+          ``u`` that is not already a neighbor, as ``(vertex, score)``
+          pairs in ascending vertex order;
+        * ``common_neighbors(u, k=10)`` → the top-``k`` of those, best
+          score first (ties broken by ascending vertex).
+
+        Scores run through the same
+        :class:`~repro.core.kernels.EdgeSupportKernel` as :meth:`support`
+        — the candidate pairs are just an ad-hoc edge list joined against
+        the resident symmetric structures.
+        """
+        with self._lock:
+            self._check_query_vertex(u)
+            if v is not None:
+                if k is not None:
+                    raise GraphError(
+                        "common_neighbors takes either a target vertex v "
+                        "or a top-k, not both"
+                    )
+                self._check_query_vertex(v)
+                scores = self._pair_scores(
+                    np.array([u], dtype=np.int64), np.array([v], dtype=np.int64)
+                )
+                return int(scores[0])
+            candidates = self._candidate_scores(u)
+            if k is None:
+                return list(candidates)
+            if k < 1:
+                raise GraphError(f"k must be >= 1, got {k}")
+            ranked = sorted(candidates, key=lambda item: (-item[1], item[0]))
+            return ranked[:k]
 
     # ------------------------------------------------------------------
     # Incremental updates (the vectorized fast path)
@@ -625,7 +808,9 @@ class TCIMSession:
             self._num_vertices, self._sym(), delta_edges, self.config
         )
         try:
-            incremental.set_bits(self._sym(), *_both_directions(delta_edges))
+            sym_delta = incremental.set_bits(
+                self._sym(), *_both_directions(delta_edges)
+            )
         except Exception:
             # The fresh edges were absent from the base, so their bits
             # were all zero: clearing both directions restores the
@@ -634,7 +819,7 @@ class TCIMSession:
             raise
         self._edge_set.update(fresh)
         self._triangles += outcome.triangles
-        self._commit_mutation(delta_edges, insert=True)
+        self._commit_mutation(delta_edges, insert=True, sym_delta=sym_delta)
         return outcome, len(fresh)
 
     def _delete_batch(self, canonical: np.ndarray):
@@ -649,7 +834,7 @@ class TCIMSession:
         # the session consistent.
         delta_edges = np.asarray(present, dtype=np.int64)
         sym = self._sym()
-        incremental.clear_bits(sym, *_both_directions(delta_edges))
+        sym_delta = incremental.clear_bits(sym, *_both_directions(delta_edges))
         try:
             outcome = incremental.symmetric_delta(
                 self._num_vertices, sym, delta_edges, self.config
@@ -659,7 +844,7 @@ class TCIMSession:
             raise
         self._edge_set.difference_update(present)
         self._triangles -= outcome.triangles
-        self._commit_mutation(delta_edges, insert=False)
+        self._commit_mutation(delta_edges, insert=False, sym_delta=sym_delta)
         return outcome, len(present)
 
     def _sym(self) -> SlicedMatrix:
@@ -722,6 +907,214 @@ class TCIMSession:
             )
         return self._join_plan
 
+    def _ensure_sym_edges(self) -> tuple[np.ndarray, np.ndarray]:
+        """The symmetric oriented edge list, maintained across updates.
+
+        Callers hold ``self._lock``.  Built lazily from the graph, then
+        advanced per committed batch by :meth:`_patch_sym_plan` (CSR
+        order — rows ascending, neighbors ascending — matching what the
+        symmetric slice structure was built from).
+        """
+        if self._sym_edge_arrays is None:
+            self._sym_edge_arrays = oriented_edges(self.graph, "symmetric")
+        return self._sym_edge_arrays
+
+    def _ensure_sym_plan(self):
+        """Compile (once) the symmetric join plan all workloads share.
+
+        Callers hold ``self._lock``.  The defensive ``matches`` check
+        covers rolled-back update batches: those bump the symmetric
+        structure's version (mutate + restore) without a commit, so a
+        resident plan can be version-stale while still describing the
+        same graph — rebuild rather than serve it.
+        """
+        if not self._use_workload_plan:
+            return None
+        sym = self._sym()
+        if self._sym_plan is not None and not self._sym_plan.matches(sym, sym):
+            self._sym_plan = None
+        if self._sym_plan is None:
+            self._sym_plan = joinplan.build_join_plan(
+                sym, sym, *self._ensure_sym_edges()
+            )
+        return self._sym_plan
+
+    def _supports_run(self) -> tuple[np.ndarray, EventCounts, CacheStatistics]:
+        """Per-directed-edge supports over the full symmetric edge list.
+
+        Callers hold ``self._lock``.  One
+        :class:`~repro.core.kernels.EdgeSupportKernel` pass (sharded
+        when ``config.num_arrays > 1``) through the resident symmetric
+        plan; cached until the graph changes.  ``value[i]`` is the
+        support of directed edge ``i`` of :meth:`_ensure_sym_edges`.
+        """
+        cached = self._workload_cache.get("supports")
+        if cached is not None:
+            return cached
+        sym = self._sym()
+        sources, destinations = self._ensure_sym_edges()
+        if sources.size == 0:
+            run = (np.zeros(0, dtype=np.int64), EventCounts(), CacheStatistics())
+        elif self.config.num_arrays > 1:
+            run = self._sharded_supports(sym, sources, destinations)
+        else:
+            row_region = int(sym.row_valid_counts().max(initial=0))
+            column_capacity = self.config.capacity_slices - row_region
+            if column_capacity < 1:
+                raise ArchitectureError(
+                    f"array too small: row region needs {row_region} slices "
+                    f"but capacity is {self.config.capacity_slices}"
+                )
+            result = kernels.execute_workload(
+                kernels.EdgeSupportKernel(),
+                None,
+                sym,
+                sym,
+                "symmetric",
+                column_capacity,
+                self.config.policy,
+                self.config.seed,
+                edges=(sources, destinations),
+                row_writes=sym.num_valid_slices,
+                plan=self._ensure_sym_plan(),
+            )
+            run = (result.value, EventCounts(**result.events), result.cache_stats)
+        self._workload_cache["supports"] = run
+        return run
+
+    def _sharded_supports(
+        self, sym: SlicedMatrix, sources: np.ndarray, destinations: np.ndarray
+    ) -> tuple[np.ndarray, EventCounts, CacheStatistics]:
+        """One support pass split across ``config.num_arrays`` arrays.
+
+        Mirrors :func:`repro.core.sharding.execute_sharded`'s capacity
+        and accounting model — equal per-array slice budgets, a private
+        row region and cache trace per shard — with each shard running
+        the per-edge kernel over its :meth:`~repro.core.plan.JoinPlan.subset`
+        of the resident symmetric plan.
+        """
+        config = self.config
+        per_array_capacity = config.capacity_slices // config.num_arrays
+        if per_array_capacity < 2:
+            raise ArchitectureError(
+                f"array of {config.capacity_slices} slices split "
+                f"{config.num_arrays} ways leaves {per_array_capacity} "
+                "slices per array; need at least 2"
+            )
+        shard_plan = plan_shards(
+            None,
+            "symmetric",
+            config.num_arrays,
+            config.shard_by,
+            sources=sources,
+        )
+        sym_plan = self._ensure_sym_plan()
+        per_edge = np.zeros(sources.size, dtype=np.int64)
+        events = EventCounts()
+        cache_stats = CacheStatistics()
+        for shard_id, positions in enumerate(shard_plan.assignments):
+            if positions.size == 0:
+                continue
+            shard_sources = sources[positions]
+            _, touched_counts = sym.row_slice_ranges(np.unique(shard_sources))
+            row_region = int(touched_counts.max(initial=0))
+            column_capacity = per_array_capacity - row_region
+            if column_capacity < 1:
+                raise ArchitectureError(
+                    f"shard {shard_id}: per-array capacity "
+                    f"{per_array_capacity} slices cannot hold its row "
+                    f"region ({row_region} slices) plus a column cache; "
+                    "use fewer arrays or a larger array"
+                )
+            result = kernels.execute_workload(
+                kernels.EdgeSupportKernel(),
+                None,
+                sym,
+                sym,
+                "symmetric",
+                column_capacity,
+                config.policy,
+                config.seed,
+                edges=(shard_sources, destinations[positions]),
+                row_writes=int(touched_counts.sum()),
+                plan=sym_plan.subset(positions) if sym_plan is not None else None,
+            )
+            per_edge[positions] = result.value
+            events = events.merge(EventCounts(**result.events))
+            cache_stats = cache_stats.merge(result.cache_stats)
+        return per_edge, events, cache_stats
+
+    def _pair_scores(
+        self, sources: np.ndarray, destinations: np.ndarray
+    ) -> np.ndarray:
+        """Support scores of an ad-hoc (not-necessarily-edge) pair list.
+
+        Callers hold ``self._lock``.  The resident plan only covers the
+        graph's own edge list, so these queries run plan-free — still
+        through the same kernel and structures.
+        """
+        sym = self._sym()
+        _, touched_counts = sym.row_slice_ranges(np.unique(sources))
+        row_region = int(touched_counts.max(initial=0))
+        column_capacity = self.config.capacity_slices - row_region
+        if column_capacity < 1:
+            raise ArchitectureError(
+                f"array too small: row region needs {row_region} slices "
+                f"but capacity is {self.config.capacity_slices}"
+            )
+        result = kernels.execute_workload(
+            kernels.EdgeSupportKernel(),
+            None,
+            sym,
+            sym,
+            "symmetric",
+            column_capacity,
+            self.config.policy,
+            self.config.seed,
+            edges=(sources, destinations),
+            row_writes=int(touched_counts.sum()),
+        )
+        return result.value
+
+    def _candidate_scores(self, u: int) -> list[tuple[int, int]]:
+        """Two-hop common-neighbor candidates of ``u`` with scores.
+
+        Callers hold ``self._lock``.  Candidates are vertices reachable
+        in exactly two hops that are not ``u`` and not already adjacent
+        to it, ascending; cached per vertex until the graph changes.
+        """
+        key = ("common_neighbors", u)
+        cached = self._workload_cache.get(key)
+        if cached is None:
+            graph = self.graph
+            neighbors = graph.neighbors(u)
+            if neighbors.size:
+                two_hop = np.unique(
+                    np.concatenate(
+                        [graph.neighbors(int(w)) for w in neighbors.tolist()]
+                    )
+                )
+                keep = (two_hop != u) & ~np.isin(two_hop, neighbors)
+                candidates = two_hop[keep]
+            else:
+                candidates = np.empty(0, dtype=np.int64)
+            if candidates.size:
+                scores = self._pair_scores(
+                    np.full(candidates.size, u, dtype=np.int64),
+                    candidates.astype(np.int64),
+                )
+                cached = list(zip(candidates.tolist(), scores.tolist()))
+            else:
+                cached = []
+            self._workload_cache[key] = cached
+        return cached
+
+    def _check_query_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self._num_vertices:
+            raise GraphError(
+                f"vertex {vertex} out of range [0, {self._num_vertices})"
+            )
+
     def _full_run(self) -> TCIMRunResult:
         if self._run is None:
             self._prepare()
@@ -737,7 +1130,9 @@ class TCIMSession:
             self._slice_stats = self._run.slice_stats
         return self._run
 
-    def _commit_mutation(self, delta_edges: np.ndarray, insert: bool) -> None:
+    def _commit_mutation(
+        self, delta_edges: np.ndarray, insert: bool, sym_delta=None
+    ) -> None:
         """Record one committed delta batch against the resident caches.
 
         Callers hold ``self._lock`` and run this only after a segment has
@@ -750,6 +1145,12 @@ class TCIMSession:
         engine query needs them.  Deferring keeps pure update streams at
         pure delta-join cost while read-after-write pays one patch pass
         instead of a re-slice and plan recompile.
+
+        ``sym_delta`` is the :class:`~repro.core.incremental.StructureDelta`
+        the committed batch left on the symmetric structure.  Unlike the
+        oriented residents, the symmetric structure already mutated
+        eagerly — so a resident symmetric plan must be patched *now*
+        (against this exact delta) or dropped; it cannot be queued.
         """
         self._generation += 1
         self._graph = None if self._edge_set is not None else self._graph
@@ -757,6 +1158,8 @@ class TCIMSession:
         self._run = None
         self._report = None
         self._baseline_cache.clear()
+        self._workload_cache.clear()
+        self._patch_sym_plan(delta_edges, insert, sym_delta)
         # Shard-plan positions index the old oriented edge list.
         self._plan = None
         if (
@@ -772,6 +1175,48 @@ class TCIMSession:
         # cheaper to re-slice than to splice batch by batch.
         if self._pending_edges > max(1024, self.num_edges // 4):
             self._drop_structural_caches()
+
+    def _patch_sym_plan(
+        self, delta_edges: np.ndarray, insert: bool, sym_delta
+    ) -> None:
+        """Advance the resident symmetric plan past one committed batch.
+
+        Callers hold ``self._lock``.  The symmetric structure serves as
+        both join sides, so one structure delta covers row and column.
+        Any failure drops the plan and edge arrays (rebuildable from the
+        graph) rather than leaving them stale.
+        """
+        if self._sym_plan is None and self._sym_edge_arrays is None:
+            return
+        if sym_delta is None or self._sym_edge_arrays is None:
+            self._drop_sym_plan()
+            return
+        try:
+            sym = self._sym()
+            new_edges = joinplan.merge_oriented_edges(
+                *self._sym_edge_arrays,
+                delta_edges,
+                "symmetric",
+                self._num_vertices,
+                insert,
+            )
+            if self._sym_plan is not None:
+                self._sym_plan = joinplan.patch_join_plan(
+                    self._sym_plan,
+                    sym,
+                    sym,
+                    *self._sym_edge_arrays,
+                    *new_edges,
+                    sym_delta,
+                    sym_delta,
+                )
+            self._sym_edge_arrays = new_edges
+        except Exception:
+            self._drop_sym_plan()
+
+    def _drop_sym_plan(self) -> None:
+        self._sym_plan = None
+        self._sym_edge_arrays = None
 
     def _flush_patches(self) -> None:
         """Fold every pending committed batch into the resident caches.
@@ -847,11 +1292,13 @@ class TCIMSession:
         self._generation += 1
         self._graph = None if self._edge_set is not None else self._graph
         self._drop_structural_caches()
+        self._drop_sym_plan()
         self._plan = None
         self._slice_stats = None
         self._run = None
         self._report = None
         self._baseline_cache.clear()
+        self._workload_cache.clear()
 
 
 def _both_directions(delta_edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:

@@ -69,6 +69,16 @@ class PimTimingParams:
     #: per-edge index machinery it replaces (see EXPERIMENTS.md, "Join
     #: plan pricing").
     plan_record_latency_s: float = 4e-9
+    #: Draining one per-pair popcount out of the pipelined bit counter
+    #: for host-side reduction.  The counting workload accumulates
+    #: in-place and never pays this; per-edge/per-vertex workloads
+    #: (support, truss, clustering, common-neighbors) read every pair's
+    #: count — a sequential buffer read, same magnitude as a plan-record
+    #: access.
+    workload_read_latency_s: float = 2e-9
+    #: Writing one workload result record (a per-edge support or a
+    #: per-vertex tally) back through the data buffer.
+    workload_write_latency_s: float = 4e-9
     #: Sub-arrays operating concurrently.  The paper's dataflow streams the
     #: valid pairs of one edge through a shared accumulating bit counter,
     #: so the conservative default is serial issue.
@@ -87,6 +97,10 @@ class PimEnergyParams:
     per_edge_energy_j: float = 40e-12
     #: Energy of one plan-record buffer access (compile write or reuse read).
     plan_record_energy_j: float = 4e-12
+    #: Energy of draining one per-pair popcount for host-side reduction.
+    workload_read_energy_j: float = 2e-12
+    #: Energy of writing one workload result record.
+    workload_write_energy_j: float = 4e-12
     #: Array leakage power (W).
     leakage_power_w: float = 6.4e-3
     #: Power of the single-core host CPU + DRAM feeding the accelerator
@@ -263,6 +277,77 @@ class PimPerformanceModel:
                 "bitcount_drain": baseline.latency_breakdown_s["bitcount_drain"],
                 "control": control_time,
             },
+            energy_breakdown_j=breakdown_j,
+        )
+
+    WORKLOAD_KINDS = ("count", "support", "truss", "cluster", "common_neighbors")
+
+    def evaluate_workload(
+        self,
+        events: EventCounts,
+        kind: str,
+        *,
+        num_edges: int = 0,
+        num_vertices: int = 0,
+        num_rows_processed: int | None = None,
+        plan_reuse: bool = False,
+    ) -> PerfReport:
+        """Price one bulk-bitwise workload run (see :mod:`repro.core.kernels`).
+
+        Every workload executes the same array dataflow — the slice
+        WRITEs, ANDs, and popcounts of ``events`` price identically to a
+        counting run (``plan_reuse=True`` uses the resident-plan control
+        figures of :meth:`evaluate_plan_reuse`).  What differs is the
+        host boundary:
+
+        * ``count`` accumulates in the pipelined bit counter and exposes
+          only the final drain — no extra traffic;
+        * per-edge workloads (``support``, ``truss``,
+          ``common_neighbors``) drain one popcount per matched pair
+          (``workload_read_*`` each) and write one support record per
+          edge (``workload_write_*``, ``num_edges`` records);
+        * ``cluster`` additionally reduces onto vertices, writing
+          ``num_vertices`` tally records instead.
+
+        Leakage and host energy are recomputed over the extended
+        runtime; the extra terms appear in the breakdowns as
+        ``workload_read`` / ``workload_write``.
+        """
+        if kind not in self.WORKLOAD_KINDS:
+            raise ArchitectureError(
+                f"unknown workload kind {kind!r}; "
+                f"expected one of {self.WORKLOAD_KINDS}"
+            )
+        timing, energy = self.timing, self.energy
+        base = (
+            self.evaluate_plan_reuse(events, num_rows_processed)
+            if plan_reuse
+            else self.evaluate(events, num_rows_processed)
+        )
+        if kind == "count":
+            return base
+        num_records = num_vertices if kind == "cluster" else num_edges
+        read_time = events.bitcount_operations * timing.workload_read_latency_s
+        write_time = num_records * timing.workload_write_latency_s
+        read_energy = events.bitcount_operations * energy.workload_read_energy_j
+        write_energy = num_records * energy.workload_write_energy_j
+        latency = base.latency_s + read_time + write_time
+        breakdown_s = dict(base.latency_breakdown_s)
+        breakdown_s["workload_read"] = read_time
+        breakdown_s["workload_write"] = write_time
+        breakdown_j = dict(base.energy_breakdown_j)
+        breakdown_j["workload_read"] = read_energy
+        breakdown_j["workload_write"] = write_energy
+        breakdown_j["leakage"] = energy.leakage_power_w * latency
+        breakdown_j["host"] = energy.host_power_w * latency
+        array_energy = (
+            sum(breakdown_j.values()) - breakdown_j["host"]
+        )
+        return PerfReport(
+            latency_s=latency,
+            array_energy_j=array_energy,
+            system_energy_j=array_energy + breakdown_j["host"],
+            latency_breakdown_s=breakdown_s,
             energy_breakdown_j=breakdown_j,
         )
 

@@ -10,13 +10,16 @@ Sub-commands::
     tcim serve [--port N] [--max-sessions N]  # multi-session JSON service
     tcim device [--llg]                   # Table I device characterisation
     tcim validate GRAPH                   # cross-check all implementations
-    tcim truss GRAPH                      # k-truss decomposition
+    tcim truss GRAPH [--k K]              # k-truss decomposition
+    tcim cluster GRAPH [--top N]          # clustering coefficients
+    tcim common-neighbors GRAPH U [V]     # link-prediction scores
     tcim approx GRAPH [--samples N]       # wedge-sampling estimate
 
 ``GRAPH`` is either a path to an edge-list/.npz file or a dataset spec of
 the form ``dataset:<key>[@<scale>]``, e.g. ``dataset:roadnet-pa@0.02``.
 
-``count``, ``simulate`` and ``stream`` share the accelerator flags
+``count``, ``simulate``, ``stream``, and the workload commands
+(``truss``, ``cluster``, ``common-neighbors``) share the accelerator flags
 (:func:`add_accelerator_args`): ``--engine``, ``--num-arrays``,
 ``--shard-by``, ``--workers``, ``--no-plan`` (disable the resident join
 plan), plus ``--config FILE`` (a TOML or JSON file of
@@ -247,18 +250,94 @@ def _cmd_slice_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_truss(args: argparse.Namespace) -> int:
-    from repro.analysis.truss import max_trussness, truss_decomposition
-
-    graph = resolve_graph(args.graph)
-    trussness = truss_decomposition(graph)
+    session = open_session(args.graph, _accelerator_config(args))
+    trussness = session.truss()
     histogram: dict[int, int] = {}
     for value in trussness.values():
         histogram[value] = histogram.get(value, 0) + 1
+    maximum = max(trussness.values(), default=0)
+    k_truss_edges = (
+        session.truss(args.k).num_edges if args.k is not None else None
+    )
+    if args.json:
+        payload = {
+            "num_edges": len(trussness),
+            "max_trussness": maximum,
+            "histogram": {str(k): histogram[k] for k in sorted(histogram)},
+        }
+        if args.k is not None:
+            payload["k"] = args.k
+            payload["k_truss_edges"] = k_truss_edges
+        _emit_json(payload)
+        return 0
     table = Table(["k", "edges with trussness k"], title="Truss decomposition")
     for k in sorted(histogram):
         table.add_row([k, format_count(histogram[k])])
     print(table.render())
-    print(f"maximum trussness: {max_trussness(graph)}")
+    print(f"maximum trussness: {maximum}")
+    if args.k is not None:
+        print(f"{args.k}-truss edges: {format_count(k_truss_edges)}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    session = open_session(args.graph, _accelerator_config(args))
+    report = session.clustering()
+    if args.json:
+        _emit_json(report.to_mapping())
+        return 0
+    table = Table(["metric", "value"], title="Clustering metrics")
+    table.add_row(["vertices", format_count(session.num_vertices)])
+    table.add_row(["triangles", format_count(report.triangles)])
+    table.add_row(["wedges", format_count(report.wedges)])
+    table.add_row(["transitivity", f"{report.transitivity:.6f}"])
+    table.add_row(["average clustering", f"{report.average:.6f}"])
+    print(table.render())
+    if args.top > 0:
+        tallies = report.triangles_per_vertex
+        order = tallies.argsort()[::-1][: args.top]
+        hubs = Table(
+            ["vertex", "triangles", "local clustering"],
+            title=f"Top {args.top} triangle hubs",
+        )
+        for vertex in order.tolist():
+            hubs.add_row(
+                [
+                    vertex,
+                    format_count(int(tallies[vertex])),
+                    f"{report.local[vertex]:.4f}",
+                ]
+            )
+        print(hubs.render())
+    return 0
+
+
+def _cmd_common_neighbors(args: argparse.Namespace) -> int:
+    session = open_session(args.graph, _accelerator_config(args))
+    if args.v is not None:
+        score = session.common_neighbors(args.u, args.v)
+        if args.json:
+            _emit_json({"u": args.u, "v": args.v, "score": score})
+            return 0
+        print(f"common neighbors of {args.u} and {args.v}: {score}")
+        return 0
+    ranked = session.common_neighbors(args.u, k=args.k)
+    if args.json:
+        _emit_json(
+            {
+                "u": args.u,
+                "k": args.k,
+                "candidates": [[vertex, score] for vertex, score in ranked],
+            }
+        )
+        return 0
+    table = Table(
+        ["candidate", "common neighbors"],
+        title=f"Top {args.k} link-prediction candidates for vertex {args.u}",
+    )
+    for vertex, score in ranked:
+        table.add_row([vertex, format_count(score)])
+    print(table.render())
     return 0
 
 
@@ -650,8 +729,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="relabel vertices before slicing (data-mapping study)",
     )
 
-    truss = subparsers.add_parser("truss", help="k-truss decomposition")
+    truss = subparsers.add_parser(
+        "truss",
+        help="k-truss decomposition",
+        description=(
+            "Truss decomposition seeded from engine-computed edge "
+            "supports (one per-edge workload pass over the resident "
+            "session; the accelerator flags configure it)."
+        ),
+    )
     truss.add_argument("graph")
+    truss.add_argument(
+        "--k", type=int, default=None,
+        help="also report the edge count of the k-truss subgraph",
+    )
+    add_accelerator_args(truss)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="clustering coefficients and transitivity",
+        description=(
+            "Clustering metrics from the session's per-vertex triangle "
+            "tally workload (same engine pass as truss supports)."
+        ),
+    )
+    cluster.add_argument("graph")
+    cluster.add_argument(
+        "--top", type=int, default=5,
+        help="list the N vertices with most triangles (0 to skip)",
+    )
+    add_accelerator_args(cluster)
+
+    common = subparsers.add_parser(
+        "common-neighbors",
+        help="common-neighbor link-prediction scores",
+        description=(
+            "Score candidate links by shared neighbors via the session's "
+            "support kernel: with V, one pair score; without, the top-k "
+            "two-hop candidates of U."
+        ),
+    )
+    common.add_argument("graph")
+    common.add_argument("u", type=int, help="source vertex")
+    common.add_argument(
+        "v", type=int, nargs="?", default=None,
+        help="optional target vertex (score this one pair)",
+    )
+    common.add_argument(
+        "--k", type=int, default=10,
+        help="how many top candidates to list (without V)",
+    )
+    add_accelerator_args(common)
 
     approx = subparsers.add_parser("approx", help="wedge-sampling estimate")
     approx.add_argument("graph")
@@ -745,6 +873,8 @@ _COMMANDS = {
     "device": _cmd_device,
     "validate": _cmd_validate,
     "truss": _cmd_truss,
+    "cluster": _cmd_cluster,
+    "common-neighbors": _cmd_common_neighbors,
     "approx": _cmd_approx,
 }
 

@@ -61,6 +61,7 @@ __all__ = [
     "execute_batched",
     "join_batches",
     "pair_popcount",
+    "pair_popcounts",
     "oriented_edges",
     "DEFAULT_BATCH_CANDIDATES",
 ]
@@ -183,6 +184,54 @@ def pair_popcount(
         np.bitwise_count(a, out=c)
         accumulator += int(c.sum())
     return accumulator
+
+
+def pair_popcounts(
+    row_data: np.ndarray,
+    col_data: np.ndarray,
+    row_positions: np.ndarray,
+    col_positions: np.ndarray,
+    workspace: _Workspace | None = None,
+) -> np.ndarray:
+    """Per-pair gather → AND → popcount: one int64 count per matched pair.
+
+    The vector-valued sibling of :func:`pair_popcount`: instead of
+    accumulating one scalar over the whole position list, it returns
+    ``popcount(row_data[r] & col_data[c])`` for every pair — the quantity
+    the per-edge and per-vertex workload kernels
+    (:mod:`repro.core.kernels`) reduce over edge runs.  Summing the
+    result equals :func:`pair_popcount` exactly; both walk the same
+    chunked word-view gather.
+    """
+    total_pairs = int(row_positions.size)
+    result = np.zeros(total_pairs, dtype=np.int64)
+    if total_pairs == 0:
+        return result
+    wide_row = bitops.word_view(row_data)
+    wide_col = bitops.word_view(col_data)
+    if wide_row is not None and wide_col is not None:
+        row_data, col_data = wide_row, wide_col
+    lanes = row_data.shape[1]
+    if lanes == 0:
+        return result
+    if workspace is None:
+        workspace = _Workspace()
+    chunk_rows = max(1, CONJUNCTION_CHUNK_LANES // lanes)
+    left, right, counts = workspace.buffers(
+        min(chunk_rows, total_pairs), lanes, row_data.dtype
+    )
+    for start in range(0, total_pairs, chunk_rows):
+        stop = min(start + chunk_rows, total_pairs)
+        n = stop - start
+        a = left[:n]
+        b = right[:n]
+        c = counts[:n]
+        np.take(row_data, row_positions[start:stop], axis=0, out=a)
+        np.take(col_data, col_positions[start:stop], axis=0, out=b)
+        np.bitwise_and(a, b, out=a)
+        np.bitwise_count(a, out=c)
+        c.sum(axis=1, dtype=np.int64, out=result[start:stop])
+    return result
 
 
 def join_batches(
@@ -333,116 +382,30 @@ def execute_batched(
     rather than silently gathering the wrong slices.  Results are
     bit-identical to the plan-free path, events and cache statistics
     included.
+
+    Triangle counting is one instance of the gather → AND → popcount
+    family: this function is a :class:`repro.core.kernels.CountKernel`
+    delegation to :func:`repro.core.kernels.execute_workload`, which
+    runs the same dataflow for per-edge-support and per-vertex-tally
+    workloads too.
     """
-    if orientation not in ("upper", "symmetric"):
-        raise ArchitectureError(
-            f"orientation must be 'upper' or 'symmetric', got {orientation!r}"
-        )
-    if batch_candidates < 1:
-        batch_candidates = 1
-    if plan is not None:
-        if edges is None and graph is not None:
-            # The oriented edge count is known without materialising the
-            # list; a plan compiled for a different edge list must not be
-            # trusted for its event accounting (mirrors the sharded
-            # orchestrator's check).
-            expected = (
-                graph.num_edges
-                if orientation == "upper"
-                else 2 * graph.num_edges
-            )
-            if plan.num_edges != expected:
-                raise ArchitectureError(
-                    f"join plan covers {plan.num_edges} edges but the "
-                    f"oriented graph has {expected}; compile a plan for "
-                    "this edge list"
-                )
-        return _execute_planned(
-            row_sliced, col_sliced, column_capacity, policy, seed, plan,
-            edges=edges, row_writes=row_writes,
-        )
-    if edges is None:
-        sources, destinations = oriented_edges(graph, orientation)
-        # Rows without successors carry no valid slices, so the per-row sum
-        # of the legacy loop equals the total valid-slice count.
-        row_writes = row_sliced.num_valid_slices
-    else:
-        sources, destinations = edges
-        sources = np.asarray(sources, dtype=np.int64)
-        destinations = np.asarray(destinations, dtype=np.int64)
-        if row_writes is None:
-            # A shard loads only the rows it owns edges for, once each.
-            _, touched_counts = row_sliced.row_slice_ranges(np.unique(sources))
-            row_writes = int(touched_counts.sum())
-    num_edges = int(sources.size)
-    events = _base_events(num_edges, row_sliced.slices_per_row, row_writes)
-    # The cache key of a column-slice access is exactly that slice's global
-    # key in the column structure, whichever side was probed.
-    col_global = col_sliced.global_keys()
-    accumulator = 0
-    matches = 0
-    trace_parts: list[np.ndarray] = []
-    workspace = _Workspace()
-    for row_hit, col_hit, _ in join_batches(
-        row_sliced, col_sliced, sources, destinations, batch_candidates
-    ):
-        accumulator += pair_popcount(
-            row_sliced.data, col_sliced.data, row_hit, col_hit, workspace
-        )
-        trace_parts.append(col_global[col_hit])
-        matches += int(row_hit.size)
-    events["and_operations"] = matches
-    events["bitcount_operations"] = matches
-    trace = (
-        np.concatenate(trace_parts) if trace_parts else np.empty(0, dtype=np.int64)
-    )
-    cache_stats = simulate_key_trace(
-        trace, column_capacity, policy=policy, seed=seed
-    )
-    events["col_slice_writes"] = cache_stats.writes
-    events["col_slice_hits"] = cache_stats.hits
-    return accumulator, events, cache_stats
+    from repro.core import kernels  # engine → kernels is lazy (cycle)
 
-
-def _execute_planned(
-    row_sliced: SlicedMatrix,
-    col_sliced: SlicedMatrix,
-    column_capacity: int,
-    policy,
-    seed: int,
-    plan,
-    edges: tuple[np.ndarray, np.ndarray] | None,
-    row_writes: int | None,
-) -> tuple[int, dict, CacheStatistics]:
-    """The resident-plan fast path: gather → AND → popcount, nothing else."""
-    stale = plan.staleness(row_sliced, col_sliced)
-    if stale:
-        raise ArchitectureError(f"stale join plan: {stale}; rebuild or patch it")
-    if edges is None:
-        num_edges = plan.num_edges
-        row_writes = row_sliced.num_valid_slices
-    else:
-        num_edges = int(np.asarray(edges[0]).size)
-        if num_edges != plan.num_edges:
-            raise ArchitectureError(
-                f"join plan covers {plan.num_edges} edges but the run "
-                f"supplies {num_edges}; compile a plan for this edge list"
-            )
-        if row_writes is None:
-            sources = np.asarray(edges[0], dtype=np.int64)
-            _, touched_counts = row_sliced.row_slice_ranges(np.unique(sources))
-            row_writes = int(touched_counts.sum())
-    events = _base_events(num_edges, row_sliced.slices_per_row, row_writes)
-    accumulator = pair_popcount(
-        row_sliced.data, col_sliced.data, plan.row_positions, plan.col_positions
+    result = kernels.execute_workload(
+        kernels.CountKernel(),
+        graph,
+        row_sliced,
+        col_sliced,
+        orientation,
+        column_capacity,
+        policy,
+        seed,
+        batch_candidates=batch_candidates,
+        edges=edges,
+        row_writes=row_writes,
+        plan=plan,
     )
-    matches = plan.num_pairs
-    events["and_operations"] = matches
-    events["bitcount_operations"] = matches
-    cache_stats = plan.cache_statistics(column_capacity, policy, seed)
-    events["col_slice_writes"] = cache_stats.writes
-    events["col_slice_hits"] = cache_stats.hits
-    return accumulator, events, cache_stats
+    return result.accumulator, result.events, result.cache_stats
 
 
 def _base_events(num_edges: int, slices_per_row: int, row_writes: int) -> dict:

@@ -7,8 +7,12 @@ One JSON object per line, over stdin/stdout or TCP.  Requests::
     {"id": 3, "op": "apply",    "graph": "g.txt", "ops": [["+", 0, 1], ["-", 2, 3]]}
     {"id": 4, "op": "baseline", "graph": "g.txt", "name": "forward"}
     {"id": 5, "op": "slice-stats", "graph": "g.txt"}
-    {"id": 6, "op": "report"}
-    {"id": 7, "op": "ping"}
+    {"id": 6, "op": "support",  "graph": "g.txt"}
+    {"id": 7, "op": "truss",    "graph": "g.txt", "k": 3}
+    {"id": 8, "op": "cluster",  "graph": "g.txt"}
+    {"id": 9, "op": "common_neighbors", "graph": "g.txt", "u": 0, "k": 10}
+    {"id": 10, "op": "report"}
+    {"id": 11, "op": "ping"}
 
 Responses echo the request ``id`` (clients may pipeline; responses come
 back in *completion* order, so correlate by id)::
@@ -121,12 +125,50 @@ async def _op_apply(service, graph, config, request):
     return report.to_mapping()
 
 
+def _optional_int(request: dict, op: str, name: str):
+    value = request.get(name)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"op {op!r}: {name!r} must be an integer")
+    return value
+
+
+async def _op_support(service, graph, config, _request):
+    return await service.support(graph, config)
+
+
+async def _op_truss(service, graph, config, request):
+    return await service.truss(graph, _optional_int(request, "truss", "k"), config)
+
+
+async def _op_cluster(service, graph, config, _request):
+    return await service.cluster(graph, config)
+
+
+async def _op_common_neighbors(service, graph, config, request):
+    u = _optional_int(request, "common_neighbors", "u")
+    if u is None:
+        raise ValueError("op 'common_neighbors' needs a 'u' vertex integer")
+    v = _optional_int(request, "common_neighbors", "v")
+    k = _optional_int(request, "common_neighbors", "k")
+    if v is None and k is None:
+        # A bare probe defaults to the top-10 candidates rather than the
+        # full (possibly huge) two-hop list.
+        k = 10
+    return await service.common_neighbors(graph, u, v, k, config)
+
+
 _GRAPH_OPS = {
     "count": _op_count,
     "simulate": _op_simulate,
     "slice-stats": _op_slice_stats,
     "baseline": _op_baseline,
     "apply": _op_apply,
+    "support": _op_support,
+    "truss": _op_truss,
+    "cluster": _op_cluster,
+    "common_neighbors": _op_common_neighbors,
 }
 
 

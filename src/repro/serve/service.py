@@ -5,10 +5,14 @@
 :class:`~repro.api.TCIMSession` objects:
 
 * **reads** (:meth:`Service.count`, :meth:`Service.simulate`,
-  :meth:`Service.slice_stats`, :meth:`Service.baseline`) are served from
-  each session's resident caches; identical in-flight reads against the
-  same session *coalesce* onto one executor job (keyed by the session's
-  mutation generation, so a read never coalesces across an update);
+  :meth:`Service.slice_stats`, :meth:`Service.baseline`, and the
+  workload queries :meth:`Service.support`, :meth:`Service.truss`,
+  :meth:`Service.cluster`, :meth:`Service.common_neighbors`) are served
+  from each session's resident caches; identical in-flight reads against
+  the same session *coalesce* onto one executor job (keyed by the
+  session's mutation generation — and, for argument-bearing workloads,
+  per op + arguments — so a read never coalesces across an update or
+  across different arguments);
 * **writes** (:meth:`Service.apply`) serialise per session behind an
   ``asyncio.Lock`` — an apply stream can never interleave with another
   apply on the same graph — while applies on *different* sessions
@@ -246,6 +250,53 @@ class Service:
             partial(self._baseline_work, name=name),
         )
 
+    async def support(self, source, config=None, **overrides) -> dict:
+        """Per-edge triangle supports via the session's workload kernel.
+
+        Returns a JSON-able mapping with the support histogram and
+        totals (the full per-edge map lives in the session; clients
+        wanting individual edges use ``common_neighbors``).
+        """
+        return await self._read(
+            source, config, overrides, "support", self._support_work
+        )
+
+    async def truss(self, source, k=None, config=None, **overrides) -> dict:
+        """Truss decomposition summary (optionally the k-truss edge count).
+
+        Coalescing is keyed per ``k``: two in-flight ``truss(k=3)``
+        queries share one computation, while ``truss()`` and
+        ``truss(k=3)`` run independently.
+        """
+        kind = "truss" if k is None else f"truss:{int(k)}"
+        return await self._read(
+            source, config, overrides, kind, partial(self._truss_work, k=k)
+        )
+
+    async def cluster(self, source, config=None, **overrides) -> dict:
+        """Clustering metrics from the session's per-vertex tally workload."""
+        return await self._read(
+            source, config, overrides, "cluster", self._cluster_work
+        )
+
+    async def common_neighbors(
+        self, source, u: int, v=None, k=None, config=None, **overrides
+    ) -> dict:
+        """Common-neighbor scores from vertex ``u`` (pair score or top-k).
+
+        Coalescing is keyed per ``(u, v, k)`` triple, so repeated
+        identical link-prediction probes against an unchanged session
+        share one kernel run.
+        """
+        kind = f"common_neighbors:{int(u)}:{v}:{k}"
+        return await self._read(
+            source,
+            config,
+            overrides,
+            kind,
+            partial(self._common_neighbors_work, u=u, v=v, k=k),
+        )
+
     async def apply(
         self, source, ops, config=None, *, record: bool = False, **overrides
     ) -> UpdateReport:
@@ -456,6 +507,62 @@ class Service:
     def _baseline_work(self, entry: SessionEntry, name: str) -> int:
         self._warm(entry)
         return entry.session.baseline(name)
+
+    def _support_work(self, entry: SessionEntry) -> dict:
+        self._warm(entry)
+        support = entry.session.support()
+        histogram: dict[str, int] = {}
+        for value in support.values():
+            key = str(value)
+            histogram[key] = histogram.get(key, 0) + 1
+        return {
+            "num_edges": len(support),
+            "total_support": sum(support.values()),
+            "max_support": max(support.values(), default=0),
+            "histogram": histogram,
+        }
+
+    def _truss_work(self, entry: SessionEntry, k) -> dict:
+        self._warm(entry)
+        session = entry.session
+        trussness = session.truss()
+        histogram: dict[str, int] = {}
+        for value in trussness.values():
+            key = str(value)
+            histogram[key] = histogram.get(key, 0) + 1
+        payload = {
+            "num_edges": len(trussness),
+            "max_trussness": max(trussness.values(), default=0),
+            "histogram": histogram,
+        }
+        if k is not None:
+            payload["k"] = int(k)
+            payload["k_truss_edges"] = session.truss(int(k)).num_edges
+        return payload
+
+    def _cluster_work(self, entry: SessionEntry) -> dict:
+        self._warm(entry)
+        return entry.session.clustering().to_mapping()
+
+    def _common_neighbors_work(self, entry: SessionEntry, u, v, k) -> dict:
+        self._warm(entry)
+        session = entry.session
+        if v is not None:
+            return {
+                "u": int(u),
+                "v": int(v),
+                "score": session.common_neighbors(int(u), int(v)),
+            }
+        candidates = session.common_neighbors(
+            int(u), k=None if k is None else int(k)
+        )
+        payload = {
+            "u": int(u),
+            "candidates": [[int(vertex), int(score)] for vertex, score in candidates],
+        }
+        if k is not None:
+            payload["k"] = int(k)
+        return payload
 
     def _apply_work(self, entry: SessionEntry, ops, record: bool) -> UpdateReport:
         self._warm(entry)

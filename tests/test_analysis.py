@@ -72,6 +72,20 @@ class TestClustering:
             transitivity(paper_graph)
         )
 
+    def test_local_clustering_with_precomputed_tallies(self, random_graphs):
+        for graph in random_graphs[:3]:
+            tallies = triangles_per_vertex(graph)
+            assert np.allclose(
+                local_clustering(graph, triangles=tallies),
+                local_clustering(graph),
+            )
+
+    def test_average_clustering_with_precomputed_tallies(self, paper_graph):
+        tallies = triangles_per_vertex(paper_graph)
+        assert average_clustering(
+            paper_graph, triangles=tallies
+        ) == pytest.approx(average_clustering(paper_graph))
+
 
 class TestWedgesAndDegrees:
     def test_wedge_count_star(self):

@@ -258,3 +258,79 @@ class TestFleetPricing:
         report = measured_fleet_report([_events(), _events(and_ops=5)])
         assert report.latency_s > 0
         assert "session1" in report.latency_breakdown_s
+
+
+class TestWorkloadPricing:
+    @pytest.fixture(scope="class")
+    def model(self) -> PimPerformanceModel:
+        return default_pim_model()
+
+    def test_count_is_plain_evaluate(self, model):
+        events = _events()
+        base = model.evaluate(events)
+        workload = model.evaluate_workload(events, "count", num_edges=500)
+        assert workload.latency_s == base.latency_s
+        assert workload.energy_breakdown_j == base.energy_breakdown_j
+
+    def test_per_edge_workloads_add_host_traffic(self, model):
+        events = _events()
+        base = model.evaluate(events)
+        for kind in ("support", "truss", "common_neighbors"):
+            report = model.evaluate_workload(events, kind, num_edges=500)
+            assert report.latency_s > base.latency_s
+            assert report.latency_breakdown_s["workload_read"] == pytest.approx(
+                events.bitcount_operations
+                * model.timing.workload_read_latency_s
+            )
+            assert report.latency_breakdown_s["workload_write"] == pytest.approx(
+                500 * model.timing.workload_write_latency_s
+            )
+
+    def test_cluster_writes_vertex_records(self, model):
+        events = _events()
+        edges = model.evaluate_workload(
+            events, "support", num_edges=500, num_vertices=50
+        )
+        vertices = model.evaluate_workload(
+            events, "cluster", num_edges=500, num_vertices=50
+        )
+        assert vertices.latency_breakdown_s["workload_write"] == pytest.approx(
+            50 * model.timing.workload_write_latency_s
+        )
+        assert vertices.latency_s < edges.latency_s
+
+    def test_breakdowns_still_sum(self, model):
+        report = model.evaluate_workload(_events(), "support", num_edges=500)
+        assert report.latency_s == pytest.approx(
+            sum(report.latency_breakdown_s.values())
+        )
+        assert report.system_energy_j == pytest.approx(
+            sum(report.energy_breakdown_j.values())
+        )
+        assert report.array_energy_j < report.system_energy_j
+
+    def test_leakage_and_host_cover_extended_runtime(self, model):
+        report = model.evaluate_workload(_events(), "support", num_edges=500)
+        assert report.energy_breakdown_j["leakage"] == pytest.approx(
+            model.energy.leakage_power_w * report.latency_s
+        )
+        assert report.energy_breakdown_j["host"] == pytest.approx(
+            model.energy.host_power_w * report.latency_s
+        )
+
+    def test_plan_reuse_variant_is_cheaper(self, model):
+        events = _events()
+        plain = model.evaluate_workload(events, "support", num_edges=500)
+        reused = model.evaluate_workload(
+            events, "support", num_edges=500, plan_reuse=True
+        )
+        assert reused.latency_s < plain.latency_s
+
+    def test_unknown_kind_rejected(self, model):
+        with pytest.raises(ArchitectureError, match="unknown workload kind"):
+            model.evaluate_workload(_events(), "pagerank", num_edges=500)
+
+    def test_kind_registry_is_complete(self):
+        assert PimPerformanceModel.WORKLOAD_KINDS == (
+            "count", "support", "truss", "cluster", "common_neighbors"
+        )

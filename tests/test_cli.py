@@ -105,6 +105,94 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "maximum trussness: 3" in output
 
+    def test_truss_k_flag(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["truss", str(path), "--k", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "maximum trussness: 3" in output
+        assert "3-truss edges: 5" in output
+
+    def test_truss_json(self, capsys, tmp_path, paper_graph):
+        import json as json_module
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["truss", str(path), "--k", "3", "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload == {
+            "num_edges": 5,
+            "max_trussness": 3,
+            "histogram": {"3": 5},
+            "k": 3,
+            "k_truss_edges": 5,
+        }
+
+    def test_cluster(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["cluster", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "Clustering metrics" in output
+        assert "transitivity" in output
+        assert "triangle hubs" in output
+
+    def test_cluster_json(self, capsys, tmp_path, paper_graph):
+        import json as json_module
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["cluster", str(path), "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["triangles"] == 2
+        assert payload["wedges"] == 8
+        assert payload["transitivity"] == pytest.approx(0.75)
+
+    def test_cluster_top_zero_skips_hubs(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["cluster", str(path), "--top", "0"]) == 0
+        assert "triangle hubs" not in capsys.readouterr().out
+
+    def test_common_neighbors_pair(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["common-neighbors", str(path), "0", "3"]) == 0
+        assert "common neighbors of 0 and 3: 2" in capsys.readouterr().out
+
+    def test_common_neighbors_top_k(self, capsys, tmp_path, paper_graph):
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(["common-neighbors", str(path), "0"]) == 0
+        output = capsys.readouterr().out
+        assert "link-prediction candidates for vertex 0" in output
+
+    def test_common_neighbors_json(self, capsys, tmp_path, paper_graph):
+        import json as json_module
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        assert main(
+            ["common-neighbors", str(path), "0", "--k", "5", "--json"]
+        ) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload == {"u": 0, "k": 5, "candidates": [[3, 2]]}
+
+    def test_workloads_share_accelerator_flags(
+        self, capsys, tmp_path, paper_graph
+    ):
+        import json as json_module
+
+        path = tmp_path / "g.txt"
+        write_edge_list(paper_graph, path)
+        baseline = None
+        for flags in ([], ["--num-arrays", "4"], ["--no-plan"]):
+            assert main(["truss", str(path), "--json", *flags]) == 0
+            payload = json_module.loads(capsys.readouterr().out)
+            if baseline is None:
+                baseline = payload
+            assert payload == baseline
+
     def test_approx(self, capsys, tmp_path, paper_graph):
         path = tmp_path / "g.txt"
         write_edge_list(paper_graph, path)

@@ -704,3 +704,163 @@ class TestSecondReviewRegressions:
             k for k in report.fleet.latency_breakdown_s if k.startswith("session")
         ]
         assert len(session_keys) == 1
+
+
+# ----------------------------------------------------------------------
+# Bulk-bitwise workload ops (support / truss / cluster / common_neighbors)
+# ----------------------------------------------------------------------
+class TestWorkloadOps:
+    def _spec(self, tmp_path, graph):
+        from repro.graph.io import write_edge_list
+
+        path = tmp_path / "g.txt"
+        write_edge_list(graph, path)
+        return str(path)
+
+    def test_dispatch(self, tmp_path, paper_graph):
+        spec = self._spec(tmp_path, paper_graph)
+
+        async def main():
+            async with open_service(max_sessions=2) as service:
+                support = await handle_request(
+                    service, {"id": 1, "op": "support", "graph": spec}
+                )
+                assert support["ok"]
+                assert support["result"] == {
+                    "num_edges": 5,
+                    "total_support": 6,
+                    "max_support": 2,
+                    "histogram": {"1": 4, "2": 1},
+                }
+                truss = await handle_request(
+                    service, {"id": 2, "op": "truss", "graph": spec}
+                )
+                assert truss["result"]["max_trussness"] == 3
+                assert truss["result"]["histogram"] == {"3": 5}
+                assert "k" not in truss["result"]
+                k_truss = await handle_request(
+                    service, {"id": 3, "op": "truss", "graph": spec, "k": 3}
+                )
+                assert k_truss["result"]["k"] == 3
+                assert k_truss["result"]["k_truss_edges"] == 5
+                cluster = await handle_request(
+                    service, {"id": 4, "op": "cluster", "graph": spec}
+                )
+                assert cluster["result"]["triangles"] == 2
+                assert cluster["result"]["transitivity"] == pytest.approx(0.75)
+                assert cluster["result"]["average_clustering"] == pytest.approx(
+                    10 / 12
+                )
+                pair = await handle_request(
+                    service,
+                    {"id": 5, "op": "common_neighbors", "graph": spec,
+                     "u": 0, "v": 3},
+                )
+                assert pair["result"] == {"u": 0, "v": 3, "score": 2}
+                probe = await handle_request(
+                    service,
+                    {"id": 6, "op": "common_neighbors", "graph": spec, "u": 0},
+                )
+                assert probe["result"] == {
+                    "u": 0, "candidates": [[3, 2]], "k": 10,
+                }
+                for response in (support, truss, k_truss, cluster, pair, probe):
+                    json.dumps(response)
+
+        run(main())
+
+    def test_unknown_op_enumerates_workload_ops(self):
+        # The error must teach the caller the full op set, including the
+        # workload ops, not just reject the request.
+        async def main():
+            async with open_service(max_sessions=2) as service:
+                response = await handle_request(
+                    service, {"id": 1, "op": "triangles?"}
+                )
+                assert not response["ok"]
+                assert "unknown op" in response["error"]
+                for op in (
+                    "count", "simulate", "slice-stats", "baseline", "apply",
+                    "support", "truss", "cluster", "common_neighbors",
+                    "ping", "report",
+                ):
+                    assert f"'{op}'" in response["error"]
+
+        run(main())
+
+    def test_argument_validation(self, tmp_path, paper_graph):
+        spec = self._spec(tmp_path, paper_graph)
+
+        async def main():
+            async with open_service(max_sessions=2) as service:
+                missing_u = await handle_request(
+                    service, {"id": 1, "op": "common_neighbors", "graph": spec}
+                )
+                assert not missing_u["ok"] and "'u' vertex" in missing_u["error"]
+                bad_k = await handle_request(
+                    service,
+                    {"id": 2, "op": "truss", "graph": spec, "k": "three"},
+                )
+                assert not bad_k["ok"] and "must be an integer" in bad_k["error"]
+                bool_k = await handle_request(
+                    service,
+                    {"id": 3, "op": "truss", "graph": spec, "k": True},
+                )
+                assert not bool_k["ok"] and "must be an integer" in bool_k["error"]
+
+        run(main())
+
+    def test_coalescing_is_keyed_per_op_and_args(self, tmp_path, paper_graph):
+        spec = self._spec(tmp_path, paper_graph)
+
+        async def main():
+            async with open_service(max_sessions=2) as service:
+                await service.support(spec)
+                await service.support(spec)
+                await service.truss(spec)
+                await service.truss(spec, k=3)
+                await service.cluster(spec)
+                await service.common_neighbors(spec, 0, 3)
+                await service.common_neighbors(spec, 0, None, 2)
+                return service.report()
+
+        report = run(main())
+        by_kind = report.sessions[0].by_kind
+        assert by_kind["support"] == 2
+        assert by_kind["truss"] == 1
+        assert by_kind["truss:3"] == 1
+        assert by_kind["cluster"] == 1
+        assert by_kind["common_neighbors:0:3:None"] == 1
+        assert by_kind["common_neighbors:0:None:2"] == 1
+
+    def test_concurrent_identical_workloads_coalesce(self):
+        graph = generators.barabasi_albert(3000, 5, seed=3)
+
+        async def main():
+            async with open_service(max_sessions=2) as service:
+                payloads = await asyncio.gather(
+                    *(service.cluster(graph) for _ in range(4))
+                )
+                assert len({p["triangles"] for p in payloads}) == 1
+                report = service.report()
+                assert report.queries == 4
+                assert report.coalesced >= 1
+
+        run(main())
+
+    def test_workloads_after_apply_reflect_mutation(self, tmp_path, paper_graph):
+        spec = self._spec(tmp_path, paper_graph)
+
+        async def main():
+            async with open_service(max_sessions=2) as service:
+                before = await service.support(spec)
+                assert before["num_edges"] == 5
+                await service.apply(spec, [("+", 0, 3)])
+                after = await service.support(spec)
+                assert after["num_edges"] == 6
+                # K4: every edge sits in two triangles.
+                assert after["histogram"] == {"2": 6}
+                truss = await service.truss(spec)
+                assert truss["max_trussness"] == 4
+
+        run(main())

@@ -91,3 +91,40 @@ class TestTrussDecomposition:
         trussness = truss_decomposition(graph)
         assert trussness[(3, 4)] == 2
         assert trussness[(0, 1)] == 4
+
+
+class TestPrecomputedSupport:
+    """The peeling entry points accept externally computed supports (the
+    session's engine-computed map) and must behave identically."""
+
+    def test_decomposition_with_seeded_support(self, random_graphs):
+        for graph in random_graphs:
+            support = edge_support(graph)
+            assert truss_decomposition(graph, support=support) == (
+                truss_decomposition(graph)
+            )
+
+    def test_k_truss_with_seeded_support(self, random_graphs):
+        graph = random_graphs[0]
+        support = edge_support(graph)
+        for k in (2, 3, 4):
+            seeded = k_truss(graph, k, support=support)
+            plain = k_truss(graph, k)
+            assert seeded.num_vertices == plain.num_vertices
+            assert (seeded.edge_array() == plain.edge_array()).all()
+
+    def test_max_trussness_with_seeded_support(self, paper_graph):
+        support = edge_support(paper_graph)
+        assert max_trussness(paper_graph, support=support) == 3
+
+    def test_seeded_support_not_mutated(self, paper_graph):
+        support = edge_support(paper_graph)
+        snapshot = dict(support)
+        truss_decomposition(paper_graph, support=support)
+        assert support == snapshot
+
+    def test_missing_edge_rejected(self, paper_graph):
+        support = edge_support(paper_graph)
+        del support[(0, 1)]
+        with pytest.raises(GraphError, match="missing edge"):
+            truss_decomposition(paper_graph, support=support)

@@ -1,0 +1,276 @@
+"""Differential tests for the session workload surface.
+
+Every workload — :meth:`TCIMSession.support`, :meth:`truss`,
+:meth:`clustering`, :meth:`common_neighbors` — must be value-identical
+to its pure-Python oracle across engines configurations
+(``num_arrays ∈ {1, 4}``, plan on/off), on fresh sessions and after a
+randomized mutation stream (i.e. through the incrementally patched
+symmetric join plan).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import metrics
+from repro.analysis.truss import edge_support, k_truss, truss_decomposition
+from repro.api import ClusteringReport, TCIMSession, open_session
+from repro.errors import GraphError
+from repro.graph import generators
+from repro.graph.graph import Graph
+
+CONFIGS = [
+    {"num_arrays": 1, "use_plan": True},
+    {"num_arrays": 1, "use_plan": False},
+    {"num_arrays": 4, "use_plan": True},
+    {"num_arrays": 4, "use_plan": False},
+]
+
+CONFIG_IDS = ["arrays1-plan", "arrays1-noplan", "arrays4-plan", "arrays4-noplan"]
+
+
+def brute_common_neighbors(graph: Graph, u: int, v: int) -> int:
+    return len(set(graph.neighbors(u).tolist()) & set(graph.neighbors(v).tolist()))
+
+
+def assert_workloads_match_oracles(session: TCIMSession, graph: Graph) -> None:
+    """One shared differential battery: session workloads vs oracles."""
+    assert session.support() == edge_support(graph)
+    assert session.truss() == truss_decomposition(graph)
+    report = session.clustering()
+    np.testing.assert_allclose(report.local, metrics.local_clustering(graph))
+    assert np.array_equal(
+        report.triangles_per_vertex, metrics.triangles_per_vertex(graph)
+    )
+    assert report.average == pytest.approx(metrics.average_clustering(graph))
+    assert report.transitivity == pytest.approx(metrics.transitivity(graph))
+    assert report.wedges == metrics.wedge_count(graph)
+
+
+class TestSupport:
+    @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
+    def test_matches_oracle(self, random_graphs, config):
+        for graph in random_graphs:
+            with open_session(graph, **config) as session:
+                assert session.support() == edge_support(graph)
+
+    def test_returns_fresh_copies(self, paper_graph):
+        with open_session(paper_graph) as session:
+            first = session.support()
+            first[(0, 1)] = -99  # callers peel their maps in place
+            assert session.support() == edge_support(paper_graph)
+
+    def test_empty_graph(self, empty_graph):
+        with open_session(empty_graph) as session:
+            assert session.support() == {}
+
+    def test_isolated_vertices(self, isolated_vertices):
+        with open_session(isolated_vertices) as session:
+            assert session.support() == edge_support(isolated_vertices)
+
+    def test_cached_until_mutation(self, k5):
+        with open_session(k5) as session:
+            session.support()
+            assert "support_map" in session._workload_cache
+            session.apply([("-", 0, 1)])
+            assert session._workload_cache == {}
+            assert session.support() == edge_support(session.graph)
+
+
+class TestTruss:
+    @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
+    def test_decomposition_matches_oracle(self, random_graphs, config):
+        for graph in random_graphs:
+            with open_session(graph, **config) as session:
+                assert session.truss() == truss_decomposition(graph)
+
+    def test_k_truss_matches_oracle(self, random_graphs):
+        for graph in random_graphs[:2]:
+            with open_session(graph) as session:
+                for k in (2, 3, 4):
+                    got = session.truss(k)
+                    expected = k_truss(graph, k)
+                    assert got.num_vertices == expected.num_vertices
+                    assert np.array_equal(got.edge_array(), expected.edge_array())
+
+    def test_paper_graph(self, paper_graph):
+        with open_session(paper_graph) as session:
+            assert max(session.truss().values()) == 3
+
+
+class TestClustering:
+    @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
+    def test_matches_oracles(self, random_graphs, config):
+        for graph in random_graphs:
+            with open_session(graph, **config) as session:
+                report = session.clustering()
+                np.testing.assert_allclose(
+                    report.local, metrics.local_clustering(graph)
+                )
+                assert np.array_equal(
+                    report.triangles_per_vertex,
+                    metrics.triangles_per_vertex(graph),
+                )
+                assert report.average == pytest.approx(
+                    metrics.average_clustering(graph)
+                )
+                assert report.transitivity == pytest.approx(
+                    metrics.transitivity(graph)
+                )
+                assert report.wedges == metrics.wedge_count(graph)
+                assert report.triangles == session.count()
+
+    def test_empty_graph(self, empty_graph):
+        with open_session(empty_graph) as session:
+            report = session.clustering()
+            assert report.average == 0.0
+            assert report.transitivity == 0.0
+            assert report.triangles == 0
+
+    def test_to_mapping_is_jsonable(self, paper_graph):
+        with open_session(paper_graph) as session:
+            payload = session.clustering().to_mapping()
+            decoded = json.loads(json.dumps(payload))
+            assert decoded["triangles"] == 2
+            assert decoded["num_vertices"] == 4
+
+    def test_cached_object_reused(self, k5):
+        with open_session(k5) as session:
+            assert session.clustering() is session.clustering()
+
+
+class TestCommonNeighbors:
+    @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
+    def test_pair_scores_match_brute_force(self, random_graphs, config):
+        graph = random_graphs[0]
+        rng = np.random.default_rng(7)
+        with open_session(graph, **config) as session:
+            for _ in range(25):
+                u, v = rng.integers(0, graph.num_vertices, size=2).tolist()
+                assert session.common_neighbors(u, v) == brute_common_neighbors(
+                    graph, u, v
+                )
+
+    def test_candidates_match_brute_force(self, random_graphs):
+        graph = random_graphs[1]
+        with open_session(graph) as session:
+            for u in range(0, graph.num_vertices, 7):
+                candidates = session.common_neighbors(u)
+                neighbors = set(graph.neighbors(u).tolist())
+                expected = {}
+                for w in sorted(neighbors):
+                    for x in graph.neighbors(w).tolist():
+                        if x != u and x not in neighbors:
+                            expected[x] = brute_common_neighbors(graph, u, x)
+                assert dict(candidates) == expected
+                # Ascending vertex order, scores all positive.
+                vertices = [vertex for vertex, _ in candidates]
+                assert vertices == sorted(vertices)
+                assert all(score > 0 for _, score in candidates)
+
+    def test_top_k_ranking(self, random_graphs):
+        graph = random_graphs[0]
+        with open_session(graph) as session:
+            full = session.common_neighbors(0)
+            top = session.common_neighbors(0, k=5)
+            expected = sorted(full, key=lambda item: (-item[1], item[0]))[:5]
+            assert top == expected
+
+    def test_v_and_k_conflict(self, paper_graph):
+        with open_session(paper_graph) as session:
+            with pytest.raises(GraphError, match="not both"):
+                session.common_neighbors(0, 1, k=3)
+
+    def test_bad_k(self, paper_graph):
+        with open_session(paper_graph) as session:
+            with pytest.raises(GraphError, match="k must be"):
+                session.common_neighbors(0, k=0)
+
+    def test_vertex_out_of_range(self, paper_graph):
+        with open_session(paper_graph) as session:
+            with pytest.raises(GraphError):
+                session.common_neighbors(99)
+            with pytest.raises(GraphError):
+                session.common_neighbors(0, 99)
+
+    def test_isolated_vertex_has_no_candidates(self, isolated_vertices):
+        with open_session(isolated_vertices) as session:
+            isolated = [
+                u
+                for u in range(isolated_vertices.num_vertices)
+                if isolated_vertices.degree(u) == 0
+            ]
+            assert isolated, "fixture should contain an isolated vertex"
+            assert session.common_neighbors(isolated[0]) == []
+
+
+class TestWorkloadsAfterMutations:
+    """The tentpole coherence property: after a randomized apply stream
+    the (patched) resident state answers every workload identically to a
+    fresh session on the mutated graph — and to the oracles."""
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
+    def test_patched_plan_matches_rebuild(self, config):
+        graph = generators.erdos_renyi(60, 250, seed=3)
+        rng = np.random.default_rng(11)
+        with open_session(graph, **config) as session:
+            # Warm every workload so the resident symmetric plan exists
+            # before the stream starts — patches must keep it coherent.
+            assert_workloads_match_oracles(session, session.graph)
+            for round_id in range(6):
+                ops = []
+                for _ in range(20):
+                    u, v = rng.integers(0, 60, size=2).tolist()
+                    if u == v:
+                        continue
+                    op = "+" if rng.random() < 0.6 else "-"
+                    ops.append((op, u, v))
+                session.apply(ops)
+                mutated = session.graph
+                assert_workloads_match_oracles(session, mutated)
+                with open_session(mutated, **config) as fresh:
+                    assert session.support() == fresh.support()
+                    assert session.truss() == fresh.truss()
+            if config["use_plan"]:
+                # The stream patched the resident symmetric plan rather
+                # than dropping it.
+                session.support()
+                assert session._sym_plan is not None
+
+    def test_update_only_stream_then_workload(self, paper_graph):
+        with open_session(paper_graph) as session:
+            session.apply([("+", 0, 3)])
+            assert session.support() == edge_support(session.graph)
+            assert session.truss() == truss_decomposition(session.graph)
+
+
+class TestWorkloadPlanResidency:
+    def test_sym_plan_built_once_and_reused(self, k5):
+        with open_session(k5) as session:
+            session.support()
+            plan = session._sym_plan
+            assert plan is not None
+            session._workload_cache.clear()
+            session.support()
+            assert session._sym_plan is plan
+
+    def test_no_plan_config_keeps_plan_off(self, k5):
+        with open_session(k5, use_plan=False) as session:
+            session.support()
+            assert session._sym_plan is None
+
+    def test_resident_bytes_counts_sym_plan(self, k5):
+        with open_session(k5) as session:
+            before = session.plan_resident_bytes()
+            session.support()
+            assert session.plan_resident_bytes() > before
+
+    def test_close_drops_workload_state(self, k5):
+        session = open_session(k5)
+        session.support()
+        session.close()
+        assert session._sym_plan is None
+        assert session._workload_cache == {}
