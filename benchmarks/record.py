@@ -194,14 +194,63 @@ def measure_workloads(num_vertices: int, attach: int) -> dict:
 
 
 def measure_serving(num_graphs: int, reads_per_graph: int) -> dict:
-    """Aggregate read throughput over a pool of resident sessions."""
+    """Serving throughput: repeat reads, coalescing, and fused probe sweeps.
+
+    Three measured regimes over the same resident pool:
+
+    * **repeat reads** — warm ``count`` hits, the resident-cache rate;
+    * **coalescing** — duplicate cold ``support`` reads issued while the
+      first is still in flight, so followers join the running job
+      instead of re-dispatching (``report.coalesced`` must be > 0);
+    * **probes** — cache-busting ``common_neighbors_many`` batches from
+      16 concurrent clients, run once unfused and once under a fusion
+      window, recording both rates and the fusion counters.
+    """
     from repro.serve import open_service
 
+    num_vertices = 4_000
     graphs = [
-        generators.barabasi_albert(4_000, 6, seed=seed) for seed in range(num_graphs)
+        generators.barabasi_albert(num_vertices, 6, seed=seed)
+        for seed in range(num_graphs)
+    ]
+    rng = np.random.default_rng(11)
+    clients = 16
+    depth = 8  # outstanding probes per client per round (fills fusion windows)
+    rounds = max(2, reads_per_graph // 16)
+    batch_pairs = 8
+    probe_batches = [
+        [
+            [
+                [
+                    tuple(map(int, pair))
+                    for pair in rng.integers(0, num_vertices, (batch_pairs, 2))
+                ]
+                for _ in range(depth)
+            ]
+            for _ in range(rounds)
+        ]
+        for _ in range(clients)
     ]
 
-    async def drive() -> dict:
+    async def probe_load(service) -> float:
+        """16 closed-loop clients, each keeping ``depth`` probes in flight."""
+
+        async def client(index: int) -> None:
+            for step, probes in enumerate(probe_batches[index]):
+                await asyncio.gather(
+                    *(
+                        service.common_neighbors_many(
+                            graphs[(index + step + slot) % num_graphs], pairs
+                        )
+                        for slot, pairs in enumerate(probes)
+                    )
+                )
+
+        start = time.perf_counter()
+        await asyncio.gather(*(client(index) for index in range(clients)))
+        return time.perf_counter() - start
+
+    async def drive_unfused() -> dict:
         async with open_service(max_sessions=num_graphs) as service:
             for graph in graphs:  # establish residency outside the timed region
                 await service.count(graph)
@@ -212,28 +261,77 @@ def measure_serving(num_graphs: int, reads_per_graph: int) -> dict:
                     for i in range(num_graphs * reads_per_graph)
                 )
             )
-            elapsed = time.perf_counter() - start
+            repeat_s = time.perf_counter() - start
+            # Duplicate cold reads in flight at once: the first per graph
+            # runs, the rest coalesce onto its future.
+            await asyncio.gather(
+                *(service.support(graphs[i % num_graphs]) for i in range(num_graphs * 4))
+            )
+            probe_s = await probe_load(service)
             report = service.report()
             return {
                 "sessions": num_graphs,
                 "reads": num_graphs * reads_per_graph,
-                "read_wall_s": elapsed,
+                "read_wall_s": repeat_s,
                 "queries_per_second": (
-                    num_graphs * reads_per_graph / elapsed if elapsed else None
+                    num_graphs * reads_per_graph / repeat_s if repeat_s else None
                 ),
                 "coalesced": report.coalesced,
+                "unfused_probe_s": probe_s,
                 "resident_bytes": report.resident_bytes,
                 "plan_bytes": sum(s.plan_bytes for s in report.sessions),
             }
 
-    return asyncio.run(drive())
+    async def drive_fused() -> dict:
+        async with open_service(
+            max_sessions=num_graphs, fuse_window_ms=5
+        ) as service:
+            for graph in graphs:
+                await service.count(graph)
+                # Same warm state as the unfused run: symmetric slices
+                # resident before the timed probes.
+                await service.support(graph)
+            probe_s = await probe_load(service)
+            report = service.report()
+            return {
+                "fused_probe_s": probe_s,
+                "fused_batches": report.fused_batches,
+                "fused_reads": report.fused_reads,
+                "max_fused_batch": report.max_fused_batch,
+                "kernel_launches": report.kernel_launches,
+            }
+
+    result = asyncio.run(drive_unfused())
+    fused = asyncio.run(drive_fused())
+    probes = clients * rounds * depth
+    result.update(
+        {
+            "probe_clients": clients,
+            "probe_depth": depth,
+            "probe_requests": probes,
+            "probe_pairs_each": batch_pairs,
+            "unfused_probe_qps": (
+                probes / result["unfused_probe_s"] if result["unfused_probe_s"] else None
+            ),
+            "fused_probe_qps": (
+                probes / fused["fused_probe_s"] if fused["fused_probe_s"] else None
+            ),
+            "fusion_speedup": (
+                result["unfused_probe_s"] / fused["fused_probe_s"]
+                if fused["fused_probe_s"]
+                else None
+            ),
+            **fused,
+        }
+    )
+    return result
 
 
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     scale = 4 if quick else 1
     payload = {
-        "schema": 1,
+        "schema": 2,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "quick": quick,
@@ -250,7 +348,9 @@ def main(argv: list[str]) -> int:
         f"{payload['engine']['repeat_query_planned_s'] * 1e3:.2f} ms "
         f"({payload['engine']['plan_reuse_speedup']:.1f}x); "
         f"streaming {payload['streaming']['ops_per_second']:,.0f} ops/s; "
-        f"serving {payload['serving']['queries_per_second']:,.0f} queries/s; "
+        f"serving {payload['serving']['queries_per_second']:,.0f} queries/s "
+        f"({payload['serving']['coalesced']} coalesced, fusion "
+        f"{payload['serving']['fusion_speedup']:.1f}x on probes); "
         "workloads "
         + ", ".join(
             f"{kind} {row['speedup']:.1f}x"

@@ -653,6 +653,52 @@ class TCIMSession:
             ranked = sorted(candidates, key=lambda item: (-item[1], item[0]))
             return ranked[:k]
 
+    def common_neighbors_many(self, pairs) -> list[int]:
+        """Batched common-neighbor scores: many ``(u, v)`` probes, one run.
+
+        ``pairs`` is an iterable of ``(u, v)`` vertex pairs; the return
+        value is their scores ``|N(u) ∩ N(v)|`` in input order.  The
+        whole batch joins against the resident symmetric structures in
+        a single :class:`~repro.core.kernels.EdgeSupportKernel` pass, so
+        a link-prediction sweep pays one kernel run instead of one per
+        probe — and the serving tier can fuse many sessions' batches
+        into one sweep.  Value-identical to calling
+        :meth:`common_neighbors` per pair.
+        """
+        with self._lock:
+            sources, destinations = self.parse_pairs(pairs)
+            if not sources.size:
+                return []
+            scores = self._pair_scores(sources, destinations)
+            return [int(score) for score in scores]
+
+    def parse_pairs(self, pairs) -> tuple[np.ndarray, np.ndarray]:
+        """Validate an iterable of ``(u, v)`` probes into int64 arrays.
+
+        The shared front door of :meth:`common_neighbors_many` and the
+        serving tier's fused pair sweeps, so both reject exactly the
+        same malformed input with exactly the same errors.
+        """
+        sources_list: list[int] = []
+        destinations_list: list[int] = []
+        for index, pair in enumerate(pairs):
+            try:
+                u, v = pair
+            except (TypeError, ValueError):
+                raise GraphError(
+                    f"pair {index}: expected a (u, v) vertex pair, "
+                    f"got {pair!r}"
+                ) from None
+            u, v = int(u), int(v)
+            self._check_query_vertex(u)
+            self._check_query_vertex(v)
+            sources_list.append(u)
+            destinations_list.append(v)
+        return (
+            np.asarray(sources_list, dtype=np.int64),
+            np.asarray(destinations_list, dtype=np.int64),
+        )
+
     # ------------------------------------------------------------------
     # Incremental updates (the vectorized fast path)
     # ------------------------------------------------------------------
@@ -1086,18 +1132,7 @@ class TCIMSession:
         key = ("common_neighbors", u)
         cached = self._workload_cache.get(key)
         if cached is None:
-            graph = self.graph
-            neighbors = graph.neighbors(u)
-            if neighbors.size:
-                two_hop = np.unique(
-                    np.concatenate(
-                        [graph.neighbors(int(w)) for w in neighbors.tolist()]
-                    )
-                )
-                keep = (two_hop != u) & ~np.isin(two_hop, neighbors)
-                candidates = two_hop[keep]
-            else:
-                candidates = np.empty(0, dtype=np.int64)
+            candidates = self._enumerate_candidates(u)
             if candidates.size:
                 scores = self._pair_scores(
                     np.full(candidates.size, u, dtype=np.int64),
@@ -1108,6 +1143,228 @@ class TCIMSession:
                 cached = []
             self._workload_cache[key] = cached
         return cached
+
+    def _enumerate_candidates(self, u: int) -> np.ndarray:
+        """Two-hop candidate vertices of ``u`` (callers hold the lock)."""
+        graph = self.graph
+        neighbors = graph.neighbors(u)
+        if not neighbors.size:
+            return np.empty(0, dtype=np.int64)
+        two_hop = np.unique(
+            np.concatenate([graph.neighbors(int(w)) for w in neighbors.tolist()])
+        )
+        keep = (two_hop != u) & ~np.isin(two_hop, neighbors)
+        return two_hop[keep].astype(np.int64, copy=False)
+
+    # ------------------------------------------------------------------
+    # Cross-session fusion hooks (repro.serve's fusion scheduler)
+    # ------------------------------------------------------------------
+    # Each ``fusion_*_state`` snapshot is taken under the session lock
+    # and returns ``(status, payload, generation)``:
+    #
+    # * ``("cached", value, gen)`` — the answer is already resident;
+    # * ``("segment", payload, gen)`` — a :class:`~repro.core.kernels.FusedSegment`
+    #   (plus workload metadata) ready to join a fused sweep; the plan
+    #   and payload references are a consistent snapshot at ``gen``;
+    # * ``("unfusible", None, gen)`` — this session's configuration
+    #   cannot ride the fused path (sharded, plan-free); serve per-request.
+    #
+    # The sweep itself runs *without* the lock: concurrent mutations may
+    # tear the payload bits mid-gather, but every ``fusion_commit_*``
+    # re-checks the generation under the lock and refuses a stale
+    # commit, so torn results are discarded, never served or cached.
+    def fusion_count_state(self):
+        """Snapshot for a fused triangle-count sweep."""
+        with self._lock:
+            if self._triangles is not None:
+                return ("cached", self._triangles, self._generation)
+            if self.config.num_arrays != 1 or not self._use_plan:
+                return ("unfusible", None, self._generation)
+            self._prepare()
+            plan = self._ensure_join_plan()
+            if plan is None:
+                return ("unfusible", None, self._generation)
+            row_sliced, col_sliced = self._row_sliced, self._col_sliced
+            row_region = int(row_sliced.row_valid_counts().max(initial=0))
+            column_capacity = self.config.capacity_slices - row_region
+            if column_capacity < 1:
+                raise ArchitectureError(
+                    f"array too small: row region needs {row_region} slices "
+                    f"but capacity is {self.config.capacity_slices}"
+                )
+            segment = kernels.FusedSegment(
+                kernel=kernels.CountKernel(),
+                plan=plan,
+                row_data=row_sliced.data,
+                col_data=col_sliced.data,
+                slices_per_row=row_sliced.slices_per_row,
+                row_writes=row_sliced.num_valid_slices,
+                column_capacity=column_capacity,
+                policy=self.config.policy,
+                seed=self.config.seed,
+            )
+            return ("segment", segment, self._generation)
+
+    def fusion_commit_count(self, generation: int, accumulator: int):
+        """Commit a fused count sweep's accumulator; ``None`` if fenced.
+
+        Derives the triangle count exactly as
+        :meth:`~repro.core.accelerator.TCIMAccelerator.run` does from the
+        same accumulator, installs it as the resident count, and returns
+        it.  A generation mismatch (a mutation landed while the sweep
+        ran) returns ``None`` — the sweep's bits cannot be trusted.
+        """
+        with self._lock:
+            if generation != self._generation:
+                return None
+            triangles = (
+                int(accumulator)
+                if self.config.orientation == "upper"
+                else int(accumulator) // 6
+            )
+            if self._triangles is None:
+                self._triangles = triangles
+            return self._triangles
+
+    def fusion_supports_state(self):
+        """Snapshot for a fused per-edge supports sweep."""
+        with self._lock:
+            if "supports" in self._workload_cache:
+                return ("cached", None, self._generation)
+            if self.config.num_arrays != 1 or not self._use_workload_plan:
+                return ("unfusible", None, self._generation)
+            sym = self._sym()
+            sources, destinations = self._ensure_sym_edges()
+            if sources.size == 0:
+                return ("unfusible", None, self._generation)
+            plan = self._ensure_sym_plan()
+            if plan is None:
+                return ("unfusible", None, self._generation)
+            row_region = int(sym.row_valid_counts().max(initial=0))
+            column_capacity = self.config.capacity_slices - row_region
+            if column_capacity < 1:
+                raise ArchitectureError(
+                    f"array too small: row region needs {row_region} slices "
+                    f"but capacity is {self.config.capacity_slices}"
+                )
+            segment = kernels.FusedSegment(
+                kernel=kernels.EdgeSupportKernel(),
+                plan=plan,
+                row_data=sym.data,
+                col_data=sym.data,
+                slices_per_row=sym.slices_per_row,
+                row_writes=sym.num_valid_slices,
+                column_capacity=column_capacity,
+                policy=self.config.policy,
+                seed=self.config.seed,
+                sources=sources,
+                destinations=destinations,
+            )
+            return ("segment", segment, self._generation)
+
+    def fusion_commit_supports(
+        self, generation: int, per_edge: np.ndarray, events: dict, cache_stats
+    ) -> bool:
+        """Install a fused supports sweep as the resident supports cache.
+
+        The committed triple is exactly what :meth:`_supports_run` would
+        have produced (the fused executor reproduces the planned run
+        field by field), so ``support()``/``truss()``/``clustering()``
+        all serve from it.  Returns ``False`` when fenced by a mutation.
+        """
+        with self._lock:
+            if generation != self._generation:
+                return False
+            if "supports" not in self._workload_cache:
+                self._workload_cache["supports"] = (
+                    per_edge,
+                    EventCounts(**events),
+                    cache_stats,
+                )
+            return True
+
+    def fusion_pairs_state(self, sources: np.ndarray, destinations: np.ndarray):
+        """Snapshot for a fused ad-hoc pair-scores sweep.
+
+        Compiles the batch's throwaway join plan under the lock (one
+        vectorised merge-join for *all* probes of the batch — the
+        batching win per session) and returns its segment; the fused
+        per-edge values are bit-identical to :meth:`_pair_scores` on the
+        same arrays.
+        """
+        with self._lock:
+            sources = np.asarray(sources, dtype=np.int64)
+            destinations = np.asarray(destinations, dtype=np.int64)
+            sym = self._sym()
+            plan = joinplan.build_join_plan(sym, sym, sources, destinations)
+            _, touched_counts = sym.row_slice_ranges(np.unique(sources))
+            row_region = int(touched_counts.max(initial=0))
+            column_capacity = self.config.capacity_slices - row_region
+            if column_capacity < 1:
+                raise ArchitectureError(
+                    f"array too small: row region needs {row_region} slices "
+                    f"but capacity is {self.config.capacity_slices}"
+                )
+            segment = kernels.FusedSegment(
+                kernel=kernels.EdgeSupportKernel(),
+                plan=plan,
+                row_data=sym.data,
+                col_data=sym.data,
+                slices_per_row=sym.slices_per_row,
+                row_writes=int(touched_counts.sum()),
+                column_capacity=column_capacity,
+                policy=self.config.policy,
+                seed=self.config.seed,
+                sources=sources,
+                destinations=destinations,
+            )
+            return ("segment", segment, self._generation)
+
+    def fusion_candidates_state(self, u: int):
+        """Snapshot for a fused candidate-ranking sweep from vertex ``u``.
+
+        Returns ``("cached", [(vertex, score), ...], gen)`` when the
+        candidate list is resident (including the no-candidates case,
+        which is cached immediately), else ``("pairs", candidates, gen)``
+        — the two-hop candidate vertices whose ``(u, candidate)`` probes
+        the caller folds into a fused pair sweep and commits back via
+        :meth:`fusion_commit_candidates`.
+        """
+        with self._lock:
+            self._check_query_vertex(u)
+            key = ("common_neighbors", u)
+            cached = self._workload_cache.get(key)
+            if cached is not None:
+                return ("cached", list(cached), self._generation)
+            candidates = self._enumerate_candidates(u)
+            if not candidates.size:
+                self._workload_cache[key] = []
+                return ("cached", [], self._generation)
+            return ("pairs", candidates, self._generation)
+
+    def fusion_commit_candidates(
+        self, generation: int, u: int, candidates: np.ndarray, scores: np.ndarray
+    ):
+        """Install fused candidate scores as the resident list for ``u``.
+
+        Returns the resident ``[(vertex, score), ...]`` list (what
+        :meth:`_candidate_scores` would have cached), or ``None`` when
+        fenced by a mutation.
+        """
+        with self._lock:
+            if generation != self._generation:
+                return None
+            key = ("common_neighbors", u)
+            cached = self._workload_cache.get(key)
+            if cached is None:
+                cached = list(
+                    zip(
+                        np.asarray(candidates).tolist(),
+                        np.asarray(scores).tolist(),
+                    )
+                )
+                self._workload_cache[key] = cached
+            return list(cached)
 
     def _check_query_vertex(self, vertex: int) -> None:
         if not 0 <= vertex < self._num_vertices:

@@ -83,6 +83,13 @@ class PimTimingParams:
     #: valid pairs of one edge through a shared accumulating bit counter,
     #: so the conservative default is serial issue.
     parallel_and_units: int = 1
+    #: Host-side cost of dispatching one kernel launch to the array
+    #: fleet (command assembly, descriptor write, doorbell — work the
+    #: controller performs once per sweep regardless of its size).  The
+    #: serving tier's fusion scheduler exists to amortise this: a fused
+    #: sweep pays it once for its whole request group.  See
+    #: EXPERIMENTS.md §7 for the calibration.
+    kernel_launch_s: float = 2e-6
 
 
 @dataclass(frozen=True)
@@ -390,6 +397,8 @@ class PimPerformanceModel:
         self,
         session_events: Sequence[EventCounts],
         session_rows: Sequence[int] | None = None,
+        *,
+        launches: int | None = None,
     ) -> PerfReport:
         """Price a fleet of concurrently resident sessions.
 
@@ -402,6 +411,15 @@ class PimPerformanceModel:
         one chip), every resident group leaks over the whole fleet
         runtime, so leakage scales with the number of resident sessions.
         The controller/host is shared and accrues once.
+
+        ``launches`` (optional) is the number of kernel dispatches the
+        serving run actually issued — per-request jobs plus one per
+        *fused* sweep, which is how fusion shows up in the price: a
+        fused group pays ``kernel_launch_s`` once where per-request
+        serving pays it per query.  The dispatch cost is host-side
+        serial work, so it appears as its own ``launch`` breakdown term
+        on top of the (unchanged) array critical path; omitting
+        ``launches`` reproduces the pre-fusion figures exactly.
         """
         if not session_events:
             raise ArchitectureError("evaluate_fleet needs at least one session")
@@ -411,6 +429,8 @@ class PimPerformanceModel:
             raise ArchitectureError(
                 f"{len(session_events)} sessions but {len(session_rows)} row counts"
             )
+        if launches is not None and launches < 0:
+            raise ArchitectureError(f"launches must be >= 0, got {launches}")
         # Unlike shards, every resident group leaks for the whole fleet
         # runtime; imbalance (1.0 = balanced) is throughput an
         # admission/placement policy could still recover.
@@ -419,6 +439,7 @@ class PimPerformanceModel:
             session_rows,
             label="session",
             leakage_groups=len(session_events),
+            launches=launches,
         )
 
     def _concurrent_report(
@@ -427,6 +448,7 @@ class PimPerformanceModel:
         unit_rows: Sequence[int],
         label: str,
         leakage_groups: int,
+        launches: int | None = None,
     ) -> PerfReport:
         """Shared critical-path pricing for concurrently executing units.
 
@@ -443,30 +465,38 @@ class PimPerformanceModel:
         ]
         latencies = [report.latency_s for report in per_unit]
         critical = max(latencies)
+        # Kernel dispatch is serial host work layered on top of the
+        # array critical path (which it does not change).
+        launch_time = (
+            launches * self.timing.kernel_launch_s if launches else 0.0
+        )
+        total_latency = critical + launch_time
         dynamic = sum(
             sum(report.energy_breakdown_j.values())
             - report.energy_breakdown_j["leakage"]
             - report.energy_breakdown_j["host"]
             for report in per_unit
         )
-        leakage = energy.leakage_power_w * critical * leakage_groups
+        leakage = energy.leakage_power_w * total_latency * leakage_groups
         array_energy = dynamic + leakage
-        system_energy = array_energy + energy.host_power_w * critical
+        system_energy = array_energy + energy.host_power_w * total_latency
         mean_latency = sum(latencies) / len(latencies)
         breakdown = {
             f"{label}{index}": latency for index, latency in enumerate(latencies)
         }
         breakdown["critical_path"] = critical
         breakdown["imbalance"] = critical / mean_latency if mean_latency else 1.0
+        if launches:
+            breakdown["launch"] = launch_time
         return PerfReport(
-            latency_s=critical,
+            latency_s=total_latency,
             array_energy_j=array_energy,
             system_energy_j=system_energy,
             latency_breakdown_s=breakdown,
             energy_breakdown_j={
                 "dynamic": dynamic,
                 "leakage": leakage,
-                "host": energy.host_power_w * critical,
+                "host": energy.host_power_w * total_latency,
             },
         )
 

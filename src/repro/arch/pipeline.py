@@ -204,6 +204,8 @@ def measured_fleet_report(
     session_events: list[EventCounts],
     session_rows: list[int] | None = None,
     base_model: PimPerformanceModel | None = None,
+    *,
+    launches: int | None = None,
 ) -> PerfReport:
     """Price a serving fleet from each resident session's measured events.
 
@@ -214,10 +216,12 @@ def measured_fleet_report(
     :class:`repro.serve.Service`), and the report reflects the slowest
     session — the fleet's measured critical path — with leakage accrued
     per resident array group (see
-    :meth:`PimPerformanceModel.evaluate_fleet`).
+    :meth:`PimPerformanceModel.evaluate_fleet`).  ``launches`` forwards
+    the serving run's kernel-dispatch count so fused sweeps amortise
+    their per-launch cost over the whole group.
     """
     model = base_model or default_pim_model()
-    return model.evaluate_fleet(session_events, session_rows)
+    return model.evaluate_fleet(session_events, session_rows, launches=launches)
 
 
 def simulate_sharded(

@@ -576,6 +576,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ),
         max_workers=args.pool_workers,
         config=config,
+        fuse_window_ms=args.fuse_window_ms,
+        max_queue=args.max_queue,
+        admission=args.admission,
+        replicas=args.replicas,
     )
 
     # Snapshot the report before close() evicts the pool, so the final
@@ -627,6 +631,18 @@ def _print_serve_summary(report, as_json: bool) -> int:
     table.add_row(["queries", format_count(report.queries)])
     table.add_row(["throughput", f"{report.queries_per_second:,.1f} queries/s"])
     table.add_row(["coalesced reads", format_count(report.coalesced)])
+    if report.fused_reads:
+        table.add_row(
+            ["fused reads / sweeps",
+             f"{report.fused_reads} / {report.fused_batches} "
+             f"(largest group {report.max_fused_batch}, "
+             f"fenced {report.fenced})"],
+        )
+    if report.shed:
+        table.add_row(["shed (overloaded)", format_count(report.shed)])
+    if report.replicas:
+        table.add_row(["read replicas", format_count(report.replicas)])
+    table.add_row(["kernel launches", format_count(report.kernel_launches)])
     table.add_row(
         ["sessions (resident/peak/capacity)",
          f"{report.resident}/{report.pool.peak_resident}/{report.max_sessions}"],
@@ -851,6 +867,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--pool-workers", type=int, default=None,
         help="threads for CPU-bound engine work (default: executor default)",
+    )
+    serve.add_argument(
+        "--fuse-window-ms", type=float, default=None,
+        help="fuse compatible reads arriving within this window into one "
+             "cross-session kernel sweep (default: fusion off)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=None,
+        help="bound on concurrently admitted requests (default: unbounded)",
+    )
+    serve.add_argument(
+        "--admission", choices=("reject", "block"), default="reject",
+        help="over-queue policy: reject with an 'overloaded' error, or "
+             "park requests FIFO until a slot frees (default: reject)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=0,
+        help="read replicas per hot session; reads fan across them, "
+             "writes fence them by generation (default: 0)",
     )
     add_accelerator_args(serve)
 

@@ -47,11 +47,19 @@ __all__ = [
     "BitwiseKernel",
     "CountKernel",
     "EdgeSupportKernel",
+    "FusedSegment",
     "VertexTallyKernel",
     "WorkloadResult",
+    "execute_fused",
     "execute_workload",
     "vertex_tallies_from_supports",
 ]
+
+#: Physically stack the payloads only while the fused gather volume
+#: amortises the copy; below this pairs-per-payload-row ratio the sweep
+#: gathers segment-locally into the shared output instead (identical
+#: results — the stack is an execution detail, not a semantic one).
+FUSED_STACK_MAX_ROWS_PER_PAIR = 2
 
 
 def vertex_tallies_from_supports(
@@ -329,3 +337,131 @@ def _execute_planned(
         events=events,
         cache_stats=cache_stats,
     )
+
+
+# ----------------------------------------------------------------------
+# Cross-session fusion
+# ----------------------------------------------------------------------
+@dataclass
+class FusedSegment:
+    """One session's share of a fused sweep.
+
+    Pairs a resident (or ad-hoc) :class:`repro.core.plan.JoinPlan` with
+    the payload arrays it was compiled against plus the event/cache
+    parameters its lone run would have used, so the fused executor can
+    reproduce that run's ``WorkloadResult`` field by field.
+    """
+
+    kernel: BitwiseKernel
+    plan: object
+    row_data: np.ndarray
+    col_data: np.ndarray
+    slices_per_row: int
+    row_writes: int
+    column_capacity: int
+    policy: object
+    seed: int
+    sources: np.ndarray | None = None
+    destinations: np.ndarray | None = None
+
+
+def execute_fused(
+    segments, force_stacked: bool | None = None
+) -> list[WorkloadResult]:
+    """Execute many sessions' workloads as **one** gather→AND→popcount sweep.
+
+    The fusion scheduler's kernel: concatenates the segments' plans into
+    one fused pair space (:func:`repro.core.plan.fuse_plans`), runs a
+    single popcount pass over it, then splits the reductions back per
+    segment.  Each returned :class:`WorkloadResult` is bit-identical —
+    value, accumulator, events, cache statistics — to running that
+    segment alone through :func:`execute_workload` with its plan.
+
+    When the fused gather volume amortises the copy, the payloads are
+    physically stacked (``np.concatenate`` of the uint8 payload views —
+    lane widths must match, which the scheduler's grouping guarantees)
+    and the offset-baked fused positions drive one
+    :func:`repro.core.engine.pair_popcounts` call.  For sparse probe
+    batches whose pair count is small against the resident payloads, the
+    sweep gathers segment-locally into the shared output instead; both
+    paths produce the same bits (``force_stacked`` pins one for tests).
+    """
+    from repro.core.plan import fuse_plans
+
+    segments = list(segments)
+    if not segments:
+        return []
+    width = segments[0].row_data.shape[1]
+    for seg in segments:
+        if seg.row_data.shape[1] != width or seg.col_data.shape[1] != width:
+            raise ArchitectureError(
+                "fused segments must share one slice width; group by "
+                "lane-compatible configurations before fusing"
+            )
+        if seg.plan.row_valid_slices != seg.row_data.shape[0] or (
+            seg.plan.col_valid_slices != seg.col_data.shape[0]
+        ):
+            raise ArchitectureError(
+                "fused segment plan does not match its payload arrays; "
+                "snapshot plan and payload under one lock"
+            )
+    fused = fuse_plans([seg.plan for seg in segments])
+    total_pairs = fused.num_pairs
+    stack_rows = sum(s.row_data.shape[0] + s.col_data.shape[0] for s in segments)
+    if force_stacked is None:
+        stacked = stack_rows <= FUSED_STACK_MAX_ROWS_PER_PAIR * total_pairs
+    else:
+        stacked = bool(force_stacked)
+    if stacked and len(segments) > 1:
+        row_stack = np.concatenate([s.row_data for s in segments])
+        col_stack = np.concatenate([s.col_data for s in segments])
+        pops = engine.pair_popcounts(
+            row_stack, col_stack, fused.row_positions, fused.col_positions
+        )
+    elif stacked:
+        seg = segments[0]
+        pops = engine.pair_popcounts(
+            seg.row_data, seg.col_data,
+            seg.plan.row_positions, seg.plan.col_positions,
+        )
+    else:
+        workspace = engine._Workspace()
+        pops = np.empty(total_pairs, dtype=np.int64)
+        for i, seg in enumerate(segments):
+            pops[fused.segment_slice(i)] = engine.pair_popcounts(
+                seg.row_data, seg.col_data,
+                seg.plan.row_positions, seg.plan.col_positions,
+                workspace,
+            )
+    prefix = np.zeros(total_pairs + 1, dtype=np.int64)
+    np.cumsum(pops, out=prefix[1:])
+    results: list[WorkloadResult] = []
+    for i, seg in enumerate(segments):
+        lo = int(fused.segment_bounds[i])
+        hi = int(fused.segment_bounds[i + 1])
+        accumulator = int(prefix[hi] - prefix[lo])
+        per_edge = None
+        if seg.kernel.per_edge:
+            bounds = seg.plan.bounds + lo
+            per_edge = prefix[bounds[1:]] - prefix[bounds[:-1]]
+        events = engine._base_events(
+            seg.plan.num_edges, seg.slices_per_row, seg.row_writes
+        )
+        events["and_operations"] = seg.plan.num_pairs
+        events["bitcount_operations"] = seg.plan.num_pairs
+        cache_stats = seg.plan.cache_statistics(
+            seg.column_capacity, seg.policy, seg.seed
+        )
+        events["col_slice_writes"] = cache_stats.writes
+        events["col_slice_hits"] = cache_stats.hits
+        results.append(
+            WorkloadResult(
+                value=seg.kernel.finalize(
+                    accumulator, per_edge, seg.sources, seg.destinations
+                ),
+                accumulator=accumulator,
+                events=events,
+                cache_stats=cache_stats,
+            )
+        )
+    return results

@@ -55,8 +55,10 @@ from repro.core.slicing import SlicedMatrix
 from repro.errors import ArchitectureError
 
 __all__ = [
+    "FusedPlan",
     "JoinPlan",
     "build_join_plan",
+    "fuse_plans",
     "patch_join_plan",
     "merge_oriented_edges",
     "oriented_structure_bits",
@@ -274,6 +276,124 @@ def build_join_plan(
         col_version=col_sliced.structure_version,
         row_valid_slices=row_sliced.num_valid_slices,
         col_valid_slices=col_sliced.num_valid_slices,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-plan fusion
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class FusedPlan:
+    """Several compiled plans concatenated into one fused pair space.
+
+    The serving tier's fusion scheduler groups compatible queries across
+    *different* resident sessions and executes the whole group as one
+    gather → AND → popcount sweep.  A fused plan is the index of that
+    sweep: each member plan's gather positions shifted by its segment's
+    payload-row offset (so they address a virtually *stacked* payload —
+    segment 0's rows first, then segment 1's, ...), plus the pair-space
+    bounds needed to split the fused reductions back per segment.
+
+    Fusion is pure concatenation: the pair order inside each segment is
+    exactly the member plan's order, so every per-segment reduction is
+    bit-identical to running that plan alone.
+    """
+
+    #: Fused gather positions into the stacked row payload (offset-baked).
+    row_positions: np.ndarray
+    #: Fused gather positions into the stacked column payload.
+    col_positions: np.ndarray
+    #: Exclusive prefix bounds of each segment's pair run (size ``n+1``).
+    segment_bounds: np.ndarray
+    #: Payload-row offset of each segment in the stacked row payload.
+    row_offsets: np.ndarray
+    #: Payload-row offset of each segment in the stacked column payload.
+    col_offsets: np.ndarray
+    #: The member plans, in segment order.
+    plans: tuple
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.plans)
+
+    @property
+    def num_pairs(self) -> int:
+        """Total matched pairs (= AND operations of the fused sweep)."""
+        return int(self.row_positions.size)
+
+    @property
+    def nbytes(self) -> int:
+        return (
+            self.row_positions.nbytes
+            + self.col_positions.nbytes
+            + self.segment_bounds.nbytes
+            + self.row_offsets.nbytes
+            + self.col_offsets.nbytes
+        )
+
+    def segment_slice(self, index: int) -> slice:
+        """The fused pair-space slice owned by segment ``index``."""
+        return slice(
+            int(self.segment_bounds[index]), int(self.segment_bounds[index + 1])
+        )
+
+    def split(self, per_pair: np.ndarray) -> list[np.ndarray]:
+        """Split a fused per-pair array back into per-segment views.
+
+        The inverse of the concatenation: ``split(pops)[i]`` is exactly
+        what a lone sweep of ``plans[i]`` would have produced, so each
+        segment's reduction (scalar accumulator, per-edge runs) proceeds
+        as if it had never been fused.
+        """
+        per_pair = np.asarray(per_pair)
+        if per_pair.shape[0] != self.num_pairs:
+            raise ArchitectureError(
+                f"fused split expects {self.num_pairs} per-pair values, "
+                f"got {per_pair.shape[0]}"
+            )
+        return [per_pair[self.segment_slice(i)] for i in range(self.num_segments)]
+
+
+def fuse_plans(plans) -> FusedPlan:
+    """Concatenate compiled plans into one fused pair space.
+
+    Each member's positions are shifted by the cumulative valid-slice
+    counts of the preceding members — the offsets a physical
+    ``np.concatenate`` of the payload arrays induces — so one sweep over
+    the stacked payloads executes every member plan at once.  Callers
+    group only lane-compatible plans (same slice width); this function
+    is pure index arithmetic and does not see the payloads.
+    """
+    plans = tuple(plans)
+    if not plans:
+        raise ArchitectureError("fuse_plans needs at least one plan")
+    num = len(plans)
+    row_offsets = np.zeros(num, dtype=np.int64)
+    col_offsets = np.zeros(num, dtype=np.int64)
+    np.cumsum([p.row_valid_slices for p in plans[:-1]], out=row_offsets[1:])
+    np.cumsum([p.col_valid_slices for p in plans[:-1]], out=col_offsets[1:])
+    segment_bounds = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum([p.num_pairs for p in plans], out=segment_bounds[1:])
+    total = int(segment_bounds[-1])
+    row_positions = np.empty(total, dtype=np.int64)
+    col_positions = np.empty(total, dtype=np.int64)
+    for i, plan in enumerate(plans):
+        lo, hi = int(segment_bounds[i]), int(segment_bounds[i + 1])
+        np.add(
+            plan.row_positions, row_offsets[i], out=row_positions[lo:hi],
+            casting="unsafe",
+        )
+        np.add(
+            plan.col_positions, col_offsets[i], out=col_positions[lo:hi],
+            casting="unsafe",
+        )
+    return FusedPlan(
+        row_positions=row_positions,
+        col_positions=col_positions,
+        segment_bounds=segment_bounds,
+        row_offsets=row_offsets,
+        col_offsets=col_offsets,
+        plans=plans,
     )
 
 

@@ -43,3 +43,8 @@ class ArchitectureError(ReproError):
 class ValidationError(ReproError):
     """Raised when cross-implementation validation detects a mismatch
     between triangle-counting implementations."""
+
+
+class OverloadedError(ReproError):
+    """Raised when the serving tier's admission queue is full and the
+    admission policy is ``"reject"``; the caller should retry later."""

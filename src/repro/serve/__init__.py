@@ -18,6 +18,7 @@ See ``docs/API.md`` ("Serving") for pool semantics, eviction, and the
 concurrency guarantees of ``TCIMSession`` vs ``Service``.
 """
 
+from repro.errors import OverloadedError
 from repro.serve.pool import PoolStats, SessionEntry, SessionPool
 from repro.serve.protocol import handle_request, serve_stdio, serve_stream, serve_tcp
 from repro.serve.service import (
@@ -28,6 +29,7 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "OverloadedError",
     "PoolStats",
     "SessionEntry",
     "SessionPool",

@@ -59,6 +59,9 @@ class PoolStats:
     misses: int = 0
     evictions: int = 0
     peak_resident: int = 0
+    #: Read replicas built for hot entries / discarded by write fences.
+    replicas_built: int = 0
+    replicas_retired: int = 0
 
 
 @dataclass
@@ -100,6 +103,13 @@ class SessionEntry:
     #: by the service's workers) so the pool's budget check can sum plain
     #: ints under its lock instead of taking every session's lock.
     cached_bytes: int = 0
+    #: Read replicas of a hot entry: ``(session, generation-at-build)``.
+    #: Reads fan across ``[primary, *replicas]`` round-robin; a committed
+    #: write bumps the primary's generation, which fences every replica
+    #: built before it (they are pruned, never served stale).
+    replicas: list = field(default_factory=list)
+    #: Round-robin cursor over the read fan-out (monotone).
+    replica_cursor: int = 0
     #: Guards the accounting fields against concurrent worker threads.
     stats_lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -151,6 +161,10 @@ class SessionPool:
         #: entry's ``id()`` taken for as long as its snapshot is live, so
         #: a recycled address can never resolve to a stale snapshot.
         self._writeback: dict[str, tuple[object, Graph]] = {}
+        #: (config, sorted overrides) -> rendered config token.  Key
+        #: derivation sits on every request's hot path, and the default
+        #: case re-renders the same token every time.
+        self._config_tokens: dict = {}
         self._lock = threading.Lock()
         self.stats = PoolStats()
 
@@ -180,9 +194,29 @@ class SessionPool:
                 f"graph source must be a Graph or a spec string, "
                 f"got {type(source).__name__}"
             )
+        return f"{token}|{self._config_token(config, overrides)}"
+
+    def _config_token(self, config, overrides) -> str:
+        """Rendered effective-config string, memoised per (config, overrides).
+
+        ``AcceleratorConfig`` is a frozen dataclass, so the common inputs
+        (``None`` or a shared config object, few or no overrides) are
+        hashable and the render happens once; unhashable inputs (mapping
+        configs, exotic override values) just skip the cache.
+        """
+        try:
+            cache_key = (config, tuple(sorted(overrides.items())) if overrides else ())
+            cached = self._config_tokens.get(cache_key)
+        except TypeError:
+            cache_key = None
+            cached = None
+        if cached is not None:
+            return cached
         mapping = self.effective_config(config, overrides).to_mapping()
-        config_token = ",".join(f"{k}={mapping[k]}" for k in sorted(mapping))
-        return f"{token}|{config_token}"
+        rendered = ",".join(f"{k}={mapping[k]}" for k in sorted(mapping))
+        if cache_key is not None and len(self._config_tokens) < 1024:
+            self._config_tokens[cache_key] = rendered
+        return rendered
 
     # ------------------------------------------------------------------
     # Leasing
@@ -196,13 +230,9 @@ class SessionPool:
         acquire with :meth:`release`.
         """
         key = self.key_for(source, config, overrides)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                self._entries.move_to_end(key)
-                entry.refs += 1
-                self.stats.hits += 1
-                return entry
+        entry = self.acquire_hit(key)
+        if entry is not None:
+            return entry
         # Session creation happens outside the pool lock: it can be
         # expensive (spec resolution, graph synthesis) and must not
         # stall hits on other keys.  The Service serialises acquires
@@ -238,6 +268,22 @@ class SessionPool:
             self._evict_over_budget_locked()
             return entry
 
+    def acquire_hit(self, key: str) -> SessionEntry | None:
+        """Lease the resident entry for ``key`` if present, else ``None``.
+
+        The cheap half of :meth:`acquire` — one short lock hold, no
+        session construction — so callers on a latency-sensitive path
+        (the serving tier's per-request checkout) can take a hit inline
+        and only pay a worker-pool hop for the build-a-session miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                entry.refs += 1
+                self.stats.hits += 1
+            return entry
+
     def release(self, entry: SessionEntry) -> None:
         """Return a lease; evicts over-budget idle entries.
 
@@ -250,6 +296,80 @@ class SessionPool:
         with self._lock:
             entry.refs = max(0, entry.refs - 1)
             self._evict_over_budget_locked()
+
+    # ------------------------------------------------------------------
+    # Hot-graph read replicas
+    # ------------------------------------------------------------------
+    def replica_for(self, entry: SessionEntry, limit: int) -> TCIMSession:
+        """A read target for one pure-read query: primary or replica.
+
+        Fans reads round-robin across the primary and up to ``limit``
+        replicas, building replicas lazily from a generation-stamped
+        snapshot of the primary's graph.  Replicas whose build generation
+        trails the primary's are stale — a write landed — and are pruned
+        here rather than served; readers fall back to the primary until a
+        current replica is rebuilt.  Callers must hold a lease on
+        ``entry`` (which they do: this runs inside served requests), so
+        the entry cannot retire mid-call.
+        """
+        if limit < 1:
+            return entry.session
+        primary = entry.session
+        with primary.lock:
+            generation = primary.generation
+        with entry.stats_lock:
+            stale = [r for r in entry.replicas if r[1] != generation]
+            if stale:
+                entry.replicas = [
+                    r for r in entry.replicas if r[1] == generation
+                ]
+            cursor = entry.replica_cursor
+            entry.replica_cursor += 1
+            slot = cursor % (limit + 1)
+            if 0 < slot <= len(entry.replicas):
+                target = entry.replicas[slot - 1][0]
+            else:
+                target = None
+        for session, _ in stale:
+            session.close()
+        if stale:
+            with self._lock:
+                self.stats.replicas_retired += len(stale)
+        if target is not None:
+            return target
+        if slot == 0:
+            return primary
+        # Build one replica outside all locks; snapshot the graph and its
+        # generation atomically so the replica is stamped consistently.
+        with primary.lock:
+            graph = primary.graph
+            build_generation = primary.generation
+        if build_generation != generation:
+            return primary  # a write landed mid-build; don't chase it
+        replica = open_session(graph, primary.config, model=self._model)
+        with entry.stats_lock:
+            if (
+                entry.known_generation == build_generation
+                and len(entry.replicas) < limit
+            ):
+                entry.replicas.append((replica, build_generation))
+                installed = True
+            else:
+                installed = False
+        if not installed:
+            replica.close()
+            return primary
+        with self._lock:
+            self.stats.replicas_built += 1
+        return replica
+
+    def replica_count(self) -> int:
+        """Currently-built replicas across all resident entries."""
+        total = 0
+        for entry in self.entries():
+            with entry.stats_lock:
+                total += len(entry.replicas)
+        return total
 
     # ------------------------------------------------------------------
     # Budget and eviction
@@ -282,6 +402,11 @@ class SessionPool:
 
     def _retire_locked(self, key: str) -> None:
         entry = self._entries.pop(key)
+        with entry.stats_lock:
+            replicas, entry.replicas = entry.replicas, []
+        for session, _ in replicas:
+            session.close()
+        self.stats.replicas_retired += len(replicas)
         if entry.session.generation > 0:
             # The session was mutated since it was opened: write its
             # current graph back so a later acquire resumes from the

@@ -11,8 +11,10 @@ One JSON object per line, over stdin/stdout or TCP.  Requests::
     {"id": 7, "op": "truss",    "graph": "g.txt", "k": 3}
     {"id": 8, "op": "cluster",  "graph": "g.txt"}
     {"id": 9, "op": "common_neighbors", "graph": "g.txt", "u": 0, "k": 10}
-    {"id": 10, "op": "report"}
-    {"id": 11, "op": "ping"}
+    {"id": 10, "op": "common_neighbors_many", "graph": "g.txt", "pairs": [[0, 5], [1, 9]]}
+    {"id": 11, "op": "report"}
+    {"id": 12, "op": "stats"}
+    {"id": 13, "op": "ping"}
 
 Responses echo the request ``id`` (clients may pipeline; responses come
 back in *completion* order, so correlate by id)::
@@ -71,8 +73,12 @@ async def _dispatch(service: Service, op, request: dict):
         loop = asyncio.get_running_loop()
         report = await loop.run_in_executor(None, service.report)
         return report.to_mapping()
+    if op == "stats":
+        # Live scheduler counters (queue depth, fused batches, shed);
+        # lock-free, so it answers even while the service is saturated.
+        return service.stats()
     if op not in _GRAPH_OPS:
-        known = sorted(("ping", "report", *_GRAPH_OPS))
+        known = sorted(("ping", "report", "stats", *_GRAPH_OPS))
         raise ValueError(f"unknown op {op!r}; expected one of {known}")
     graph = request.get("graph")
     if not isinstance(graph, str):
@@ -159,6 +165,15 @@ async def _op_common_neighbors(service, graph, config, request):
     return await service.common_neighbors(graph, u, v, k, config)
 
 
+async def _op_common_neighbors_many(service, graph, config, request):
+    pairs = request.get("pairs")
+    if not isinstance(pairs, list):
+        raise ValueError(
+            "op 'common_neighbors_many' needs a 'pairs' list of [u, v] pairs"
+        )
+    return await service.common_neighbors_many(graph, pairs, config)
+
+
 _GRAPH_OPS = {
     "count": _op_count,
     "simulate": _op_simulate,
@@ -169,6 +184,7 @@ _GRAPH_OPS = {
     "truss": _op_truss,
     "cluster": _op_cluster,
     "common_neighbors": _op_common_neighbors,
+    "common_neighbors_many": _op_common_neighbors_many,
 }
 
 
