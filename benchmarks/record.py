@@ -327,11 +327,84 @@ def measure_serving(num_graphs: int, reads_per_graph: int) -> dict:
     return result
 
 
+def measure_storage(num_vertices: int, attach: int) -> dict:
+    """Out-of-core rows: snapshot write, warm hydrate vs cold residency.
+
+    Mirrors ``smoke_oocore.py``'s warm-vs-cold comparison (residency
+    establishment only: slice structures + both compiled plans, no
+    engine queries) and adds the snapshot footprint and the memmap
+    session's spilled share, plus the architecture model's pricing of
+    the same trade (``evaluate_hydrate`` vs ``evaluate_cold_open``).
+    """
+    import tempfile
+
+    from repro.arch.perf import default_pim_model
+    from repro.storage.snapshot import snapshot_nbytes
+
+    graph = generators.barabasi_albert(num_vertices, attach, seed=0)
+
+    def residency(session):
+        with session._lock:
+            session._prepare()
+            session._ensure_join_plan()
+            session._sym()
+            session._ensure_sym_edges()
+            session._ensure_sym_plan()
+
+    with tempfile.TemporaryDirectory(prefix="record-storage-") as tmp:
+        tmp_path = Path(tmp)
+        warmup = open_session(graph)
+        residency(warmup)
+        snap_start = time.perf_counter()
+        snap_dir = warmup.snapshot(tmp_path / "snap")
+        snapshot_write_s = time.perf_counter() - snap_start
+        plan = warmup._join_plan
+
+        def cold_open():
+            session = open_session(graph)
+            residency(session)
+            session.close()
+
+        def warm_open():
+            session = open_session(snapshot=snap_dir)
+            assert session._join_plan is not None
+            session.close()
+
+        cold_s, _ = best_of(3, cold_open)
+        warm_s, _ = best_of(3, warm_open)
+        spilled_session = open_session(
+            graph, storage_dir=str(tmp_path / "spill"), spill_threshold_bytes=2**20
+        )
+        residency(spilled_session)
+        detail = spilled_session.resident_bytes_detail()
+        payload_bytes = snapshot_nbytes(snap_dir)
+        model = default_pim_model()
+        result = {
+            "graph": {"num_vertices": graph.num_vertices, "num_edges": graph.num_edges},
+            "snapshot_write_s": snapshot_write_s,
+            "snapshot_bytes": payload_bytes,
+            "cold_residency_s": cold_s,
+            "warm_hydrate_s": warm_s,
+            "hydrate_speedup": cold_s / warm_s if warm_s else None,
+            "resident_bytes": detail["total"],
+            "spilled_bytes": detail["spilled"],
+            "modelled": {
+                "hydrate_latency_s": model.evaluate_hydrate(payload_bytes).latency_s,
+                "cold_open_latency_s": model.evaluate_cold_open(
+                    graph.num_edges, plan.num_pairs
+                ).latency_s,
+            },
+        }
+        spilled_session.close()
+        warmup.close()
+        return result
+
+
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     scale = 4 if quick else 1
     payload = {
-        "schema": 2,
+        "schema": 3,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "quick": quick,
@@ -339,6 +412,7 @@ def main(argv: list[str]) -> int:
         "streaming": measure_streaming(20_000 // scale, 8, 500 // scale),
         "workloads": measure_workloads(8_000 // scale, 8),
         "serving": measure_serving(4, 50 // scale),
+        "storage": measure_storage(20_000 // scale, 8),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {OUTPUT}")
@@ -351,6 +425,8 @@ def main(argv: list[str]) -> int:
         f"serving {payload['serving']['queries_per_second']:,.0f} queries/s "
         f"({payload['serving']['coalesced']} coalesced, fusion "
         f"{payload['serving']['fusion_speedup']:.1f}x on probes); "
+        f"storage hydrate {payload['storage']['hydrate_speedup']:.1f}x vs cold "
+        f"({payload['storage']['snapshot_bytes'] / 1e6:.1f} MB snapshot); "
         "workloads "
         + ", ".join(
             f"{kind} {row['speedup']:.1f}x"

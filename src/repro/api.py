@@ -60,8 +60,10 @@ from repro.core.engine import oriented_edges
 from repro.core.reuse import CacheStatistics
 from repro.core.sharding import plan_shards
 from repro.core.slicing import SlicedMatrix, SliceStatistics, slice_statistics
-from repro.errors import ArchitectureError, GraphError, ReproError
+from repro.errors import ArchitectureError, GraphError, ReproError, StorageError
 from repro.graph.graph import Graph
+from repro.storage import snapshot as storage_snapshot
+from repro.storage.backing import BackingStore
 
 __all__ = [
     "ClusteringReport",
@@ -71,6 +73,13 @@ __all__ = [
     "open_session",
     "resolve_graph",
 ]
+
+
+#: Edge-window size of chunked plan compiles on memmap-backed sessions.
+#: 64k edges keeps the compile's transient heap in the tens of MB even
+#: on dense pair distributions, while large enough that the per-window
+#: merge-join overhead stays negligible.
+_PLAN_CHUNK_EDGES = 65_536
 
 
 def resolve_graph(spec) -> Graph:
@@ -286,6 +295,16 @@ class TCIMSession:
         self._num_vertices = graph.num_vertices
         self._graph: Graph | None = graph
         self._edge_set: set[tuple[int, int]] | None = None
+        # Where the large resident arrays live (repro.storage.backing):
+        # config.storage_dir selects a memmap store that spills slice
+        # payloads and plan arrays to disk; the default ram store keeps
+        # the historical heap behaviour.  With a memmap store, plan
+        # compilation also streams through bounded edge windows so its
+        # peak heap is O(window), not O(pairs).
+        self._store = BackingStore.from_config(self.config)
+        self._plan_chunk_edges = (
+            _PLAN_CHUNK_EDGES if self._store.kind == "memmap" else None
+        )
         # Resident compressed state, built lazily and reused across queries.
         self._row_sliced: SlicedMatrix | None = None
         self._col_sliced: SlicedMatrix | None = None
@@ -408,28 +427,47 @@ class TCIMSession:
         :class:`repro.serve.SessionPool` budgets its eviction against;
         a freshly opened session reports only its graph's edge storage.
         """
+        return self.resident_bytes_detail()["total"]
+
+    def resident_bytes_detail(self) -> dict:
+        """:meth:`resident_bytes` decomposed the way paging decisions need.
+
+        Keys (all bytes): ``slices`` (the resident slice structures),
+        ``plan`` / ``sym_plan`` (the compiled join plans), ``edges``
+        (the oriented edge arrays), ``graph`` (the edge list and the
+        materialised edge set), ``spilled`` (how much of the above is
+        disk-backed rather than on heap — 0 for a ram store), and
+        ``total`` (== :meth:`resident_bytes`).  Surfaced per session by
+        the serving tier's ``stats`` protocol op.
+        """
         with self._lock:
-            total = 0
-            for sliced in (self._row_sliced, self._col_sliced, self._sym_sliced):
-                if sliced is not None:
-                    total += (
-                        sliced.data.nbytes
-                        + sliced.slice_ids.nbytes
-                        + sliced.indptr.nbytes
-                    )
-            for arrays in (self._edge_arrays, self._sym_edge_arrays):
-                if arrays is not None:
-                    total += sum(array.nbytes for array in arrays)
-            for plan in (self._join_plan, self._sym_plan):
-                if plan is not None:
-                    total += plan.nbytes
-            if self._graph is not None:
-                total += self._graph.edge_array().nbytes
+            slices = sum(
+                sliced.data.nbytes + sliced.slice_ids.nbytes + sliced.indptr.nbytes
+                for sliced in (self._row_sliced, self._col_sliced, self._sym_sliced)
+                if sliced is not None
+            )
+            edges = sum(
+                array.nbytes
+                for arrays in (self._edge_arrays, self._sym_edge_arrays)
+                if arrays is not None
+                for array in arrays
+            )
+            plan = self._join_plan.nbytes if self._join_plan is not None else 0
+            sym_plan = self._sym_plan.nbytes if self._sym_plan is not None else 0
+            graph = self._graph.edge_array().nbytes if self._graph is not None else 0
             if self._edge_set is not None:
                 # CPython footprint of a set of int 2-tuples, measured
                 # ~200 B/edge; 128 keeps the estimate conservative-cheap.
-                total += 128 * len(self._edge_set)
-            return total
+                graph += 128 * len(self._edge_set)
+            return {
+                "slices": slices,
+                "plan": plan,
+                "sym_plan": sym_plan,
+                "edges": edges,
+                "graph": graph,
+                "spilled": self._store.spilled_bytes,
+                "total": slices + plan + sym_plan + edges + graph,
+            }
 
     @property
     def join_plan(self):
@@ -459,6 +497,190 @@ class TCIMSession:
                 for plan in (self._join_plan, self._sym_plan)
                 if plan is not None
             )
+
+    # ------------------------------------------------------------------
+    # Snapshots (repro.storage)
+    # ------------------------------------------------------------------
+    def snapshot(self, path, *, ensure: bool = True):
+        """Persist the session's resident state as an on-disk snapshot.
+
+        Writes the versioned manifest + content-hashed segment format of
+        :mod:`repro.storage.snapshot`: the current edge list, every
+        resident slice structure (row / column / symmetric), the
+        oriented edge arrays, both compiled join plans, the generation
+        counter, and the incrementally maintained triangle total — so
+        ``open_session(snapshot=path)`` hydrates warm, without
+        re-slicing or re-compiling.  ``ensure=True`` (the default) warms
+        the structures and plans first; ``ensure=False`` (the pool's
+        eviction write-back path) serialises only what is already
+        resident, never forcing plan builds at eviction time.
+
+        Returns the snapshot directory path.
+        """
+        with self._lock:
+            self._flush_patches()
+            if ensure:
+                self._prepare()
+                self._ensure_join_plan()
+                self._sym()
+                self._ensure_sym_edges()
+                self._ensure_sym_plan()
+            meta, arrays = self._snapshot_state()
+            return storage_snapshot.write_snapshot(path, meta, arrays)
+
+    def _snapshot_state(self) -> tuple[dict, dict]:
+        """The ``(meta, arrays)`` pair a snapshot persists.
+
+        Callers hold ``self._lock`` with patches flushed.  Only resident
+        pieces are included; the manifest's ``structures`` /
+        ``edge_lists`` / ``plans`` tables record what is present so
+        hydration restores exactly the warmth that was serialised.
+        """
+        arrays: dict[str, np.ndarray] = {"graph.edges": self.graph.edge_array()}
+        # The symmetric CSR rides along so hydration reassembles the
+        # Graph via Graph.from_parts — skipping the canonicalise +
+        # lexsort passes, which would otherwise dominate warm opens.
+        indptr, indices = self.graph.csr
+        arrays["graph.indptr"] = indptr
+        arrays["graph.indices"] = indices
+        structures: dict[str, dict] = {}
+        for name, sliced in (
+            ("row", self._row_sliced),
+            ("col", self._col_sliced),
+            ("sym", self._sym_sliced),
+        ):
+            if sliced is None:
+                continue
+            structures[name] = {
+                "num_rows": sliced.num_rows,
+                "num_cols": sliced.num_cols,
+                "slice_bits": sliced.slice_bits,
+                "structure_version": sliced.structure_version,
+            }
+            arrays[f"{name}.indptr"] = sliced.indptr
+            arrays[f"{name}.slice_ids"] = sliced.slice_ids
+            arrays[f"{name}.data"] = sliced.data
+        edge_lists = []
+        for name, pair in (
+            ("edges", self._edge_arrays),
+            ("sym_edges", self._sym_edge_arrays),
+        ):
+            if pair is None:
+                continue
+            edge_lists.append(name)
+            arrays[f"{name}.sources"] = pair[0]
+            arrays[f"{name}.destinations"] = pair[1]
+        plans: dict[str, dict] = {}
+        for name, plan in (("plan", self._join_plan), ("sym_plan", self._sym_plan)):
+            if plan is None:
+                continue
+            plans[name] = {
+                "num_edges": plan.num_edges,
+                "row_version": plan.row_version,
+                "col_version": plan.col_version,
+                "row_valid_slices": plan.row_valid_slices,
+                "col_valid_slices": plan.col_valid_slices,
+            }
+            arrays[f"{name}.row_positions"] = plan.row_positions
+            arrays[f"{name}.col_positions"] = plan.col_positions
+            arrays[f"{name}.trace_keys"] = plan.trace_keys
+            arrays[f"{name}.pair_counts"] = plan.pair_counts
+        meta = {
+            "config": self.config.to_mapping(),
+            "generation": self._generation,
+            "triangles": self._triangles,
+            "num_vertices": self._num_vertices,
+            "num_edges": self.num_edges,
+            "structures": structures,
+            "edge_lists": edge_lists,
+            "plans": plans,
+        }
+        return meta, arrays
+
+    def _hydrate(self, meta: dict, arrays: dict) -> None:
+        """Adopt a snapshot's structural state (``open_session(snapshot=)``).
+
+        The session is freshly constructed and unshared, so no lock is
+        needed.  The generation counter and the maintained triangle
+        total always carry over; the compressed structures, oriented
+        edge arrays and compiled plans carry over only when the
+        effective config agrees with the snapshot on the fields they
+        were built under (slice width, orientation) — on a mismatch they
+        are left to rebuild lazily under the new config.
+        """
+        self._generation = int(meta.get("generation", 0))
+        triangles = meta.get("triangles")
+        self._triangles = int(triangles) if triangles is not None else None
+        saved = meta.get("config", {})
+        if (
+            saved.get("slice_bits") != self.config.slice_bits
+            or saved.get("orientation") != self.config.orientation
+        ):
+            return
+        adopt = self._store.adopt
+        structures = meta.get("structures", {})
+
+        def take(name: str) -> np.ndarray:
+            try:
+                return arrays[name]
+            except KeyError:
+                raise StorageError(
+                    f"snapshot manifest names array {name!r} but the segment "
+                    f"table has no such entry"
+                ) from None
+
+        def load_structure(name: str) -> SlicedMatrix | None:
+            info = structures.get(name)
+            if info is None:
+                return None
+            sliced = SlicedMatrix(
+                int(info["num_rows"]),
+                int(info["num_cols"]),
+                int(info["slice_bits"]),
+                take(f"{name}.indptr"),
+                adopt(take(f"{name}.slice_ids")),
+                adopt(take(f"{name}.data")),
+            )
+            sliced.structure_version = int(info["structure_version"])
+            return sliced
+
+        def load_edges(name: str) -> tuple[np.ndarray, np.ndarray] | None:
+            if name not in meta.get("edge_lists", []):
+                return None
+            return (take(f"{name}.sources"), take(f"{name}.destinations"))
+
+        def load_plan(name: str, row_sliced, col_sliced, enabled: bool):
+            info = meta.get("plans", {}).get(name)
+            if info is None or not enabled:
+                return None
+            if row_sliced is None or col_sliced is None:
+                return None
+            plan = joinplan.JoinPlan(
+                row_positions=adopt(take(f"{name}.row_positions")),
+                col_positions=adopt(take(f"{name}.col_positions")),
+                trace_keys=adopt(take(f"{name}.trace_keys")),
+                pair_counts=take(f"{name}.pair_counts"),
+                num_edges=int(info["num_edges"]),
+                row_version=int(info["row_version"]),
+                col_version=int(info["col_version"]),
+                row_valid_slices=int(info["row_valid_slices"]),
+                col_valid_slices=int(info["col_valid_slices"]),
+            )
+            # Defensive: a hand-assembled snapshot could pair a plan with
+            # structures it was not compiled for — rebuild, never serve.
+            return plan if plan.matches(row_sliced, col_sliced) else None
+
+        self._row_sliced = load_structure("row")
+        self._col_sliced = load_structure("col")
+        self._sym_sliced = load_structure("sym")
+        self._edge_arrays = load_edges("edges")
+        self._sym_edge_arrays = load_edges("sym_edges")
+        self._join_plan = load_plan(
+            "plan", self._row_sliced, self._col_sliced, self._use_plan
+        )
+        self._sym_plan = load_plan(
+            "sym_plan", self._sym_sliced, self._sym_sliced, self._use_workload_plan
+        )
 
     # ------------------------------------------------------------------
     # Queries
@@ -897,7 +1119,8 @@ class TCIMSession:
         """The incrementally maintained symmetric slice structure."""
         if self._sym_sliced is None:
             self._sym_sliced = SlicedMatrix.from_graph(
-                self.graph, "symmetric", slice_bits=self.config.slice_bits
+                self.graph, "symmetric", slice_bits=self.config.slice_bits,
+                store=self._store,
             )
         return self._sym_sliced
 
@@ -915,12 +1138,14 @@ class TCIMSession:
         orientation = self.config.orientation
         if self._row_sliced is None:
             self._row_sliced = SlicedMatrix.from_graph(
-                self.graph, orientation, slice_bits=self.config.slice_bits
+                self.graph, orientation, slice_bits=self.config.slice_bits,
+                store=self._store,
             )
         if self._col_sliced is None:
             col_orientation = "lower" if orientation == "upper" else "symmetric"
             self._col_sliced = SlicedMatrix.from_graph(
-                self.graph, col_orientation, slice_bits=self.config.slice_bits
+                self.graph, col_orientation, slice_bits=self.config.slice_bits,
+                store=self._store,
             )
         if self._edge_arrays is None:
             self._edge_arrays = oriented_edges(self.graph, orientation)
@@ -949,7 +1174,8 @@ class TCIMSession:
             self._join_plan = None
         if self._join_plan is None:
             self._join_plan = joinplan.build_join_plan(
-                self._row_sliced, self._col_sliced, *self._edge_arrays
+                self._row_sliced, self._col_sliced, *self._edge_arrays,
+                chunk_edges=self._plan_chunk_edges, store=self._store,
             )
         return self._join_plan
 
@@ -981,7 +1207,8 @@ class TCIMSession:
             self._sym_plan = None
         if self._sym_plan is None:
             self._sym_plan = joinplan.build_join_plan(
-                sym, sym, *self._ensure_sym_edges()
+                sym, sym, *self._ensure_sym_edges(),
+                chunk_edges=self._plan_chunk_edges, store=self._store,
             )
         return self._sym_plan
 
@@ -1466,6 +1693,7 @@ class TCIMSession:
                     *new_edges,
                     sym_delta,
                     sym_delta,
+                    store=self._store,
                 )
             self._sym_edge_arrays = new_edges
         except Exception:
@@ -1525,6 +1753,7 @@ class TCIMSession:
                         *new_edges,
                         row_delta,
                         col_delta,
+                        store=self._store,
                     )
                 self._edge_arrays = new_edges
         except Exception:
@@ -1565,20 +1794,38 @@ def _both_directions(delta_edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def open_session(
-    source,
+    source=None,
     config: AcceleratorConfig | Mapping | None = None,
     *,
     model=None,
+    snapshot=None,
     **overrides,
 ) -> TCIMSession:
-    """Open a :class:`TCIMSession` on a graph source.
+    """Open a :class:`TCIMSession` on a graph source or a snapshot.
 
     ``source`` is a :class:`Graph`, a file path, or a
     ``dataset:<key>[@scale]`` spec.  ``config`` is an
     :class:`AcceleratorConfig` or a plain mapping (e.g. a parsed TOML/JSON
     file); ``overrides`` are individual config fields applied on top —
     ``open_session(g, num_arrays=4)`` just works.
+
+    ``snapshot`` (exclusive with ``source``) opens a directory written
+    by :meth:`TCIMSession.snapshot`: the graph, slice structures,
+    oriented edge arrays, both compiled join plans and the generation
+    counter hydrate from disk — no re-slicing, no plan recompile.  The
+    snapshot's own config is the base; ``config``/``overrides`` layer on
+    top (structural state is kept only while slice width and orientation
+    stay unchanged).  Corrupt or truncated snapshots raise
+    :class:`~repro.errors.StorageError`.
     """
+    if snapshot is not None:
+        if source is not None:
+            raise ReproError(
+                "open_session takes a graph source or a snapshot=, not both"
+            )
+        return _open_snapshot_session(snapshot, config, model=model, **overrides)
+    if source is None:
+        raise ReproError("open_session needs a graph source or a snapshot= path")
     graph = resolve_graph(source)
     if isinstance(config, AcceleratorConfig):
         if overrides:
@@ -1586,3 +1833,46 @@ def open_session(
     else:
         config = AcceleratorConfig.from_mapping(config, **overrides)
     return TCIMSession(graph, config, model=model)
+
+
+def _open_snapshot_session(
+    path, config: AcceleratorConfig | Mapping | None, *, model=None, **overrides
+) -> TCIMSession:
+    """Hydrate a session from a snapshot directory (``open_session``'s back)."""
+    meta = storage_snapshot.read_snapshot_meta(path)
+    base = dict(meta.get("config", {}))
+    if isinstance(config, AcceleratorConfig):
+        base.update(config.to_mapping())
+    elif config:
+        base.update(config)
+    effective = AcceleratorConfig.from_mapping(base, **overrides)
+    # Hydrate segments straight through the effective store so large
+    # arrays land spill-backed without a second heap-resident copy.
+    store = BackingStore.from_config(effective)
+    snap = storage_snapshot.read_snapshot(path, store=store)
+    try:
+        edges = snap.arrays["graph.edges"]
+        num_vertices = int(snap.meta["num_vertices"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise StorageError(
+            f"snapshot {path} is missing its graph ({error!r})"
+        ) from None
+    edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+    indptr = snap.arrays.get("graph.indptr")
+    indices = snap.arrays.get("graph.indices")
+    if indptr is not None and indices is not None:
+        try:
+            graph = Graph.from_parts(num_vertices, edges, indptr, indices)
+        except GraphError as error:
+            raise StorageError(
+                f"snapshot {path} carries inconsistent graph CSR parts: {error}"
+            ) from None
+    else:
+        # Older or hand-built snapshots without the CSR: rebuild it.
+        graph = Graph(num_vertices, edges)
+    session = TCIMSession(graph, effective, model=model)
+    # The constructor made a fresh (empty) store from the same config;
+    # swap in the one the segments already hydrated into.
+    session._store = store
+    session._hydrate(snap.meta, snap.arrays)
+    return session

@@ -90,6 +90,14 @@ class PimTimingParams:
     #: sweep pays it once for its whole request group.  See
     #: EXPERIMENTS.md §7 for the calibration.
     kernel_launch_s: float = 2e-6
+    #: Sequential throughput of bulk-loading snapshot segments from the
+    #: storage tier back into the array's slice regions (bytes/second).
+    #: Hydrating an evicted session is a streaming DMA of precomputed
+    #: structures — no per-edge controller machinery, no plan-record
+    #: writes — so it is priced by payload volume alone.  2 GB/s is a
+    #: conservative NVMe-class sequential read figure.  See
+    #: EXPERIMENTS.md §8 for the hydrate-vs-cold-open comparison.
+    hydrate_bytes_per_s: float = 2e9
 
 
 @dataclass(frozen=True)
@@ -285,6 +293,84 @@ class PimPerformanceModel:
                 "control": control_time,
             },
             energy_breakdown_j=breakdown_j,
+        )
+
+    def evaluate_hydrate(self, num_bytes: int) -> PerfReport:
+        """Price re-admitting an evicted session from its snapshot.
+
+        Hydration streams ``num_bytes`` of precomputed structures —
+        slice payloads, oriented edges, both compiled join plans — from
+        the storage tier back into the array's slice regions at
+        ``hydrate_bytes_per_s``.  Nothing is recomputed: no slicing
+        pass, no per-edge match, no plan-record writes.  Compare against
+        :meth:`evaluate_cold_open` to see what warm paging saves.
+        """
+        if num_bytes < 0:
+            raise ArchitectureError(
+                f"hydrate needs a non-negative byte count, got {num_bytes}"
+            )
+        timing, energy = self.timing, self.energy
+        latency = num_bytes / timing.hydrate_bytes_per_s
+        leakage_energy = energy.leakage_power_w * latency
+        array_energy = leakage_energy
+        return PerfReport(
+            latency_s=latency,
+            array_energy_j=array_energy,
+            system_energy_j=array_energy + energy.host_power_w * latency,
+            latency_breakdown_s={"stream": latency},
+            energy_breakdown_j={
+                "leakage": leakage_energy,
+                "host": energy.host_power_w * latency,
+            },
+        )
+
+    def evaluate_cold_open(self, num_edges: int, num_pairs: int) -> PerfReport:
+        """Price rebuilding an evicted session's residency from scratch.
+
+        A cold re-admission repeats the residency-establishing work the
+        session did on first open: one slicing pass over the edges
+        (per-edge controller machinery plus one slice WRITE per edge
+        endpoint pair into the array) followed by the plan compile of
+        :meth:`evaluate_plan_compile`.  The ratio against
+        :meth:`evaluate_hydrate` is the modelled counterpart of the
+        ``oocore-smoke`` benchmark's measured warm-vs-cold gate.
+        """
+        if num_edges < 0 or num_pairs < 0:
+            raise ArchitectureError(
+                f"cold open needs non-negative counts, got "
+                f"({num_edges}, {num_pairs})"
+            )
+        timing, energy = self.timing, self.energy
+        slice_time = num_edges * (
+            timing.per_edge_overhead_s + timing.write_latency_s
+        )
+        compile_report = self.evaluate_plan_compile(num_edges, num_pairs)
+        latency = slice_time + compile_report.latency_s
+        slice_energy = num_edges * (
+            energy.per_edge_energy_j + energy.write_energy_j
+        )
+        leakage_energy = energy.leakage_power_w * latency
+        array_energy = (
+            slice_energy
+            + compile_report.energy_breakdown_j["match"]
+            + compile_report.energy_breakdown_j["record"]
+            + leakage_energy
+        )
+        return PerfReport(
+            latency_s=latency,
+            array_energy_j=array_energy,
+            system_energy_j=array_energy + energy.host_power_w * latency,
+            latency_breakdown_s={
+                "slice": slice_time,
+                "compile": compile_report.latency_s,
+            },
+            energy_breakdown_j={
+                "slice": slice_energy,
+                "match": compile_report.energy_breakdown_j["match"],
+                "record": compile_report.energy_breakdown_j["record"],
+                "leakage": leakage_energy,
+                "host": energy.host_power_w * latency,
+            },
         )
 
     WORKLOAD_KINDS = ("count", "support", "truss", "cluster", "common_neighbors")

@@ -92,6 +92,16 @@ def add_accelerator_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--storage-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "out-of-core storage directory: slice payloads and compiled "
+            "plans at or above the spill threshold become disk-backed "
+            "memmaps under DIR/spill (results are identical)"
+        ),
+    )
+    parser.add_argument(
         "--config",
         metavar="FILE",
         default=None,
@@ -154,7 +164,7 @@ def _accelerator_config(args: argparse.Namespace, **flag_overrides) -> Accelerat
     mapping: dict = {}
     if getattr(args, "config", None):
         mapping.update(_load_config_file(args.config))
-    for name in ("engine", "num_arrays", "shard_by", "workers"):
+    for name in ("engine", "num_arrays", "shard_by", "workers", "storage_dir"):
         value = getattr(args, name, None)
         if value is not None:
             mapping[name] = value
@@ -568,7 +578,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import Service, serve_stdio, serve_tcp
 
-    config = _accelerator_config(args)
+    config = _accelerator_config(args, storage_dir=args.spill_dir)
     service = Service(
         max_sessions=args.max_sessions,
         max_resident_bytes=(
@@ -650,6 +660,12 @@ def _print_serve_summary(report, as_json: bool) -> int:
     table.add_row(["pool hits / misses", f"{report.pool.hits} / {report.pool.misses}"])
     table.add_row(["evictions", format_count(report.pool.evictions)])
     table.add_row(["resident bytes", format_bytes(report.resident_bytes)])
+    if report.pool.snapshots_written:
+        table.add_row(
+            ["paging (snapshots/hydrations)",
+             f"{report.pool.snapshots_written} / {report.pool.hydrations}"],
+        )
+        table.add_row(["spilled bytes", format_bytes(report.pool.spilled_bytes)])
     if report.fleet is not None:
         table.add_row(
             ["modelled fleet latency (critical path)",
@@ -658,6 +674,37 @@ def _print_serve_summary(report, as_json: bool) -> int:
         table.add_row(
             ["modelled fleet system energy", f"{report.fleet.system_energy_j:.3e} J"]
         )
+    print(table.render())
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    session = open_session(args.graph, _accelerator_config(args))
+    start = time.perf_counter()
+    target = session.snapshot(args.path)
+    elapsed = time.perf_counter() - start
+    from repro.storage.snapshot import snapshot_nbytes
+
+    payload = {
+        "path": str(target),
+        "num_vertices": session.num_vertices,
+        "num_edges": session.num_edges,
+        "triangles": session.count(),
+        "payload_bytes": snapshot_nbytes(target),
+        "resident": session.resident_bytes_detail(),
+        "wall_clock_s": elapsed,
+    }
+    if args.json:
+        _emit_json(payload)
+        return 0
+    table = Table(["metric", "value"], title="Session snapshot")
+    table.add_row(["path", payload["path"]])
+    table.add_row(["vertices", format_count(payload["num_vertices"])])
+    table.add_row(["edges", format_count(payload["num_edges"])])
+    table.add_row(["triangles", format_count(payload["triangles"])])
+    table.add_row(["payload bytes", format_bytes(payload["payload_bytes"])])
+    table.add_row(["resident bytes", format_bytes(payload["resident"]["total"])])
+    table.add_row(["write time", format_seconds(elapsed)])
     print(table.render())
     return 0
 
@@ -887,7 +934,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="read replicas per hot session; reads fan across them, "
              "writes fence them by generation (default: 0)",
     )
+    serve.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="out-of-core spill directory: large resident arrays become "
+             "disk-backed memmaps and evicted sessions page out as "
+             "snapshots that re-admit warm (sets config storage_dir)",
+    )
     add_accelerator_args(serve)
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="persist a session's residency as an on-disk snapshot",
+        description=(
+            "Open a session, build its residency (slices, oriented edges, "
+            "compiled join plans) and persist it as a versioned snapshot "
+            "directory.  open_session(snapshot=PATH) then hydrates it "
+            "warm — no re-slice, no plan recompile."
+        ),
+    )
+    snapshot.add_argument("graph", help="file path or dataset:<key>[@scale]")
+    snapshot.add_argument("path", help="snapshot directory to write")
+    add_accelerator_args(snapshot)
 
     device = subparsers.add_parser("device", help="MTJ characterisation")
     device.add_argument("--llg", action="store_true", help="run the LLG transient")
@@ -911,6 +978,7 @@ _COMMANDS = {
     "cluster": _cmd_cluster,
     "common-neighbors": _cmd_common_neighbors,
     "approx": _cmd_approx,
+    "snapshot": _cmd_snapshot,
 }
 
 

@@ -67,6 +67,15 @@ class AcceleratorConfig:
     bit-identical either way — the flag trades plan memory for repeat-
     query latency, never exactness.  It only affects the vectorized
     engine; the legacy oracle never uses plans.
+
+    ``storage_dir`` turns on the out-of-core storage tier
+    (:mod:`repro.storage`): slice payloads and compiled plan arrays at
+    or above ``spill_threshold_bytes`` (default 8 MiB; 0 spills every
+    array) become disk-backed ``np.memmap`` files under
+    ``<storage_dir>/spill``, plan compilation streams through bounded
+    edge windows, and the session pool pages evicted sessions out as
+    snapshots under ``<storage_dir>/pool``.  ``None`` (the default)
+    keeps everything on heap — byte-identical results either way.
     """
 
     slice_bits: int = 64
@@ -79,6 +88,8 @@ class AcceleratorConfig:
     shard_by: str = "edges"
     workers: int = 0
     use_plan: bool = True
+    storage_dir: str | None = None
+    spill_threshold_bytes: int | None = None
 
     @property
     def slice_bytes(self) -> int:
@@ -95,6 +106,9 @@ class AcceleratorConfig:
     _INT_FIELDS = ("slice_bits", "array_bytes", "seed", "num_arrays", "workers")
     #: Boolean fields, accepting true/false/1/0/yes/no strings.
     _BOOL_FIELDS = ("use_plan",)
+    #: Optional fields: ``None`` (or the strings ""/"none"/"null") stays
+    #: ``None``; anything else coerces to the named base type.
+    _OPTIONAL_FIELDS = {"storage_dir": str, "spill_threshold_bytes": int}
 
     @classmethod
     def from_mapping(
@@ -126,6 +140,17 @@ class AcceleratorConfig:
 
     @classmethod
     def _coerce_field(cls, name: str, value):
+        if name in cls._OPTIONAL_FIELDS:
+            if value is None or str(value).strip().lower() in ("", "none", "null"):
+                return None
+            base = cls._OPTIONAL_FIELDS[name]
+            try:
+                return base(value)
+            except (TypeError, ValueError):
+                raise ArchitectureError(
+                    f"config field {name!r} needs a {base.__name__} or none, "
+                    f"got {value!r}"
+                ) from None
         if name in cls._INT_FIELDS:
             try:
                 return int(value)

@@ -70,6 +70,20 @@ def _position_dtype(size: int) -> np.dtype:
     return np.dtype(np.int32 if size <= np.iinfo(np.int32).max else np.int64)
 
 
+def _alloc(store, shape, dtype) -> np.ndarray:
+    """Uninitialised array through a backing store (heap when ``store=None``)."""
+    if store is None:
+        return np.empty(shape, dtype=dtype)
+    return store.empty(shape, dtype)
+
+
+def _adopt(store, array: np.ndarray) -> np.ndarray:
+    """Move an array into the store's backing (identity when ``store=None``)."""
+    if store is None:
+        return array
+    return store.adopt(array)
+
+
 def _expand_runs(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
     """Flat indices of the runs ``[starts[i], starts[i] + counts[i])``.
 
@@ -228,6 +242,9 @@ def build_join_plan(
     sources: np.ndarray,
     destinations: np.ndarray,
     batch_candidates: int = engine.DEFAULT_BATCH_CANDIDATES,
+    *,
+    chunk_edges: int | None = None,
+    store=None,
 ) -> JoinPlan:
     """Compile the join plan of an oriented edge list — the one-time cost.
 
@@ -235,10 +252,30 @@ def build_join_plan(
     and records, instead of executing, every matched pair.  Sharing the
     join keeps the compiled plan structurally identical to what the
     plan-free executor would derive per query.
+
+    ``chunk_edges`` streams the compile through bounded edge windows:
+    each window's matched pairs are materialised, pushed into ``store``
+    (spilling to disk when large), and released before the next window
+    starts, so peak heap during compile is O(window pairs) instead of
+    O(total pairs).  The join order is window-independent (edges in
+    input order, slice ids ascending per edge — see
+    :func:`~repro.core.engine.join_batches`), so the chunked result is
+    array-equal to the unchunked one.  ``store`` alone (no chunking)
+    still moves the finished plan arrays into spill backing.
     """
     sources = np.asarray(sources, dtype=np.int64)
     destinations = np.asarray(destinations, dtype=np.int64)
     num_edges = int(sources.size)
+    if chunk_edges is not None:
+        if chunk_edges <= 0:
+            raise ArchitectureError(
+                f"chunk_edges must be a positive edge-window size, got {chunk_edges}"
+            )
+        if num_edges > chunk_edges:
+            return _build_join_plan_chunked(
+                row_sliced, col_sliced, sources, destinations,
+                batch_candidates, int(chunk_edges), store,
+            )
     row_parts: list[np.ndarray] = []
     col_parts: list[np.ndarray] = []
     edge_parts: list[np.ndarray] = []
@@ -267,10 +304,89 @@ def build_join_plan(
         pair_counts = np.zeros(num_edges, dtype=np.int64)
         trace_keys = np.empty(0, dtype=trace_dtype)
     return JoinPlan(
+        row_positions=_adopt(store, row_positions),
+        col_positions=_adopt(store, col_positions),
+        trace_keys=_adopt(store, trace_keys),
+        pair_counts=pair_counts.astype(np.int64, copy=False),
+        num_edges=num_edges,
+        row_version=row_sliced.structure_version,
+        col_version=col_sliced.structure_version,
+        row_valid_slices=row_sliced.num_valid_slices,
+        col_valid_slices=col_sliced.num_valid_slices,
+    )
+
+
+def _build_join_plan_chunked(
+    row_sliced: SlicedMatrix,
+    col_sliced: SlicedMatrix,
+    sources: np.ndarray,
+    destinations: np.ndarray,
+    batch_candidates: int,
+    chunk_edges: int,
+    store,
+) -> JoinPlan:
+    """The bounded-window compile loop behind ``build_join_plan(chunk_edges=)``.
+
+    One window at a time: join, record the window's pairs, adopt them
+    into the store (disk when large), release the heap copy.  After the
+    sweep the per-window records are copied — window by window — into
+    the final store-allocated arrays, so neither pass ever holds more
+    than one window of pair records on the heap.
+    """
+    num_edges = int(sources.size)
+    row_dtype = _position_dtype(max(row_sliced.num_valid_slices, 1) - 1)
+    col_dtype = _position_dtype(max(col_sliced.num_valid_slices, 1) - 1)
+    trace_dtype = _position_dtype(col_sliced.num_rows * col_sliced.slices_per_row)
+    col_keys = col_sliced.global_keys()
+    pair_counts = np.zeros(num_edges, dtype=np.int64)
+    windows: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for start in range(0, num_edges, chunk_edges):
+        stop = min(start + chunk_edges, num_edges)
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        edge_parts: list[np.ndarray] = []
+        # edge_ids are relative to the window's edge slice, exactly the
+        # offsets needed for this pair_counts stripe.
+        for row_hit, col_hit, edge_ids in engine.join_batches(
+            row_sliced, col_sliced, sources[start:stop], destinations[start:stop],
+            batch_candidates, with_edge_ids=True,
+        ):
+            row_parts.append(row_hit)
+            col_parts.append(col_hit)
+            edge_parts.append(edge_ids)
+        if not row_parts:
+            continue
+        rows = np.concatenate(row_parts).astype(row_dtype, copy=False)
+        cols = np.concatenate(col_parts)
+        pair_counts[start:stop] = np.bincount(
+            np.concatenate(edge_parts), minlength=stop - start
+        )
+        windows.append(
+            (
+                _adopt(store, rows),
+                _adopt(store, cols.astype(col_dtype, copy=False)),
+                _adopt(store, col_keys[cols].astype(trace_dtype, copy=False)),
+            )
+        )
+    total = int(pair_counts.sum())
+    row_positions = _alloc(store, total, row_dtype)
+    col_positions = _alloc(store, total, col_dtype)
+    trace_keys = _alloc(store, total, trace_dtype)
+    offset = 0
+    while windows:
+        # Pop as we copy so each window's (possibly spilled) staging
+        # arrays are reclaimed before the next one lands.
+        rows, cols, traces = windows.pop(0)
+        size = rows.size
+        row_positions[offset: offset + size] = rows
+        col_positions[offset: offset + size] = cols
+        trace_keys[offset: offset + size] = traces
+        offset += size
+    return JoinPlan(
         row_positions=row_positions,
         col_positions=col_positions,
         trace_keys=trace_keys,
-        pair_counts=pair_counts.astype(np.int64, copy=False),
+        pair_counts=pair_counts,
         num_edges=num_edges,
         row_version=row_sliced.structure_version,
         col_version=col_sliced.structure_version,
@@ -354,7 +470,7 @@ class FusedPlan:
         return [per_pair[self.segment_slice(i)] for i in range(self.num_segments)]
 
 
-def fuse_plans(plans) -> FusedPlan:
+def fuse_plans(plans, store=None) -> FusedPlan:
     """Concatenate compiled plans into one fused pair space.
 
     Each member's positions are shifted by the cumulative valid-slice
@@ -362,7 +478,9 @@ def fuse_plans(plans) -> FusedPlan:
     ``np.concatenate`` of the payload arrays induces — so one sweep over
     the stacked payloads executes every member plan at once.  Callers
     group only lane-compatible plans (same slice width); this function
-    is pure index arithmetic and does not see the payloads.
+    is pure index arithmetic and does not see the payloads.  A ``store``
+    routes the fused gather arrays through a backing store (disk-backed
+    when large); per-sweep fused plans are usually left on heap.
     """
     plans = tuple(plans)
     if not plans:
@@ -375,8 +493,8 @@ def fuse_plans(plans) -> FusedPlan:
     segment_bounds = np.zeros(num + 1, dtype=np.int64)
     np.cumsum([p.num_pairs for p in plans], out=segment_bounds[1:])
     total = int(segment_bounds[-1])
-    row_positions = np.empty(total, dtype=np.int64)
-    col_positions = np.empty(total, dtype=np.int64)
+    row_positions = _alloc(store, total, np.int64)
+    col_positions = _alloc(store, total, np.int64)
     for i, plan in enumerate(plans):
         lo, hi = int(segment_bounds[i]), int(segment_bounds[i + 1])
         np.add(
@@ -514,6 +632,8 @@ def patch_join_plan(
     row_delta: StructureDelta,
     col_delta: StructureDelta,
     batch_candidates: int = engine.DEFAULT_BATCH_CANDIDATES,
+    *,
+    store=None,
 ) -> JoinPlan:
     """Splice one committed update batch into a compiled plan.
 
@@ -603,9 +723,9 @@ def patch_join_plan(
     row_dtype = _position_dtype(max(row_sliced.num_valid_slices, 1) - 1)
     col_dtype = _position_dtype(max(col_sliced.num_valid_slices, 1) - 1)
     trace_dtype = _position_dtype(col_sliced.num_rows * col_sliced.slices_per_row)
-    row_positions = np.empty(total, dtype=row_dtype)
-    col_positions = np.empty(total, dtype=col_dtype)
-    trace_keys = np.empty(total, dtype=trace_dtype)
+    row_positions = _alloc(store, total, row_dtype)
+    col_positions = _alloc(store, total, col_dtype)
+    trace_keys = _alloc(store, total, trace_dtype)
     kept_targets = _expand_runs(bounds[np.flatnonzero(keep_new)], kept_counts)
     row_positions[kept_targets] = kept_row
     col_positions[kept_targets] = kept_col

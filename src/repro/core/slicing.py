@@ -122,8 +122,16 @@ class SlicedMatrix:
         num_rows: int,
         num_cols: int,
         slice_bits: int = 64,
+        store=None,
     ) -> "SlicedMatrix":
-        """Build from parallel arrays of non-zero coordinates."""
+        """Build from parallel arrays of non-zero coordinates.
+
+        ``store`` (a :class:`repro.storage.backing.BackingStore`) decides
+        where the slice payload lives: a ``memmap`` store spills the
+        ``data`` array to disk once it crosses the spill threshold.  The
+        small index arrays (``indptr``, ``slice_ids``) stay on heap —
+        they are hot and tiny relative to the payload.
+        """
         _check_slice_bits(slice_bits)
         rows = np.asarray(rows, dtype=np.int64)
         cols = np.asarray(cols, dtype=np.int64)
@@ -171,11 +179,15 @@ class SlicedMatrix:
         counts = np.bincount(owner_rows, minlength=num_rows)
         indptr = np.zeros(num_rows + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
+        if store is not None:
+            data = store.adopt(data)
+            slice_ids = store.adopt(slice_ids)
         return cls(num_rows, num_cols, slice_bits, indptr, slice_ids, data)
 
     @classmethod
     def from_graph(
-        cls, graph: Graph, orientation: str = "upper", slice_bits: int = 64
+        cls, graph: Graph, orientation: str = "upper", slice_bits: int = 64,
+        store=None,
     ) -> "SlicedMatrix":
         """Slice the (oriented) adjacency matrix of ``graph``.
 
@@ -183,6 +195,9 @@ class SlicedMatrix:
         (successors); ``"lower"`` slices its transpose (predecessors) —
         which is exactly the *column* structure of the upper matrix, since
         column ``j`` of ``A`` is row ``j`` of ``A^T``.
+
+        ``store`` is forwarded to :meth:`from_nonzeros`: with a ``memmap``
+        backing store, large slice payloads land on disk.
         """
         if orientation not in _ORIENTATIONS:
             raise SlicingError(f"unknown orientation {orientation!r}")
@@ -200,7 +215,7 @@ class SlicedMatrix:
             rows, cols = owners[keep], indices[keep]
         else:
             rows, cols = owners, indices
-        return cls.from_nonzeros(rows, cols, n, n, slice_bits=slice_bits)
+        return cls.from_nonzeros(rows, cols, n, n, slice_bits=slice_bits, store=store)
 
     @classmethod
     def from_dense(cls, dense: np.ndarray, slice_bits: int = 64) -> "SlicedMatrix":

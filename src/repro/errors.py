@@ -48,3 +48,10 @@ class ValidationError(ReproError):
 class OverloadedError(ReproError):
     """Raised when the serving tier's admission queue is full and the
     admission policy is ``"reject"``; the caller should retry later."""
+
+
+class StorageError(ReproError):
+    """Raised when the out-of-core storage tier encounters a corrupt,
+    truncated, or unreadable snapshot/backing file — a snapshot whose
+    manifest fails to parse, a segment whose content hash does not match,
+    or a spill directory that cannot be written."""

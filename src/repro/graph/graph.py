@@ -84,6 +84,48 @@ class Graph:
         return cls(num_vertices, edge_array)
 
     @classmethod
+    def from_parts(
+        cls,
+        num_vertices: int,
+        edges_uv: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ) -> "Graph":
+        """Reassemble a graph from its canonical internal arrays.
+
+        The storage tier's hydration path: ``edges_uv`` must already be
+        canonical (``u < v``, deduplicated, lexicographically sorted)
+        and ``indptr``/``indices`` the matching symmetric CSR — exactly
+        what :meth:`edge_array` and :meth:`csr` of the original graph
+        handed out.  Only cheap shape/monotonicity checks are performed;
+        content integrity is the snapshot layer's hash check.
+        """
+        graph = cls.__new__(cls)
+        graph._num_vertices = int(num_vertices)
+        edges_uv = np.ascontiguousarray(edges_uv, dtype=np.int64).reshape(-1, 2)
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.shape != (graph._num_vertices + 1,) or int(indptr[-1]) != len(
+            indices
+        ):
+            raise GraphError(
+                f"CSR parts do not fit {num_vertices} vertices / "
+                f"{len(indices)} half-edges"
+            )
+        if len(indices) != 2 * len(edges_uv):
+            raise GraphError(
+                f"CSR carries {len(indices)} half-edges but the edge list "
+                f"has {len(edges_uv)} edges"
+            )
+        graph._edges_uv = edges_uv
+        graph._indptr = indptr
+        graph._indices = indices
+        graph._edges_uv.flags.writeable = False
+        graph._indptr.flags.writeable = False
+        graph._indices.flags.writeable = False
+        return graph
+
+    @classmethod
     def from_networkx(cls, nx_graph) -> "Graph":
         """Convert a :class:`networkx.Graph`.
 

@@ -28,6 +28,16 @@ pool is closed; :meth:`SessionPool.writeback_bytes` reports their
 footprint, which sits outside the eviction budget (snapshots are what
 makes eviction safe, so they cannot themselves be evicted).
 
+When a session's config names a ``storage_dir``, eviction additionally
+pages the *whole residency* out: a :mod:`repro.storage.snapshot` of the
+slice structures, oriented edges and compiled plans is persisted under
+``<storage_dir>/pool/<key-hash>``, and the next acquire of that key
+hydrates it warm — no re-slice, no plan recompile (the in-memory graph
+write-back stays as the fallback if the snapshot cannot be read back).
+:class:`PoolStats` counts the paging traffic: ``snapshots_written``,
+``hydrations``, and ``spilled_bytes`` (payload bytes currently paged
+out to pool snapshots).
+
 The pool is thread-safe for its bookkeeping, but session *creation* for
 one key is not deduplicated here — :class:`repro.serve.Service`
 serialises acquires per key on the event loop, which is the supported
@@ -36,14 +46,18 @@ concurrent front door.
 
 from __future__ import annotations
 
+import hashlib
+import shutil
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.api import TCIMSession, open_session
 from repro.core.accelerator import AcceleratorConfig, EventCounts
-from repro.errors import ReproError
+from repro.errors import ReproError, StorageError
 from repro.graph.graph import Graph
+from repro.storage.snapshot import snapshot_nbytes
 
 __all__ = ["PoolStats", "SessionEntry", "SessionPool"]
 
@@ -53,7 +67,8 @@ MAX_RETIRED = 64
 
 @dataclass
 class PoolStats:
-    """Pool traffic counters (monotone over the pool's lifetime)."""
+    """Pool traffic counters (monotone over the pool's lifetime,
+    except ``spilled_bytes`` which is a gauge)."""
 
     hits: int = 0
     misses: int = 0
@@ -62,6 +77,13 @@ class PoolStats:
     #: Read replicas built for hot entries / discarded by write fences.
     replicas_built: int = 0
     replicas_retired: int = 0
+    #: Eviction snapshots persisted to the spill directory.
+    snapshots_written: int = 0
+    #: Acquires served warm from an eviction snapshot (no re-slice,
+    #: no plan recompile).
+    hydrations: int = 0
+    #: Payload bytes currently paged out to pool eviction snapshots.
+    spilled_bytes: int = 0
 
 
 @dataclass
@@ -161,11 +183,18 @@ class SessionPool:
         #: entry's ``id()`` taken for as long as its snapshot is live, so
         #: a recycled address can never resolve to a stale snapshot.
         self._writeback: dict[str, tuple[object, Graph]] = {}
+        #: key -> (pinned source, snapshot directory, payload bytes) of a
+        #: session paged out to disk on eviction (configs that name a
+        #: ``storage_dir``).  Re-admission hydrates from here — warm
+        #: slices and plans — before falling back to ``_writeback`` or
+        #: the original source.
+        self._snapshots: dict[str, tuple[object, Path, int]] = {}
         #: (config, sorted overrides) -> rendered config token.  Key
         #: derivation sits on every request's hot path, and the default
         #: case re-renders the same token every time.
         self._config_tokens: dict = {}
         self._lock = threading.Lock()
+        self._closing = False
         self.stats = PoolStats()
 
     # ------------------------------------------------------------------
@@ -237,20 +266,34 @@ class SessionPool:
         # expensive (spec resolution, graph synthesis) and must not
         # stall hits on other keys.  The Service serialises acquires
         # per key, so concurrent duplicate creation cannot happen
-        # through the supported front door.  A write-back snapshot (the
-        # final graph of a mutated session this key was evicted with)
-        # takes precedence over re-resolving the source, so eviction
-        # never loses applied updates.  The snapshot stays in place — it
-        # is the key's state of record until a newer eviction overwrites
+        # through the supported front door.  State-of-record precedence
+        # for a previously evicted key: an on-disk eviction snapshot
+        # hydrates warm (slices + plans, no rebuild); failing that, the
+        # in-memory graph write-back (the final graph of a mutated
+        # session) resumes from the updated state; failing both, the
+        # source is re-resolved cold.  Snapshots stay in place — each is
+        # its key's state of record until a newer eviction overwrites
         # it, covering sessions evicted again without further updates.
+        effective = self.effective_config(config, overrides)
         with self._lock:
+            paged = self._snapshots.get(key)
             written_back = self._writeback.get(key)
-        snapshot = written_back[1] if written_back is not None else None
-        session = open_session(
-            snapshot if snapshot is not None else source,
-            self.effective_config(config, overrides),
-            model=self._model,
-        )
+        session = None
+        if paged is not None:
+            try:
+                session = open_session(
+                    config=effective, model=self._model, snapshot=paged[1]
+                )
+            except StorageError:
+                session = None  # unreadable page: fall back below
+        hydrated = session is not None
+        if session is None:
+            graph = written_back[1] if written_back is not None else None
+            session = open_session(
+                graph if graph is not None else source,
+                effective,
+                model=self._model,
+            )
         entry = SessionEntry(key=key, session=session, source=source, refs=1)
         with self._lock:
             existing = self._entries.get(key)
@@ -264,6 +307,8 @@ class SessionPool:
                 return existing
             self._entries[key] = entry
             self.stats.misses += 1
+            if hydrated:
+                self.stats.hydrations += 1
             self.stats.peak_resident = max(self.stats.peak_resident, len(self._entries))
             self._evict_over_budget_locked()
             return entry
@@ -412,10 +457,36 @@ class SessionPool:
             # current graph back so a later acquire resumes from the
             # updated state instead of the original source.
             self._writeback[key] = (entry.source, entry.session.graph)
+        self._page_out_locked(key, entry)
         entry.session.close()
         self.stats.evictions += 1
         self._retired.append(entry)
         del self._retired[:-MAX_RETIRED]
+
+    def _page_out_locked(self, key: str, entry: SessionEntry) -> None:
+        """Persist an eviction snapshot when the config spills to disk.
+
+        Best-effort: a failed write leaves the graph write-back (or the
+        original source) as the key's state of record, so paging can
+        never make eviction less safe than it was without it.
+        """
+        storage_dir = entry.session.config.storage_dir
+        if storage_dir is None or self._closing:
+            return
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+        target = Path(storage_dir) / "pool" / digest
+        try:
+            entry.session.snapshot(target, ensure=False)
+            nbytes = snapshot_nbytes(target)
+        except StorageError:
+            shutil.rmtree(target, ignore_errors=True)
+            self._snapshots.pop(key, None)
+        else:
+            self._snapshots[key] = (entry.source, target, nbytes)
+            self.stats.snapshots_written += 1
+        self.stats.spilled_bytes = sum(
+            nbytes for _, _, nbytes in self._snapshots.values()
+        )
 
     def evict(self, source, config=None, **overrides) -> bool:
         """Explicitly evict one idle entry; returns whether it was resident."""
@@ -458,10 +529,15 @@ class SessionPool:
         """Tear the pool down: evict everything and drop write-back state.
 
         Terminal — unlike budget eviction, close discards the write-back
-        snapshots too, so a closed pool's keys resolve from their
-        original sources again.
+        state and deletes on-disk eviction snapshots too, so a closed
+        pool's keys resolve from their original sources again.
         """
         with self._lock:
+            self._closing = True
             for key in list(self._entries):
                 self._retire_locked(key)
             self._writeback.clear()
+            for _, target, _ in self._snapshots.values():
+                shutil.rmtree(target, ignore_errors=True)
+            self._snapshots.clear()
+            self.stats.spilled_bytes = 0

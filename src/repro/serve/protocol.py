@@ -28,6 +28,15 @@ paths and registered source schemes; ``config`` is an
 the service's defaults.  Each request line is dispatched as its own
 task, so one slow query never blocks the connection — this is where the
 service's cross-session interleaving surfaces on the wire.
+
+The ``stats`` op returns the live scheduler counters plus the pool's
+out-of-core paging traffic when the service spills to disk
+(``serve --spill-dir``): ``snapshots_written`` (eviction snapshots
+persisted), ``hydrations`` (acquires served warm from a snapshot) and
+``spilled_bytes`` (payload bytes currently paged out).  The richer
+``report`` op additionally carries each resident session's
+``resident_detail`` byte breakdown (slices / plan / sym_plan / edges /
+graph / spilled) from ``TCIMSession.resident_bytes_detail()``.
 """
 
 from __future__ import annotations

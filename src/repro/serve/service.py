@@ -123,6 +123,10 @@ class SessionServeStats:
     plan_bytes: int = 0
     #: Modelled critical path of this session's accumulated engine work.
     latency_s: float = 0.0
+    #: ``TCIMSession.resident_bytes_detail()`` breakdown — slices, plan,
+    #: sym_plan, edges, graph, spilled (disk-backed share) and total.
+    #: Empty for evicted entries (their residency is gone).
+    resident_detail: dict = field(default_factory=dict)
 
     def to_mapping(self) -> dict:
         return {
@@ -134,6 +138,7 @@ class SessionServeStats:
             "resident_bytes": self.resident_bytes,
             "plan_bytes": self.plan_bytes,
             "latency_s": self.latency_s,
+            "resident_detail": dict(self.resident_detail),
         }
 
 
@@ -601,6 +606,12 @@ class Service:
             "kernel_launches": launches,
             "replicas": self._pool.replica_count(),
             "resident": self._pool.resident,
+            # Out-of-core paging traffic (see repro.serve.pool): eviction
+            # snapshots written, warm hydrations served, and the payload
+            # bytes currently paged out to the spill directory.
+            "snapshots_written": self._pool.stats.snapshots_written,
+            "hydrations": self._pool.stats.hydrations,
+            "spilled_bytes": self._pool.stats.spilled_bytes,
         }
 
     def journal(self, source, config=None, **overrides) -> list:
@@ -1231,6 +1242,9 @@ class Service:
                 events=entry.events,
                 resident_bytes=entry.session.resident_bytes() if resident else 0,
                 plan_bytes=entry.session.plan_resident_bytes() if resident else 0,
+                resident_detail=(
+                    entry.session.resident_bytes_detail() if resident else {}
+                ),
             )
 
 
