@@ -2,9 +2,10 @@
 
 Runs compact versions of the smoke benchmarks — cold build vs plan-reuse
 repeat-query latency, incremental streaming throughput, per-workload
-(support/truss/cluster) resident-vs-oracle latency, and multi-session
-serving throughput — and writes one machine-readable JSON file at the
-repository root.  CI uploads the file as an artifact per run, so the
+(support/truss/cluster) resident-vs-oracle latency, the measured
+process-pool parallelism curve (coloring contexts vs degree-LPT), and
+multi-session serving throughput — and writes one machine-readable JSON
+file at the repository root.  CI uploads the file as an artifact per run, so the
 sequence of artifacts is the measured performance trajectory of the
 engine across PRs; the ``modelled`` section adds the architecture
 model's pricing of the same quantities (plan compile as a one-time
@@ -191,6 +192,83 @@ def measure_workloads(num_vertices: int, attach: int) -> dict:
     }
     session.close()
     return payload
+
+
+def measure_parallelism(num_vertices: int, attach: int) -> dict:
+    """Measured process-pool parallelism: coloring vs degree-LPT.
+
+    For each fleet width the degree-LPT column times the status-quo
+    sharded path (fresh pool per call, shared structures shipped through
+    the initializer every time) and the coloring column times repeat
+    :class:`~repro.core.sharding.ContextPool` sweeps (self-contained
+    contexts shipped once, then id-only dispatch).  Both execute the
+    same graph exactly; the ratio is the curve the coloring-smoke CI job
+    gates at >= 1.5x for 16 arrays.
+    """
+    import os
+
+    from repro.arch.pipeline import measured_shard_report
+    from repro.arch.perf import default_pim_model
+    from repro.core.sharding import ContextPool, build_shard_contexts, context_balance
+
+    graph = generators.barabasi_albert(num_vertices, attach, seed=0)
+    workers = max(2, min(4, (os.cpu_count() or 2) - 1))
+    baseline = TCIMAccelerator(AcceleratorConfig()).run(graph)
+    model = default_pim_model()
+    curve = []
+    for num_arrays in (1, 4, 16, 32):
+        config = AcceleratorConfig(num_arrays=num_arrays, shard_by="degree")
+        if num_arrays == 1:
+            shared_s, result = best_of(
+                3, lambda: TCIMAccelerator(AcceleratorConfig()).run(graph)
+            )
+        else:
+            shared_s, result = best_of(
+                3,
+                lambda: TCIMAccelerator(
+                    AcceleratorConfig(
+                        num_arrays=num_arrays, shard_by="degree", workers=workers
+                    )
+                ).run(graph),
+            )
+        assert result.triangles == baseline.triangles
+        contexts = build_shard_contexts(graph, "upper", num_arrays)
+        with ContextPool(
+            contexts,
+            config.capacity_slices,
+            config.policy,
+            config.seed,
+            workers=workers,
+        ) as pool:
+            coloring_s, outcome = best_of(3, pool.run)
+        assert outcome.accumulator == baseline.triangles
+        coloring_run = TCIMAccelerator(
+            AcceleratorConfig(num_arrays=num_arrays, shard_by="coloring")
+        ).run(graph)
+        modelled = (
+            model.evaluate(baseline.events).latency_s
+            if num_arrays == 1
+            else measured_shard_report(coloring_run, model).latency_s
+        )
+        curve.append(
+            {
+                "arrays": num_arrays,
+                "shards": len(contexts),
+                "degree_lpt_sweep_s": shared_s,
+                "coloring_sweep_s": coloring_s,
+                "coloring_speedup": shared_s / coloring_s if coloring_s else None,
+                "balance": context_balance(contexts),
+                "modelled_coloring_latency_s": modelled,
+            }
+        )
+    at_16 = next(point for point in curve if point["arrays"] == 16)
+    return {
+        "graph": {"num_vertices": graph.num_vertices, "num_edges": graph.num_edges},
+        "triangles": baseline.triangles,
+        "pool_workers": workers,
+        "curve": curve,
+        "coloring_speedup_at_16": at_16["coloring_speedup"],
+    }
 
 
 def measure_serving(num_graphs: int, reads_per_graph: int) -> dict:
@@ -404,13 +482,14 @@ def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     scale = 4 if quick else 1
     payload = {
-        "schema": 3,
+        "schema": 4,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "quick": quick,
         "engine": measure_engine(20_000 // scale, 8),
         "streaming": measure_streaming(20_000 // scale, 8, 500 // scale),
         "workloads": measure_workloads(8_000 // scale, 8),
+        "parallelism": measure_parallelism(12_000 // scale, 8),
         "serving": measure_serving(4, 50 // scale),
         "storage": measure_storage(20_000 // scale, 8),
     }
@@ -422,6 +501,9 @@ def main(argv: list[str]) -> int:
         f"{payload['engine']['repeat_query_planned_s'] * 1e3:.2f} ms "
         f"({payload['engine']['plan_reuse_speedup']:.1f}x); "
         f"streaming {payload['streaming']['ops_per_second']:,.0f} ops/s; "
+        "parallelism coloring "
+        f"{payload['parallelism']['coloring_speedup_at_16']:.1f}x vs "
+        "degree-LPT at 16 arrays; "
         f"serving {payload['serving']['queries_per_second']:,.0f} queries/s "
         f"({payload['serving']['coalesced']} coalesced, fusion "
         f"{payload['serving']['fusion_speedup']:.1f}x on probes); "

@@ -164,16 +164,28 @@ class RunReport:
             "array_energy_j": self.perf.array_energy_j,
             "system_energy_j": self.perf.system_energy_j,
         }
+        if self.result.notes:
+            payload["notes"] = dict(self.result.notes)
         if self.result.shards:
+            loads = [shard.edges for shard in self.result.shards]
+            mean = sum(loads) / len(loads)
+            # Partitioner balance: the latency multiplier the heaviest
+            # shard imposes on an otherwise even fleet (1.0 = perfect).
+            payload["balance"] = max(loads) / mean if mean else 1.0
+            reports = self.shard_perf or [None] * len(self.result.shards)
             payload["shards"] = [
                 {
                     "shard_id": shard.shard_id,
                     "edges": shard.edges,
                     "rows": shard.rows,
                     "events": asdict(shard.events),
-                    "latency_s": report.latency_s,
+                    **(
+                        {"latency_s": report.latency_s}
+                        if report is not None
+                        else {}
+                    ),
                 }
-                for shard, report in zip(self.result.shards, self.shard_perf)
+                for shard, report in zip(self.result.shards, reports)
             ]
         return payload
 
@@ -310,14 +322,30 @@ class TCIMSession:
         self._col_sliced: SlicedMatrix | None = None
         self._edge_arrays: tuple[np.ndarray, np.ndarray] | None = None
         self._plan = None
+        # Self-contained coloring shards (shard_by="coloring"): each
+        # holds its own structures, edge lanes and compiled lane plans
+        # (repro.core.sharding.ShardContext).  Built lazily by _prepare,
+        # patched in place per committed batch — apply routes each delta
+        # to the owning contexts only — and dropped with the other
+        # structural caches on any patching failure (rebuildable).
+        self._shard_contexts: list | None = None
+        self._shard_colors: np.ndarray | None = None
+        self._use_contexts = (
+            self.config.num_arrays > 1 and self.config.shard_by == "coloring"
+        )
         self._sym_sliced: SlicedMatrix | None = None
         # The compiled valid-pair index (repro.core.plan.JoinPlan):
         # built once per generation, incrementally patched by apply, and
         # handed to every vectorized engine run so repeat queries skip
         # the merge-join.  Gated by config.use_plan (CLI --no-plan).
         self._join_plan = None
-        self._use_plan = bool(self.config.use_plan) and (
-            self.config.engine == "vectorized"
+        # Coloring sessions never consume the global count-orientation
+        # plan — every context lane compiles its own — so skip building
+        # it; config.use_plan still gates the per-lane plans.
+        self._use_plan = (
+            bool(self.config.use_plan)
+            and self.config.engine == "vectorized"
+            and not self._use_contexts
         )
         # The symmetric-orientation twin of the resident plan: workload
         # queries (support/truss/clustering/common-neighbors) all join
@@ -435,10 +463,13 @@ class TCIMSession:
         Keys (all bytes): ``slices`` (the resident slice structures),
         ``plan`` / ``sym_plan`` (the compiled join plans), ``edges``
         (the oriented edge arrays), ``graph`` (the edge list and the
-        materialised edge set), ``spilled`` (how much of the above is
-        disk-backed rather than on heap — 0 for a ram store), and
-        ``total`` (== :meth:`resident_bytes`).  Surfaced per session by
-        the serving tier's ``stats`` protocol op.
+        materialised edge set), ``shards`` (the self-contained coloring
+        shard contexts — per-shard structures, edge lanes and lane
+        plans; 0 unless ``shard_by="coloring"`` contexts are resident),
+        ``spilled`` (how much of the above is disk-backed rather than
+        on heap — 0 for a ram store), and ``total``
+        (== :meth:`resident_bytes`).  Surfaced per session by the
+        serving tier's ``stats`` protocol op.
         """
         with self._lock:
             slices = sum(
@@ -459,15 +490,41 @@ class TCIMSession:
                 # CPython footprint of a set of int 2-tuples, measured
                 # ~200 B/edge; 128 keeps the estimate conservative-cheap.
                 graph += 128 * len(self._edge_set)
+            shards = sum(
+                context.nbytes for context in (self._shard_contexts or ())
+            )
             return {
                 "slices": slices,
                 "plan": plan,
                 "sym_plan": sym_plan,
                 "edges": edges,
                 "graph": graph,
+                "shards": shards,
                 "spilled": self._store.spilled_bytes,
-                "total": slices + plan + sym_plan + edges + graph,
+                "total": slices + plan + sym_plan + edges + graph + shards,
             }
+
+    def shard_residency(self) -> list[dict]:
+        """Per-shard residency of the resident coloring contexts.
+
+        One mapping per :class:`~repro.core.sharding.ShardContext` —
+        shard id, owned color triple, owned oriented edges, and resident
+        bytes (structures + lanes + compiled lane plans).  Empty unless
+        ``shard_by="coloring"`` contexts are resident; surfaced per
+        session by the serving tier's ``stats`` protocol op.
+        """
+        with self._lock:
+            if not self._shard_contexts:
+                return []
+            return [
+                {
+                    "shard_id": context.shard_id,
+                    "triple": list(context.triple),
+                    "edges": context.num_edges,
+                    "resident_bytes": context.nbytes,
+                }
+                for context in self._shard_contexts
+            ]
 
     @property
     def join_plan(self):
@@ -585,6 +642,24 @@ class TCIMSession:
             arrays[f"{name}.col_positions"] = plan.col_positions
             arrays[f"{name}.trace_keys"] = plan.trace_keys
             arrays[f"{name}.pair_counts"] = plan.pair_counts
+        # Coloring shard contexts are fully determined by (graph,
+        # orientation, num_arrays, seed), so snapshots record their
+        # summary for accounting and rebuild them deterministically on
+        # the first post-hydration query instead of persisting C× the
+        # edge volume.
+        shard_contexts = None
+        if self._shard_contexts:
+            shard_contexts = {
+                "colors": self._shard_contexts[0].colors,
+                "seed": self._shard_contexts[0].color_seed,
+                "num_shards": len(self._shard_contexts),
+                "resident_bytes": sum(
+                    context.nbytes for context in self._shard_contexts
+                ),
+                "edges_per_shard": [
+                    context.num_edges for context in self._shard_contexts
+                ],
+            }
         meta = {
             "config": self.config.to_mapping(),
             "generation": self._generation,
@@ -594,6 +669,7 @@ class TCIMSession:
             "structures": structures,
             "edge_lists": edge_lists,
             "plans": plans,
+            "shard_contexts": shard_contexts,
         }
         return meta, arrays
 
@@ -1149,7 +1225,29 @@ class TCIMSession:
             )
         if self._edge_arrays is None:
             self._edge_arrays = oriented_edges(self.graph, orientation)
-        if self.config.num_arrays > 1 and self._plan is None:
+        if self._use_contexts:
+            if self._shard_contexts is None:
+                from repro.core.sharding import (
+                    assign_colors,
+                    build_shard_contexts,
+                    min_colors,
+                )
+
+                self._shard_contexts = build_shard_contexts(
+                    self.graph,
+                    orientation,
+                    self.config.num_arrays,
+                    slice_bits=self.config.slice_bits,
+                    seed=self.config.seed,
+                    edge_arrays=self._edge_arrays,
+                    use_plan=bool(self.config.use_plan),
+                )
+                self._shard_colors = assign_colors(
+                    self._num_vertices,
+                    min_colors(self.config.num_arrays),
+                    self.config.seed,
+                )
+        elif self.config.num_arrays > 1 and self._plan is None:
             self._plan = plan_shards(
                 self.graph,
                 orientation,
@@ -1274,11 +1372,15 @@ class TCIMSession:
                 f"{config.num_arrays} ways leaves {per_array_capacity} "
                 "slices per array; need at least 2"
             )
+        # Coloring owns edges for the resident count contexts; workload
+        # passes over the shared symmetric structure are position-split,
+        # so fall back to the degree-LPT balancer there.
+        shard_by = "degree" if config.shard_by == "coloring" else config.shard_by
         shard_plan = plan_shards(
             None,
             "symmetric",
             config.num_arrays,
-            config.shard_by,
+            shard_by,
             sources=sources,
         )
         sym_plan = self._ensure_sym_plan()
@@ -1609,6 +1711,7 @@ class TCIMSession:
                 edge_arrays=self._edge_arrays,
                 plan=self._plan,
                 join_plan=self._ensure_join_plan(),
+                shard_contexts=self._shard_contexts,
             )
             self._triangles = self._run.triangles
             self._slice_stats = self._run.slice_stats
@@ -1715,6 +1818,7 @@ class TCIMSession:
             return
         pending, self._pending_patches = self._pending_patches, []
         self._pending_edges = 0
+        self._patch_contexts(pending)
         if (
             self._row_sliced is None
             or self._col_sliced is None
@@ -1759,11 +1863,33 @@ class TCIMSession:
         except Exception:
             self._drop_structural_caches()
 
+    def _patch_contexts(self, pending: list[tuple[np.ndarray, bool]]) -> None:
+        """Route pending batches into the resident coloring shards.
+
+        Callers hold ``self._lock``.  Each batch touches only the
+        contexts that own one of its edges (at most ``C`` per edge);
+        their row structures, per-lane column structures, lane edge
+        lists and compiled lane plans are all patched in place.  Any
+        failure drops the contexts (rebuilt from the graph by the next
+        ``_prepare``), mirroring the global-structure fallback.
+        """
+        if self._shard_contexts is None:
+            return
+        try:
+            for delta_edges, insert in pending:
+                for context in self._shard_contexts:
+                    context.apply_delta(delta_edges, self._shard_colors, insert)
+        except Exception:
+            self._shard_contexts = None
+            self._shard_colors = None
+
     def _drop_structural_caches(self) -> None:
         self._row_sliced = None
         self._col_sliced = None
         self._edge_arrays = None
         self._join_plan = None
+        self._shard_contexts = None
+        self._shard_colors = None
         self._pending_patches.clear()
         self._pending_edges = 0
 

@@ -90,6 +90,14 @@ class PimTimingParams:
     #: sweep pays it once for its whole request group.  See
     #: EXPERIMENTS.md §7 for the calibration.
     kernel_launch_s: float = 2e-6
+    #: Collecting one shard's partial result into the global merge when
+    #: shards execute over *shared* slice structures (the position
+    #: partitioners): a controller read-back + accumulate per shard,
+    #: same magnitude as a kernel dispatch.  Communication-free coloring
+    #: shards (:class:`repro.core.sharding.ShardContext`) skip this term
+    #: entirely — each context's accumulator is final where it lives.
+    #: See EXPERIMENTS.md §9.
+    shard_merge_latency_s: float = 2e-6
     #: Sequential throughput of bulk-loading snapshot segments from the
     #: storage tier back into the array's slice regions (bytes/second).
     #: Hydrating an evicted session is a streaming DMA of precomputed
@@ -448,6 +456,8 @@ class PimPerformanceModel:
         self,
         shard_events: Sequence[EventCounts],
         shard_rows: Sequence[int] | None = None,
+        *,
+        communication_free: bool = False,
     ) -> PerfReport:
         """Price *measured* per-shard events: critical path = slowest shard.
 
@@ -463,6 +473,16 @@ class PimPerformanceModel:
         leakage and host power accrue over the critical-path runtime (the
         sub-arrays partition one chip, so total leakage power is
         unchanged).
+
+        Shards over *shared* structures (the position partitioners) pay
+        one ``shard_merge_latency_s`` read-back per shard on top of the
+        critical path (the ``merge`` breakdown term) — the controller
+        must collect every partial accumulator.  Pass
+        ``communication_free=True`` for self-contained coloring shards
+        (:class:`repro.core.sharding.ShardContext`): their results are
+        final where they live, so no merge is priced (multi-shard runs
+        still pay a single collection, folded into the one-launch cost
+        already priced per query elsewhere).
         """
         if not shard_events:
             raise ArchitectureError("evaluate_shards needs at least one shard")
@@ -474,9 +494,82 @@ class PimPerformanceModel:
             )
         # Load imbalance (1.0 is perfect) is latency the partitioner left
         # on the table; leakage accrues once — the sub-arrays partition a
-        # single chip.
+        # single chip.  One shard has nothing to merge regardless of
+        # partitioner.
+        merge_units = (
+            0
+            if communication_free or len(shard_events) == 1
+            else len(shard_events)
+        )
         return self._concurrent_report(
-            shard_events, shard_rows, label="shard", leakage_groups=1
+            shard_events,
+            shard_rows,
+            label="shard",
+            leakage_groups=1,
+            merge_units=merge_units,
+        )
+
+    def evaluate_context_build(
+        self,
+        shard_edges: Sequence[int],
+        shard_pairs: Sequence[int] | None = None,
+    ) -> PerfReport:
+        """Price the one-time construction of self-contained shards.
+
+        Coloring replicates each edge into ``C`` contexts and every
+        context slices its own structures and compiles its own lane
+        plans (:func:`repro.core.sharding.build_shard_contexts`) — the
+        up-front bill that buys communication-free queries.  Contexts
+        build concurrently on their own arrays, so latency is the
+        *slowest* context's build: its owned edges through the per-edge
+        controller machinery plus (when lane plans are compiled,
+        ``shard_pairs``) its valid pairs through the plan store.  Energy
+        sums every context's work; leakage/host accrue over the build
+        critical path.  Compare against
+        :meth:`evaluate_plan_compile` + re-slicing to see when the
+        replication pays back (EXPERIMENTS.md §9).
+        """
+        if not shard_edges:
+            raise ArchitectureError(
+                "evaluate_context_build needs at least one shard"
+            )
+        if shard_pairs is None:
+            shard_pairs = [0] * len(shard_edges)
+        if len(shard_pairs) != len(shard_edges):
+            raise ArchitectureError(
+                f"{len(shard_edges)} shards but {len(shard_pairs)} pair counts"
+            )
+        timing, energy = self.timing, self.energy
+        per_shard = [
+            edges * timing.per_edge_overhead_s
+            + pairs * timing.plan_record_latency_s
+            for edges, pairs in zip(shard_edges, shard_pairs)
+        ]
+        latency = max(per_shard)
+        slice_time = sum(shard_edges) * timing.per_edge_overhead_s
+        plan_time = sum(shard_pairs) * timing.plan_record_latency_s
+        dynamic = (
+            sum(shard_edges) * energy.per_edge_energy_j
+            + sum(shard_pairs) * energy.plan_record_energy_j
+        )
+        leakage = energy.leakage_power_w * latency
+        host = energy.host_power_w * latency
+        mean = sum(per_shard) / len(per_shard)
+        return PerfReport(
+            latency_s=latency,
+            array_energy_j=dynamic + leakage,
+            system_energy_j=dynamic + leakage + host,
+            latency_breakdown_s={
+                "critical_path": latency,
+                "imbalance": latency / mean if mean else 1.0,
+                "slice_build": slice_time,
+                "plan_compile": plan_time,
+            },
+            energy_breakdown_j={
+                "dynamic": dynamic,
+                "leakage": leakage,
+                "host": host,
+            },
         )
 
     def evaluate_fleet(
@@ -535,6 +628,7 @@ class PimPerformanceModel:
         label: str,
         leakage_groups: int,
         launches: int | None = None,
+        merge_units: int = 0,
     ) -> PerfReport:
         """Shared critical-path pricing for concurrently executing units.
 
@@ -552,11 +646,14 @@ class PimPerformanceModel:
         latencies = [report.latency_s for report in per_unit]
         critical = max(latencies)
         # Kernel dispatch is serial host work layered on top of the
-        # array critical path (which it does not change).
+        # array critical path (which it does not change).  Merging
+        # shared-structure partials is the same kind of serial
+        # controller work: one read-back per merging unit.
         launch_time = (
             launches * self.timing.kernel_launch_s if launches else 0.0
         )
-        total_latency = critical + launch_time
+        merge_time = merge_units * self.timing.shard_merge_latency_s
+        total_latency = critical + launch_time + merge_time
         dynamic = sum(
             sum(report.energy_breakdown_j.values())
             - report.energy_breakdown_j["leakage"]
@@ -574,6 +671,8 @@ class PimPerformanceModel:
         breakdown["imbalance"] = critical / mean_latency if mean_latency else 1.0
         if launches:
             breakdown["launch"] = launch_time
+        if merge_units:
+            breakdown["merge"] = merge_time
         return PerfReport(
             latency_s=total_latency,
             array_energy_j=array_energy,

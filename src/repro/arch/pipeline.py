@@ -189,6 +189,12 @@ def measured_shard_report(
     ``shards`` list carries each array's events and touched-row count);
     single-array results are priced as a one-shard critical path, which
     degenerates to the baseline serial model.
+
+    Pricing follows the run's own provenance: position-partitioned runs
+    pay the per-shard ``merge`` read-back, while runs whose
+    ``result.notes`` carry the ``communication_free`` flag — coloring
+    runs over self-contained :class:`~repro.core.sharding.ShardContext`
+    shards — skip it, exactly the communication the refactor removed.
     """
     model = base_model or default_pim_model()
     if result.shards:
@@ -197,7 +203,11 @@ def measured_shard_report(
     else:
         shard_events = [result.events]
         shard_rows = None
-    return model.evaluate_shards(shard_events, shard_rows)
+    return model.evaluate_shards(
+        shard_events,
+        shard_rows,
+        communication_free=bool(result.notes.get("communication_free")),
+    )
 
 
 def measured_fleet_report(

@@ -216,15 +216,30 @@ def _cmd_count(args: argparse.Namespace) -> int:
         triangles = session.baseline(args.method)
     elapsed = time.perf_counter() - start
     if args.json:
-        _emit_json(
-            {
-                "num_vertices": session.num_vertices,
-                "num_edges": session.num_edges,
-                "method": args.method,
-                "triangles": triangles,
-                "wall_clock_s": elapsed,
-            }
-        )
+        payload = {
+            "num_vertices": session.num_vertices,
+            "num_edges": session.num_edges,
+            "method": args.method,
+            "triangles": triangles,
+            "wall_clock_s": elapsed,
+        }
+        if args.method == "tcim":
+            result = session.run()
+            if result.notes:
+                payload["notes"] = dict(result.notes)
+            if result.shards:
+                loads = [shard.edges for shard in result.shards]
+                mean = sum(loads) / len(loads)
+                payload["balance"] = max(loads) / mean if mean else 1.0
+                payload["shards"] = [
+                    {
+                        "shard_id": shard.shard_id,
+                        "edges": shard.edges,
+                        "rows": shard.rows,
+                    }
+                    for shard in result.shards
+                ]
+        _emit_json(payload)
         return 0
     print(
         f"graph: n={format_count(session.num_vertices)} "
@@ -232,6 +247,19 @@ def _cmd_count(args: argparse.Namespace) -> int:
     )
     print(f"triangles ({args.method}): {format_count(triangles)}")
     print(f"wall-clock: {format_seconds(elapsed)}")
+    if args.method == "tcim":
+        result = session.run()
+        if result.shards:
+            loads = [shard.edges for shard in result.shards]
+            mean = sum(loads) / len(loads)
+            balance = max(loads) / mean if mean else 1.0
+            line = f"shards: {len(result.shards)}  balance(max/mean): {balance:.3f}"
+            if result.notes.get("shard_by") == "coloring":
+                line += (
+                    f"  colors: {result.notes['colors']}"
+                    "  communication-free"
+                )
+            print(line)
     return 0
 
 
@@ -388,9 +416,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     table = Table(["metric", "value"], title="TCIM simulation")
     table.add_row(["engine", config.engine])
     plan_bytes = session.plan_resident_bytes()
-    table.add_row(
-        ["join plan", format_bytes(plan_bytes) if plan_bytes else "disabled"]
-    )
+    if result.notes.get("shard_by") == "coloring" and config.use_plan:
+        # Coloring shards compile per-lane plans inside their contexts;
+        # the session never holds a global count plan.
+        shard_bytes = sum(
+            entry["resident_bytes"] for entry in session.shard_residency()
+        )
+        table.add_row(["join plan", f"per-lane ({format_bytes(shard_bytes)} shards)"])
+    else:
+        table.add_row(
+            ["join plan", format_bytes(plan_bytes) if plan_bytes else "disabled"]
+        )
     if config.num_arrays > 1:
         table.add_row(["arrays", f"{config.num_arrays} (shard_by={config.shard_by})"])
     table.add_row(["triangles", format_count(result.triangles)])
@@ -425,6 +461,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         table.add_row(
             ["shard imbalance", f"{report.perf.latency_breakdown_s['imbalance']:.3f}"]
         )
+        loads = [shard.edges for shard in result.shards]
+        mean = sum(loads) / len(loads)
+        table.add_row(
+            [
+                "partitioner balance (max/mean edges)",
+                f"{max(loads) / mean if mean else 1.0:.3f}",
+            ]
+        )
+        if result.notes.get("shard_by") == "coloring":
+            table.add_row(
+                [
+                    "coloring",
+                    f"{result.notes['colors']} colors -> "
+                    f"{result.notes['num_shards']} shards, "
+                    "communication-free",
+                ]
+            )
     else:
         table.add_row(["modelled TCIM latency", format_seconds(report.perf.latency_s)])
     table.add_row(["modelled array energy", f"{report.perf.array_energy_j:.3e} J"])

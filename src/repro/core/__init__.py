@@ -31,9 +31,20 @@ from repro.core.incremental import (
 from repro.core.plan import JoinPlan, build_join_plan, patch_join_plan
 from repro.core.sharding import (
     PARTITIONERS,
+    POSITION_PARTITIONERS,
+    ContextPool,
+    ShardContext,
+    ShardLane,
     ShardPlan,
     ShardResult,
+    assign_colors,
+    build_shard_contexts,
+    color_triples,
+    context_balance,
+    execute_contexts,
     execute_sharded,
+    min_colors,
+    num_color_shards,
     plan_shards,
 )
 from repro.core.slicing import SlicedMatrix, SliceStatistics, slice_statistics
@@ -49,9 +60,20 @@ __all__ = [
     "patch_join_plan",
     "symmetric_delta",
     "PARTITIONERS",
+    "POSITION_PARTITIONERS",
+    "ContextPool",
+    "ShardContext",
+    "ShardLane",
     "ShardPlan",
     "ShardResult",
+    "assign_colors",
+    "build_shard_contexts",
+    "color_triples",
+    "context_balance",
+    "execute_contexts",
     "execute_sharded",
+    "min_colors",
+    "num_color_shards",
     "plan_shards",
     "AccessTrace",
     "compare_policies",

@@ -351,6 +351,7 @@ class TCIMAccelerator:
         edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
         plan=None,
         join_plan=None,
+        shard_contexts=None,
     ) -> TCIMRunResult:
         """Execute Algorithm 1 on ``graph`` and collect all statistics.
 
@@ -369,6 +370,14 @@ class TCIMAccelerator:
         (sharded runs slice per-array sub-plans out of it).  Requires
         the vectorized engine; results are bit-identical with or
         without it.
+
+        ``shard_contexts`` passes resident self-contained coloring
+        shards (:func:`repro.core.sharding.build_shard_contexts`); with
+        ``shard_by="coloring"`` and no contexts they are built here.
+        The context path ignores ``plan``/``join_plan`` — each lane
+        owns its own compiled plan — and records the coloring metadata
+        (colors, shard count, partitioner balance, the
+        communication-free flag) in :attr:`TCIMRunResult.notes`.
         """
         config = self.config
         orientation = config.orientation
@@ -402,7 +411,20 @@ class TCIMAccelerator:
                 f"got engine={config.engine!r}"
             )
         shards: list = []
-        if config.num_arrays > 1:
+        notes: dict = {}
+        use_contexts = shard_contexts is not None or (
+            config.num_arrays > 1 and config.shard_by == "coloring"
+        )
+        if use_contexts:
+            accumulator, events, cache_stats, shards, notes = self._run_contexts(
+                graph, edge_arrays=edge_arrays, shard_contexts=shard_contexts,
+            )
+            row_region = max((s.row_region_slices for s in shards), default=0)
+            column_capacity = min(
+                (s.column_cache_slices for s in shards),
+                default=config.capacity_slices,
+            )
+        elif config.num_arrays > 1:
             accumulator, events, cache_stats, shards = self._run_sharded(
                 graph, row_sliced, col_sliced,
                 edge_arrays=edge_arrays, plan=plan, join_plan=join_plan,
@@ -450,6 +472,55 @@ class TCIMAccelerator:
             row_region_slices=row_region,
             column_cache_slices=column_capacity,
             shards=shards,
+            notes=notes,
+        )
+
+    def _run_contexts(
+        self,
+        graph: Graph,
+        edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
+        shard_contexts=None,
+    ) -> tuple[int, EventCounts, CacheStatistics, list, dict]:
+        """Communication-free coloring dataflow over self-contained shards."""
+        from repro.core.sharding import (
+            build_shard_contexts,
+            context_balance,
+            execute_contexts,
+        )
+
+        config = self.config
+        if shard_contexts is None:
+            shard_contexts = build_shard_contexts(
+                graph,
+                config.orientation,
+                config.num_arrays,
+                slice_bits=config.slice_bits,
+                seed=config.seed,
+                edge_arrays=edge_arrays,
+                use_plan=config.use_plan,
+            )
+        outcome = execute_contexts(
+            shard_contexts,
+            config.capacity_slices,
+            policy=config.policy,
+            seed=config.seed,
+            workers=config.workers,
+            use_plan=config.use_plan,
+        )
+        first = shard_contexts[0]
+        notes = {
+            "shard_by": "coloring",
+            "colors": first.colors,
+            "num_shards": len(shard_contexts),
+            "communication_free": True,
+            "balance": context_balance(shard_contexts),
+        }
+        return (
+            outcome.accumulator,
+            outcome.events,
+            outcome.cache_stats,
+            outcome.shards,
+            notes,
         )
 
     def _run_vectorized(

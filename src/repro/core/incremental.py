@@ -397,8 +397,14 @@ def symmetric_delta(
     cache_stats = CacheStatistics()
     for row_sliced, col_sliced, sources, destinations, divisor in terms:
         if config.num_arrays > 1:
+            # Coloring is an edge-ownership partitioner for resident
+            # contexts; the transient inclusion–exclusion terms here are
+            # position-split instead (degree-LPT balances them best).
+            shard_by = (
+                "degree" if config.shard_by == "coloring" else config.shard_by
+            )
             plan = plan_shards(
-                None, "symmetric", config.num_arrays, config.shard_by,
+                None, "symmetric", config.num_arrays, shard_by,
                 sources=sources,
             )
             shard_positions = plan.assignments

@@ -30,11 +30,31 @@ triangle-counting performance — so three partitioners are provided:
 * ``"degree"`` — greedy longest-processing-time assignment of whole rows
   by successor count, balancing expected AND work across arrays.
 
-Invariants (asserted by ``tests/test_sharding.py``): ``num_arrays=1``
-reproduces the single-array vectorized engine bit for bit, and for any
-``num_arrays`` the merged triangle count is exact while the additive
-event counters (``edges_processed``, ``and_operations``,
-``dense_pair_operations``, ...) conserve their single-array totals.
+The three partitioners above split *positions* of one shared oriented
+edge list: every shard still reads the same global slice structures and
+the orchestrator merges partial results afterwards.  The **coloring**
+partitioner (PIM-TC; Asquini et al., "Accelerating Triangle Counting
+with Real Processing-in-Memory Systems") instead makes each shard
+*self-contained*: ``C`` vertex colors induce ``Binom(C+2, 3)`` shards,
+one per color triple ``{x <= y <= z}``, and each shard owns its own
+oriented edge arrays, its own locally built :class:`SlicedMatrix`
+structures and its own compiled :class:`~repro.core.plan.JoinPlan` — a
+:class:`ShardContext`.  Every triangle's vertex-color multiset names
+exactly one shard, so the per-shard counts sum to the exact total with
+**zero cross-shard slice traffic**: a process (or, later, a host) can
+own a context outright and answer repeat queries without ever touching
+shared state.  See :func:`build_shard_contexts` for the construction
+and the lane decomposition that keeps monochromatic triples exact.
+
+Invariants (asserted by ``tests/test_sharding.py`` and
+``tests/test_coloring.py``): ``num_arrays=1`` reproduces the
+single-array vectorized engine bit for bit; for any ``num_arrays`` the
+merged triangle count is exact; position partitioners conserve the
+additive event counters (``edges_processed``, ``and_operations``,
+``dense_pair_operations``, ...) against their single-array totals,
+while coloring replicates each edge into ``C`` contexts (the PIM-TC
+trade: ``C×`` the edge volume buys zero communication) and conserves
+the merged counters against the field-wise sum of its shards.
 """
 
 from __future__ import annotations
@@ -53,15 +73,32 @@ from repro.graph.graph import Graph
 
 __all__ = [
     "PARTITIONERS",
+    "POSITION_PARTITIONERS",
+    "ContextPool",
+    "ShardContext",
+    "ShardLane",
     "ShardPlan",
     "ShardResult",
     "ShardedOutcome",
-    "plan_shards",
+    "assign_colors",
+    "build_shard_contexts",
+    "color_triples",
+    "context_balance",
+    "execute_contexts",
     "execute_sharded",
+    "min_colors",
+    "num_color_shards",
+    "plan_shards",
 ]
 
-#: Recognised values of ``AcceleratorConfig.shard_by``.
-PARTITIONERS = ("edges", "rows", "degree")
+#: Partitioners that split positions of one shared oriented edge list
+#: (the only values :func:`plan_shards` accepts).
+POSITION_PARTITIONERS = ("edges", "rows", "degree")
+
+#: Recognised values of ``AcceleratorConfig.shard_by``: the position
+#: partitioners plus ``"coloring"``, which builds self-contained
+#: :class:`ShardContext` shards instead of a :class:`ShardPlan`.
+PARTITIONERS = POSITION_PARTITIONERS + ("coloring",)
 
 
 @dataclass(frozen=True, eq=False)
@@ -92,9 +129,12 @@ class ShardPlan:
             raise ArchitectureError(
                 f"num_arrays must be >= 1, got {self.num_arrays}"
             )
-        if self.shard_by not in PARTITIONERS:
+        if self.shard_by not in POSITION_PARTITIONERS:
             raise ArchitectureError(
-                f"shard_by must be one of {PARTITIONERS}, got {self.shard_by!r}"
+                f"a ShardPlan splits positions of a shared edge list, so "
+                f"shard_by must be one of {POSITION_PARTITIONERS}, got "
+                f"{self.shard_by!r} (coloring builds ShardContexts instead "
+                "— see build_shard_contexts)"
             )
         if len(self.assignments) != self.num_arrays:
             raise ArchitectureError(
@@ -200,9 +240,14 @@ def plan_shards(
     """
     if num_arrays < 1:
         raise ArchitectureError(f"num_arrays must be >= 1, got {num_arrays}")
-    if shard_by not in PARTITIONERS:
+    if shard_by == "coloring":
         raise ArchitectureError(
-            f"shard_by must be one of {PARTITIONERS}, got {shard_by!r}"
+            "the coloring partitioner builds self-contained ShardContexts, "
+            "not position assignments; use build_shard_contexts"
+        )
+    if shard_by not in POSITION_PARTITIONERS:
+        raise ArchitectureError(
+            f"shard_by must be one of {POSITION_PARTITIONERS}, got {shard_by!r}"
         )
     if sources is None:
         if graph is None:
@@ -404,3 +449,680 @@ def _init_shard_worker(*shared) -> None:
 def _run_pooled_shard(job: tuple) -> ShardResult:
     """Run one ``(shard_id, sources, destinations)`` job in a pool worker."""
     return _run_one_shard(*job, *_WORKER_SHARED)
+
+
+# ----------------------------------------------------------------------
+# Vertex-coloring partitioner: self-contained shard contexts
+# ----------------------------------------------------------------------
+#
+# PIM-TC's insight for hardware with expensive inter-core communication:
+# color the vertices with C colors and give each of the Binom(C+2, 3)
+# color triples {x <= y <= z} its own processing unit.  A triangle's
+# three vertex colors form a multiset that names exactly one triple, and
+# all three of its edges have color pairs contained in that triple — so
+# a shard holding every edge whose color pair is a sub-multiset of its
+# triple can count all of its triangles *locally*.  Each edge lands in
+# exactly C shards (one per choice of third color), which is the whole
+# communication bill: C× edge replication up front, zero slice traffic
+# at query time.
+#
+# Counting *exactly* the triangles of the shard's multiset needs one
+# refinement: the edges induced by a triple T also close triangles whose
+# multiset is a strict sub-multiset pattern of T (e.g. an {a,a,a}
+# triangle lies inside every {a,a,x} shard's edge set).  Each context
+# therefore splits its work into **lanes**, one per distinct witness
+# color r in T: the lane's pivot edges are those whose color pair equals
+# the multiset T ∖ {r}, joined against a column structure holding only
+# third-vertices of color r.  Removing an element from a multiset is
+# injective, so a triangle with multiset exactly T is counted by exactly
+# one lane of exactly one shard — and by none elsewhere.  A shard has 3
+# lanes when its triple's colors are distinct, 2 when two coincide, and
+# 1 when monochromatic; C=1 degenerates to one shard with one unmasked
+# lane, bit-identical to the unsharded engine.
+
+
+def num_color_shards(colors: int) -> int:
+    """Shards induced by ``colors`` vertex colors: ``Binom(colors+2, 3)``."""
+    if colors < 1:
+        raise ArchitectureError(f"colors must be >= 1, got {colors}")
+    return colors * (colors + 1) * (colors + 2) // 6
+
+
+def min_colors(num_arrays: int) -> int:
+    """Smallest color count whose shard count covers ``num_arrays``.
+
+    ``--shard-by=coloring`` asks for at least ``num_arrays`` independent
+    units; the triple construction quantises that to the next
+    ``Binom(C+2, 3)``: 1 → 1 (C=1), 4 → 4 (C=2), 16 → 20 (C=4),
+    32 → 35 (C=5).
+    """
+    if num_arrays < 1:
+        raise ArchitectureError(f"num_arrays must be >= 1, got {num_arrays}")
+    colors = 1
+    while num_color_shards(colors) < num_arrays:
+        colors += 1
+    return colors
+
+
+def color_triples(colors: int) -> list[tuple[int, int, int]]:
+    """All color multisets ``{x <= y <= z}``, lexicographic — shard ids."""
+    if colors < 1:
+        raise ArchitectureError(f"colors must be >= 1, got {colors}")
+    return [
+        (x, y, z)
+        for x in range(colors)
+        for y in range(x, colors)
+        for z in range(y, colors)
+    ]
+
+
+def assign_colors(
+    num_vertices: int, colors: int, seed: int = 0
+) -> np.ndarray:
+    """Deterministic seeded vertex coloring (splitmix64 finalizer).
+
+    Hash-based rather than ``vertex % colors`` so that structured vertex
+    orderings (BFS, degree sort, file order) cannot correlate with the
+    color classes and skew the shard sizes; the same ``(num_vertices,
+    colors, seed)`` always produces the same coloring, which is what
+    lets a session rebuild identical contexts from a snapshot.
+    """
+    if num_vertices < 0:
+        raise ArchitectureError(f"num_vertices must be >= 0, got {num_vertices}")
+    if colors < 1:
+        raise ArchitectureError(f"colors must be >= 1, got {colors}")
+    x = np.arange(num_vertices, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        x += np.uint64((seed * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)
+        x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+    return (x % np.uint64(colors)).astype(np.int64)
+
+
+def _triple_lanes(triple: tuple[int, int, int]) -> list[tuple[int, tuple[int, int]]]:
+    """The distinct ``(witness_color, pivot_pair)`` lanes of one triple.
+
+    Removing one element from the multiset is injective, so distinct
+    witness colors give distinct pivot pairs and each edge color pair
+    contained in the triple matches exactly one lane.
+    """
+    lanes: list[tuple[int, tuple[int, int]]] = []
+    for witness in dict.fromkeys(triple):
+        remaining = list(triple)
+        remaining.remove(witness)
+        lanes.append((witness, (remaining[0], remaining[1])))
+    return lanes
+
+
+@dataclass(eq=False)
+class ShardLane:
+    """One witness-color lane of a :class:`ShardContext`.
+
+    ``sources``/``destinations`` are the lane's pivot edges — the
+    context's oriented edges whose color pair equals ``pair`` — in the
+    global lexicographic order.  ``col_sliced`` is the lane's private
+    column structure: the predecessor bits of *all* context edges whose
+    source vertex has ``witness_color``, so the AND against the shared
+    row structure keeps exactly the witnesses of that color.
+    ``join_plan`` is the lane's own compiled valid-pair index
+    (:func:`repro.core.plan.build_join_plan` over these structures),
+    patched in place on incremental ``apply``.
+    """
+
+    witness_color: int
+    pair: tuple[int, int]
+    sources: np.ndarray
+    destinations: np.ndarray
+    col_sliced: SlicedMatrix
+    join_plan: object | None = None
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.sources.size)
+
+    @property
+    def nbytes(self) -> int:
+        plan_bytes = self.join_plan.nbytes if self.join_plan is not None else 0
+        return (
+            self.sources.nbytes
+            + self.destinations.nbytes
+            + self.col_sliced.compressed_bytes
+            + plan_bytes
+        )
+
+
+@dataclass(eq=False)
+class ShardContext:
+    """A fully self-contained shard: structures, edges and plans owned.
+
+    Unlike the :class:`ShardPlan` path — position subsets over *shared*
+    slice structures, merged globally afterwards — a context carries
+    everything one simulated array (or one pool process, or one remote
+    host) needs to count its color triple's triangles: the shard's own
+    oriented edge arrays (one lane per witness color), its own row
+    :class:`SlicedMatrix` built from exactly its edges, each lane's own
+    color-masked column structure, and each lane's own compiled
+    :class:`~repro.core.plan.JoinPlan`.  Contexts reference **no**
+    global structure, so shipping one to a worker ships the whole shard
+    and repeat queries dispatch by shard id alone (see
+    :class:`ContextPool`).
+
+    ``triple`` is the color multiset this shard owns; every triangle
+    whose vertex colors form that multiset is counted here and nowhere
+    else.  Exactness is orientation-generic: under ``"upper"`` each
+    triangle contributes once (at its (min, max) pivot edge), under
+    ``"symmetric"`` six times — all six in this one shard, so the
+    merged accumulator keeps its usual ``// 6``.
+    """
+
+    shard_id: int
+    triple: tuple[int, int, int]
+    orientation: str
+    num_vertices: int
+    slice_bits: int
+    colors: int
+    color_seed: int
+    row_sliced: SlicedMatrix
+    lanes: list[ShardLane] = field(default_factory=list)
+
+    @property
+    def num_edges(self) -> int:
+        """Oriented edges this context owns (every lane's pivot edges)."""
+        return sum(lane.num_edges for lane in self.lanes)
+
+    @property
+    def nbytes(self) -> int:
+        """Resident footprint: structures, edge arrays and lane plans."""
+        return self.row_sliced.compressed_bytes + sum(
+            lane.nbytes for lane in self.lanes
+        )
+
+    def touched_rows(self) -> np.ndarray:
+        """Distinct pivot rows across all lanes (row-region sizing)."""
+        if not self.lanes:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([lane.sources for lane in self.lanes]))
+
+    def owned_mask(
+        self, delta_edges: np.ndarray, vertex_colors: np.ndarray
+    ) -> np.ndarray:
+        """Which canonical delta edges this shard owns (pair ⊆ triple)."""
+        lo = vertex_colors[delta_edges[:, 0]]
+        hi = vertex_colors[delta_edges[:, 1]]
+        lo, hi = np.minimum(lo, hi), np.maximum(lo, hi)
+        x, y, z = self.triple
+        return (
+            ((lo == x) & (hi == y))
+            | ((lo == x) & (hi == z))
+            | ((lo == y) & (hi == z))
+        )
+
+    def apply_delta(
+        self,
+        delta_edges: np.ndarray,
+        vertex_colors: np.ndarray,
+        insert: bool,
+        batch_candidates: int | None = None,
+    ) -> bool:
+        """Route one canonical delta batch into this shard, in place.
+
+        Mutates only what the batch touches: the shard row structure
+        gets every owned oriented bit (one :class:`StructureDelta`
+        shared by all lane-plan patches), each lane's column structure
+        gets the owned bits whose *source* vertex carries the lane's
+        witness color, and each lane whose pivot pair matches an owned
+        edge splices its edge list and patches its compiled plan
+        (:func:`repro.core.plan.patch_join_plan`).  Returns ``False``
+        without touching anything when the shard owns no edge of the
+        batch — the routing property that makes sharded ``apply``
+        O(owning shards), not O(all shards).
+        """
+        from repro.core.engine import DEFAULT_BATCH_CANDIDATES
+        from repro.core.incremental import StructureDelta, clear_bits, set_bits
+        from repro.core.plan import (
+            merge_oriented_edges,
+            oriented_structure_bits,
+            patch_join_plan,
+        )
+
+        owned = self.owned_mask(delta_edges, vertex_colors)
+        if not bool(owned.any()):
+            return False
+        owned_edges = delta_edges[owned]
+        mutate = set_bits if insert else clear_bits
+        row_bits = oriented_structure_bits(owned_edges, self.orientation, "row")
+        row_delta = mutate(self.row_sliced, *row_bits)
+        # Oriented (source, destination) directions of the owned batch —
+        # the coordinates both the lane column masks and the lane edge
+        # splices are expressed in.
+        u, v = owned_edges[:, 0], owned_edges[:, 1]
+        if self.orientation == "upper":
+            delta_src, delta_dst = u, v
+        else:
+            delta_src = np.concatenate([u, v])
+            delta_dst = np.concatenate([v, u])
+        src_colors = vertex_colors[delta_src]
+        pair_lo = np.minimum(vertex_colors[u], vertex_colors[v])
+        pair_hi = np.maximum(vertex_colors[u], vertex_colors[v])
+        candidates = batch_candidates or DEFAULT_BATCH_CANDIDATES
+        for lane in self.lanes:
+            # Column bits route by *source-vertex* color (the witness
+            # side of the AND); edge-list membership routes by the
+            # edge's color *pair* (the pivot side).  These are different
+            # selections on purpose.
+            mask = src_colors == lane.witness_color
+            if bool(mask.any()):
+                col_delta = mutate(
+                    lane.col_sliced, delta_dst[mask], delta_src[mask]
+                )
+            else:
+                col_delta = StructureDelta.unchanged()
+            lane_owned = (pair_lo == lane.pair[0]) & (pair_hi == lane.pair[1])
+            old_src, old_dst = lane.sources, lane.destinations
+            if bool(lane_owned.any()):
+                new_src, new_dst = merge_oriented_edges(
+                    old_src,
+                    old_dst,
+                    owned_edges[lane_owned],
+                    self.orientation,
+                    self.num_vertices,
+                    insert,
+                )
+            else:
+                new_src, new_dst = old_src, old_dst
+            if lane.join_plan is not None:
+                lane.join_plan = patch_join_plan(
+                    lane.join_plan,
+                    self.row_sliced,
+                    lane.col_sliced,
+                    old_src,
+                    old_dst,
+                    new_src,
+                    new_dst,
+                    row_delta,
+                    col_delta,
+                    candidates,
+                )
+            lane.sources, lane.destinations = new_src, new_dst
+        return True
+
+
+def build_shard_contexts(
+    graph: Graph | None,
+    orientation: str,
+    num_arrays: int,
+    *,
+    slice_bits: int = 64,
+    seed: int = 0,
+    edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
+    num_vertices: int | None = None,
+    use_plan: bool = True,
+    batch_candidates: int | None = None,
+) -> list[ShardContext]:
+    """Build the self-contained coloring shards of a graph.
+
+    ``num_arrays`` is quantised up to the next triple count:
+    ``C = min_colors(num_arrays)`` colors give ``Binom(C+2, 3)``
+    contexts (the effective array count).  ``edge_arrays`` optionally
+    passes the already-materialised oriented ``(sources, destinations)``
+    (then ``graph`` may be ``None`` if ``num_vertices`` is given).
+    ``use_plan=False`` skips the per-lane plan compiles — queries then
+    re-derive the merge-join, bit-identically.
+
+    Construction cost is the PIM-TC replication bill: each oriented
+    edge is copied into ``C`` contexts and every context slices its own
+    structures.  That one-time cost is what
+    :meth:`repro.arch.perf.PimPerformanceModel.evaluate_context_build`
+    prices; at query time the contexts are communication-free.
+    """
+    from repro.core.plan import build_join_plan
+
+    if orientation not in ("upper", "symmetric"):
+        raise ArchitectureError(
+            f"orientation must be 'upper' or 'symmetric', got {orientation!r}"
+        )
+    if edge_arrays is None:
+        if graph is None:
+            raise ArchitectureError(
+                "build_shard_contexts needs a graph when edge_arrays "
+                "is not provided"
+            )
+        sources, destinations = oriented_edges(graph, orientation)
+    else:
+        sources, destinations = edge_arrays
+        sources = np.asarray(sources, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+    if num_vertices is None:
+        if graph is None:
+            raise ArchitectureError(
+                "build_shard_contexts needs num_vertices when graph is None"
+            )
+        num_vertices = graph.num_vertices
+    colors = min_colors(num_arrays)
+    vertex_colors = assign_colors(num_vertices, colors, seed)
+    src_colors = vertex_colors[sources] if sources.size else np.empty(0, np.int64)
+    dst_colors = (
+        vertex_colors[destinations] if destinations.size else np.empty(0, np.int64)
+    )
+    pair_lo = np.minimum(src_colors, dst_colors)
+    pair_hi = np.maximum(src_colors, dst_colors)
+    # Group edge positions by color pair once: C(C+1)/2 small buckets,
+    # each ascending, so every lane keeps the global lexicographic edge
+    # order (what merge_oriented_edges and the cache traces rely on).
+    pair_positions: dict[tuple[int, int], np.ndarray] = {}
+    for x in range(colors):
+        for y in range(x, colors):
+            pair_positions[(x, y)] = np.flatnonzero(
+                (pair_lo == x) & (pair_hi == y)
+            )
+    contexts: list[ShardContext] = []
+    for shard_id, triple in enumerate(color_triples(colors)):
+        lane_specs = _triple_lanes(triple)
+        own_positions = np.sort(
+            np.concatenate([pair_positions[pair] for _, pair in lane_specs])
+        )
+        own_src = sources[own_positions]
+        own_dst = destinations[own_positions]
+        # Lexicographic (source, destination) order is non-decreasing in
+        # the slice key, so from_nonzeros skips its argsort here.
+        row_sliced = SlicedMatrix.from_nonzeros(
+            own_src, own_dst, num_vertices, num_vertices, slice_bits=slice_bits
+        )
+        own_src_colors = (
+            vertex_colors[own_src] if own_src.size else np.empty(0, np.int64)
+        )
+        lanes: list[ShardLane] = []
+        for witness, pair in lane_specs:
+            positions = pair_positions[pair]
+            lane_src = sources[positions]
+            lane_dst = destinations[positions]
+            mask = own_src_colors == witness
+            col_sliced = SlicedMatrix.from_nonzeros(
+                own_dst[mask],
+                own_src[mask],
+                num_vertices,
+                num_vertices,
+                slice_bits=slice_bits,
+            )
+            join_plan = None
+            if use_plan:
+                from repro.core.engine import DEFAULT_BATCH_CANDIDATES
+
+                join_plan = build_join_plan(
+                    row_sliced,
+                    col_sliced,
+                    lane_src,
+                    lane_dst,
+                    batch_candidates or DEFAULT_BATCH_CANDIDATES,
+                )
+            lanes.append(
+                ShardLane(
+                    witness_color=witness,
+                    pair=pair,
+                    sources=lane_src,
+                    destinations=lane_dst,
+                    col_sliced=col_sliced,
+                    join_plan=join_plan,
+                )
+            )
+        contexts.append(
+            ShardContext(
+                shard_id=shard_id,
+                triple=triple,
+                orientation=orientation,
+                num_vertices=num_vertices,
+                slice_bits=slice_bits,
+                colors=colors,
+                color_seed=seed,
+                row_sliced=row_sliced,
+                lanes=lanes,
+            )
+        )
+    return contexts
+
+
+def context_balance(contexts: list[ShardContext]) -> float:
+    """Partitioner balance: max shard edges over mean shard edges.
+
+    1.0 is perfect balance; the ratio is the latency multiplier the
+    slowest shard imposes on an otherwise even fleet.  Empty fleets (or
+    all-empty shards) report 1.0.
+    """
+    if not contexts:
+        return 1.0
+    loads = [ctx.num_edges for ctx in contexts]
+    mean = sum(loads) / len(loads)
+    return max(loads) / mean if mean else 1.0
+
+
+def _run_context(
+    context: ShardContext,
+    per_array_capacity: int,
+    policy,
+    seed: int,
+    batch_candidates: int | None,
+    use_plan: bool,
+) -> ShardResult:
+    """Execute one self-contained context on its private array.
+
+    Each lane is one gather → AND → popcount pass over the shard's own
+    structures; lane accumulators, events and cache statistics merge
+    into the shard's :class:`ShardResult`.  Nothing here reads global
+    state — the property the process-pool path (and the no-shared-
+    structures test) relies on.
+    """
+    from repro.core.accelerator import EventCounts
+    from repro.core.engine import DEFAULT_BATCH_CANDIDATES
+    from repro.core.kernels import CountKernel, execute_workload
+
+    touched = context.touched_rows()
+    _, touched_counts = context.row_sliced.row_slice_ranges(touched)
+    row_region = int(touched_counts.max(initial=0))
+    column_capacity = per_array_capacity - row_region
+    if column_capacity < 1:
+        raise ArchitectureError(
+            f"shard {context.shard_id}: per-array capacity "
+            f"{per_array_capacity} slices cannot hold its row region "
+            f"({row_region} slices) plus a column cache; use fewer arrays "
+            "or a larger array"
+        )
+    accumulator = 0
+    events = EventCounts()
+    cache_stats = CacheStatistics()
+    kernel = CountKernel()
+    for lane in context.lanes:
+        lane_rows = np.unique(lane.sources)
+        _, lane_counts = context.row_sliced.row_slice_ranges(lane_rows)
+        outcome = execute_workload(
+            kernel,
+            None,
+            context.row_sliced,
+            lane.col_sliced,
+            context.orientation,
+            column_capacity,
+            policy=policy,
+            seed=seed,
+            batch_candidates=batch_candidates or DEFAULT_BATCH_CANDIDATES,
+            edges=(lane.sources, lane.destinations),
+            row_writes=int(lane_counts.sum()),
+            plan=lane.join_plan if use_plan else None,
+        )
+        accumulator += outcome.accumulator
+        events = events + EventCounts(**outcome.events)
+        cache_stats = cache_stats.merge(outcome.cache_stats)
+    return ShardResult(
+        shard_id=context.shard_id,
+        edges=context.num_edges,
+        rows=int(touched.size),
+        accumulator=accumulator,
+        events=events,
+        cache_stats=cache_stats,
+        row_region_slices=row_region,
+        column_cache_slices=column_capacity,
+    )
+
+
+def _merge_shard_results(shard_results: list[ShardResult]) -> ShardedOutcome:
+    """Sum accumulators and additive counters across shard results."""
+    from repro.core.accelerator import EventCounts
+
+    accumulator = sum(result.accumulator for result in shard_results)
+    events = EventCounts()
+    cache_stats = CacheStatistics()
+    for result in shard_results:
+        events = events + result.events
+        cache_stats = cache_stats.merge(result.cache_stats)
+    return ShardedOutcome(
+        accumulator=accumulator,
+        events=events,
+        cache_stats=cache_stats,
+        shards=shard_results,
+    )
+
+
+def _context_capacity(capacity_slices: int, num_contexts: int) -> int:
+    per_array_capacity = capacity_slices // num_contexts
+    if per_array_capacity < 2:
+        raise ArchitectureError(
+            f"array of {capacity_slices} slices split {num_contexts} ways "
+            f"leaves {per_array_capacity} slices per array; need at least 2"
+        )
+    return per_array_capacity
+
+
+def execute_contexts(
+    contexts: list[ShardContext],
+    capacity_slices: int,
+    policy,
+    seed: int,
+    workers: int = 0,
+    batch_candidates: int | None = None,
+    use_plan: bool = True,
+) -> ShardedOutcome:
+    """Run a list of self-contained contexts and merge their results.
+
+    The communication-free counterpart of :func:`execute_sharded`: no
+    shared slice structures, no join-plan subsetting, no global edge
+    list — each context executes against what it owns.  ``workers>0``
+    fans contexts out over a :class:`ProcessPoolExecutor`; because a
+    context is self-contained, a worker receives its whole shard once
+    and nothing else crosses the process boundary.  For resident
+    repeat-query serving, :class:`ContextPool` keeps the workers (and
+    their shipped contexts) alive across calls.
+    """
+    if not contexts:
+        raise ArchitectureError("execute_contexts needs at least one context")
+    if workers < 0:
+        raise ArchitectureError(f"workers must be >= 0, got {workers}")
+    per_array_capacity = _context_capacity(capacity_slices, len(contexts))
+    if workers > 0 and len(contexts) > 1:
+        max_workers = min(workers, len(contexts), os.cpu_count() or 1)
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_context_worker,
+            initargs=(contexts, per_array_capacity, policy, seed, batch_candidates),
+        ) as pool:
+            shard_results = list(
+                pool.map(
+                    _run_resident_context,
+                    [(ctx.shard_id, use_plan) for ctx in contexts],
+                )
+            )
+    else:
+        shard_results = [
+            _run_context(
+                ctx, per_array_capacity, policy, seed, batch_candidates, use_plan
+            )
+            for ctx in contexts
+        ]
+    return _merge_shard_results(shard_results)
+
+
+#: Per-process resident contexts installed by :func:`_init_context_worker`.
+_CONTEXT_SHARED: tuple | None = None
+
+
+def _init_context_worker(
+    contexts, per_array_capacity, policy, seed, batch_candidates
+) -> None:
+    """Pool initializer: adopt the shipped contexts as process residents."""
+    global _CONTEXT_SHARED
+    _CONTEXT_SHARED = (
+        {ctx.shard_id: ctx for ctx in contexts},
+        per_array_capacity,
+        policy,
+        seed,
+        batch_candidates,
+    )
+
+
+def _run_resident_context(job: tuple[int, bool]) -> ShardResult:
+    """Run one resident context by shard id (the O(1) dispatch path)."""
+    shard_id, use_plan = job
+    by_id, per_array_capacity, policy, seed, batch_candidates = _CONTEXT_SHARED
+    return _run_context(
+        by_id[shard_id], per_array_capacity, policy, seed, batch_candidates, use_plan
+    )
+
+
+class ContextPool:
+    """A persistent worker pool with the shard contexts resident.
+
+    The :class:`ShardPlan` path pays its data movement on *every*
+    sharded call: a fresh process pool, the graph and both global slice
+    structures shipped through the initializer, per-shard edge subsets
+    and plan slices pickled into each job.  Self-contained contexts
+    invert that: this pool ships each worker the full context list
+    **once** at construction, and every subsequent :meth:`run` sends
+    only ``(shard_id, use_plan)`` tuples — the dispatch cost of a
+    repeat query is independent of the graph size, which is what makes
+    process workers actually pay off (the ablation benchmark and the
+    ``coloring-smoke`` CI gate measure exactly this against degree-LPT
+    re-dispatch).
+
+    Use as a context manager or call :meth:`close`; results are
+    bit-identical to :func:`execute_contexts` serial execution.
+    """
+
+    def __init__(
+        self,
+        contexts: list[ShardContext],
+        capacity_slices: int,
+        policy,
+        seed: int,
+        workers: int,
+        batch_candidates: int | None = None,
+    ) -> None:
+        if not contexts:
+            raise ArchitectureError("ContextPool needs at least one context")
+        if workers < 1:
+            raise ArchitectureError(
+                f"ContextPool needs workers >= 1, got {workers}"
+            )
+        per_array_capacity = _context_capacity(capacity_slices, len(contexts))
+        self._shard_ids = [ctx.shard_id for ctx in contexts]
+        self._executor = ProcessPoolExecutor(
+            max_workers=min(workers, len(contexts), os.cpu_count() or 1),
+            initializer=_init_context_worker,
+            initargs=(contexts, per_array_capacity, policy, seed, batch_candidates),
+        )
+
+    def run(self, use_plan: bool = True) -> ShardedOutcome:
+        """One full sweep over the resident shards: ids out, results back."""
+        shard_results = list(
+            self._executor.map(
+                _run_resident_context,
+                [(shard_id, use_plan) for shard_id in self._shard_ids],
+            )
+        )
+        return _merge_shard_results(shard_results)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ContextPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -134,31 +134,70 @@ class TestMeasuredShardPricing:
         events = _events()
         serial = base.evaluate(events, 500)
         sharded = base.evaluate_shards([events], [500])
+        # A single shard merges nothing, whatever the partitioner.
         assert sharded.latency_s == pytest.approx(serial.latency_s)
         assert sharded.latency_breakdown_s["imbalance"] == pytest.approx(1.0)
+        assert "merge" not in sharded.latency_breakdown_s
 
-    def test_critical_path_is_slowest_shard(self, base):
+    def test_critical_path_is_slowest_shard_plus_merge(self, base):
         light = _events()
         heavy = _events()
         heavy.and_operations *= 3
         heavy.edges_processed *= 3
         report = base.evaluate_shards([light, heavy], [100, 300])
+        merge = 2 * base.timing.shard_merge_latency_s
+        assert report.latency_breakdown_s["merge"] == pytest.approx(merge)
+        assert report.latency_s == pytest.approx(
+            base.evaluate(heavy, 300).latency_s + merge
+        )
+        assert report.latency_breakdown_s["imbalance"] > 1.0
+
+    def test_communication_free_drops_merge(self, base):
+        light = _events()
+        heavy = _events()
+        heavy.and_operations *= 3
+        heavy.edges_processed *= 3
+        report = base.evaluate_shards(
+            [light, heavy], [100, 300], communication_free=True
+        )
+        assert "merge" not in report.latency_breakdown_s
         assert report.latency_s == pytest.approx(
             base.evaluate(heavy, 300).latency_s
         )
-        assert report.latency_breakdown_s["imbalance"] > 1.0
+        merged = base.evaluate_shards([light, heavy], [100, 300])
+        assert merged.latency_s > report.latency_s
 
     def test_dynamic_energy_sums_over_shards(self, base):
         events = _events()
         single = base.evaluate_shards([events], [0])
-        double = base.evaluate_shards([events, events], [0, 0])
+        double = base.evaluate_shards(
+            [events, events], [0, 0], communication_free=True
+        )
         assert double.energy_breakdown_j["dynamic"] == pytest.approx(
             2 * single.energy_breakdown_j["dynamic"]
         )
-        # Same critical path, so the time-proportional terms match.
+        # Same critical path (no merge term), so the time-proportional
+        # terms match.
         assert double.energy_breakdown_j["leakage"] == pytest.approx(
             single.energy_breakdown_j["leakage"]
         )
+
+    def test_context_build_pricing(self, base):
+        report = base.evaluate_context_build([1000, 3000], [500, 1500])
+        timing = base.timing
+        expected = (
+            3000 * timing.per_edge_overhead_s
+            + 1500 * timing.plan_record_latency_s
+        )
+        assert report.latency_s == pytest.approx(expected)
+        assert report.latency_breakdown_s["slice_build"] == pytest.approx(
+            4000 * timing.per_edge_overhead_s
+        )
+        assert report.latency_breakdown_s["imbalance"] > 1.0
+        with pytest.raises(ArchitectureError, match="at least one"):
+            base.evaluate_context_build([])
+        with pytest.raises(ArchitectureError, match="pair counts"):
+            base.evaluate_context_build([10], [1, 2])
 
     def test_validation(self, base):
         with pytest.raises(ArchitectureError, match="at least one"):
@@ -178,10 +217,30 @@ class TestMeasuredShardPricing:
         per_shard = [
             report.latency_breakdown_s[f"shard{i}"] for i in range(4)
         ]
-        assert report.latency_s == pytest.approx(max(per_shard))
+        # Position-partitioned shards pay the per-shard merge read-back.
+        assert report.latency_s == pytest.approx(
+            max(per_shard) + 4 * base.timing.shard_merge_latency_s
+        )
         # Sharding a run across 4 arrays beats pricing it on one.
         serial = base.evaluate(run.events).latency_s
         assert report.latency_s < serial
+
+    def test_measured_report_coloring_is_communication_free(self, base):
+        from repro.arch.pipeline import measured_shard_report
+        from repro.core.accelerator import AcceleratorConfig
+
+        graph = generators.powerlaw_cluster(300, 5, 0.5, seed=6)
+        run = TCIMAccelerator(
+            AcceleratorConfig(num_arrays=4, shard_by="coloring")
+        ).run(graph)
+        assert run.notes["communication_free"] is True
+        report = measured_shard_report(run, base)
+        assert "merge" not in report.latency_breakdown_s
+        per_shard = [
+            report.latency_breakdown_s[f"shard{i}"]
+            for i in range(len(run.shards))
+        ]
+        assert report.latency_s == pytest.approx(max(per_shard))
 
     def test_simulate_sharded_one_call(self):
         from repro.arch.pipeline import simulate_sharded

@@ -24,6 +24,7 @@ from repro.core.accelerator import AcceleratorConfig, EventCounts, TCIMAccelerat
 from repro.core.reuse import CacheStatistics
 from repro.core.sharding import (
     PARTITIONERS,
+    POSITION_PARTITIONERS,
     ShardPlan,
     execute_sharded,
     plan_shards,
@@ -79,7 +80,7 @@ class TestSingleArrayIdentity:
         assert single.column_cache_slices == baseline.column_cache_slices
         assert single.shards == []
 
-    @pytest.mark.parametrize("shard_by", PARTITIONERS)
+    @pytest.mark.parametrize("shard_by", POSITION_PARTITIONERS)
     def test_orchestrator_with_one_shard(self, shard_by):
         """The orchestrator itself, not just the accelerator shortcut."""
         graph = GRAPHS["ba"]()
@@ -112,7 +113,7 @@ class TestSingleArrayIdentity:
 
 class TestShardedExactness:
     @pytest.mark.parametrize("family", sorted(GRAPHS))
-    @pytest.mark.parametrize("shard_by", PARTITIONERS)
+    @pytest.mark.parametrize("shard_by", POSITION_PARTITIONERS)
     @pytest.mark.parametrize("num_arrays", [2, 4, 8])
     def test_triangles_exact_and_events_conserved(
         self, family, shard_by, num_arrays
@@ -176,7 +177,7 @@ class TestShardedExactness:
             graph = Graph(n, rng.integers(0, n, size=(m, 2)))
             baseline = run(graph)
             num_arrays = int(rng.choice([2, 3, 4, 8]))
-            shard_by = PARTITIONERS[trial % len(PARTITIONERS)]
+            shard_by = POSITION_PARTITIONERS[trial % len(POSITION_PARTITIONERS)]
             sharded = run(graph, num_arrays=num_arrays, shard_by=shard_by)
             assert sharded.triangles == baseline.triangles
             for field in CONSERVED_FIELDS:
@@ -228,7 +229,7 @@ class TestShardPlans:
 
     def test_plan_covers_every_edge_once(self):
         graph = GRAPHS["powerlaw"]()
-        for shard_by in PARTITIONERS:
+        for shard_by in POSITION_PARTITIONERS:
             plan = plan_shards(graph, "upper", 5, shard_by)
             positions = np.sort(np.concatenate(plan.assignments))
             assert np.array_equal(positions, np.arange(graph.num_edges))
