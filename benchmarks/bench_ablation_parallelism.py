@@ -47,7 +47,7 @@ PARTITIONERS = {
     "degree-LPT": "degree",
     "coloring": "coloring",
 }
-POOL_WORKERS = max(2, min(4, (os.cpu_count() or 2) - 1))
+POOL_WORKERS = os.cpu_count() or 2
 POOL_SWEEPS = 3
 
 

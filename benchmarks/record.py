@@ -195,15 +195,23 @@ def measure_workloads(num_vertices: int, attach: int) -> dict:
 
 
 def measure_parallelism(num_vertices: int, attach: int) -> dict:
-    """Measured process-pool parallelism: coloring vs degree-LPT.
+    """Measured process-pool parallelism: coloring vs degree-LPT, shm vs pickle.
 
     For each fleet width the degree-LPT column times the status-quo
     sharded path (fresh pool per call, shared structures shipped through
-    the initializer every time) and the coloring column times repeat
-    :class:`~repro.core.sharding.ContextPool` sweeps (self-contained
-    contexts shipped once, then id-only dispatch).  Both execute the
-    same graph exactly; the ratio is the curve the coloring-smoke CI job
-    gates at >= 1.5x for 16 arrays.
+    the initializer every time) and the coloring columns time repeat
+    :class:`~repro.core.sharding.ContextPool` sweeps under both pool
+    backings: ``shm`` (arrays exported once into named shared-memory
+    segments, workers attach zero-copy, one batched dispatch message per
+    worker per sweep) and ``pickle`` (the ship-once contexts-through-the-
+    initializer baseline).  The ``*_cycle_s`` columns time the full
+    construct-plus-two-sweeps cycle; the ``*_fence_cycle_s`` columns
+    time the delta-fence cycle (``publish()`` + ``run()``) — the
+    quantity the shm-smoke CI job gates at >= 2x for 16 arrays, since
+    making a delta visible costs the pickle plane an executor respawn
+    and re-ship but costs the shm plane only an identity probe over the
+    manifests.  Every row records the worker count, the host CPU count,
+    and the backing of the primary (``coloring_sweep_s``) timing.
     """
     import os
 
@@ -212,7 +220,8 @@ def measure_parallelism(num_vertices: int, attach: int) -> dict:
     from repro.core.sharding import ContextPool, build_shard_contexts, context_balance
 
     graph = generators.barabasi_albert(num_vertices, attach, seed=0)
-    workers = max(2, min(4, (os.cpu_count() or 2) - 1))
+    cpu_count = os.cpu_count()
+    workers = cpu_count or 2
     baseline = TCIMAccelerator(AcceleratorConfig()).run(graph)
     model = default_pim_model()
     curve = []
@@ -232,16 +241,36 @@ def measure_parallelism(num_vertices: int, attach: int) -> dict:
                 ).run(graph),
             )
         assert result.triangles == baseline.triangles
+
+        sweep_s = {}
+        cycle_s = {}
+        fence_s = {}
+        num_segments = 0
+        for backing in ("shm", "pickle"):
+            contexts = build_shard_contexts(graph, "upper", num_arrays)
+            cycle_start = time.perf_counter()
+            with ContextPool(
+                contexts,
+                config.capacity_slices,
+                config.policy,
+                config.seed,
+                workers=workers,
+                backing=backing,
+            ) as pool:
+                for _ in range(2):
+                    outcome = pool.run()
+                cycle_s[backing] = time.perf_counter() - cycle_start
+                sweep_s[backing], outcome = best_of(3, pool.run)
+
+                def fence():
+                    pool.publish()
+                    return pool.run()
+
+                fence_s[backing], outcome = best_of(3, fence)
+                if backing == "shm":
+                    num_segments = pool.shared_segments
+            assert outcome.accumulator == baseline.triangles
         contexts = build_shard_contexts(graph, "upper", num_arrays)
-        with ContextPool(
-            contexts,
-            config.capacity_slices,
-            config.policy,
-            config.seed,
-            workers=workers,
-        ) as pool:
-            coloring_s, outcome = best_of(3, pool.run)
-        assert outcome.accumulator == baseline.triangles
         coloring_run = TCIMAccelerator(
             AcceleratorConfig(num_arrays=num_arrays, shard_by="coloring")
         ).run(graph)
@@ -254,11 +283,28 @@ def measure_parallelism(num_vertices: int, attach: int) -> dict:
             {
                 "arrays": num_arrays,
                 "shards": len(contexts),
+                "pool_workers": workers,
+                "cpu_count": cpu_count,
+                "backing": "shm",
                 "degree_lpt_sweep_s": shared_s,
-                "coloring_sweep_s": coloring_s,
-                "coloring_speedup": shared_s / coloring_s if coloring_s else None,
+                "coloring_sweep_s": sweep_s["shm"],
+                "coloring_speedup": (
+                    shared_s / sweep_s["shm"] if sweep_s["shm"] else None
+                ),
+                "pickle_sweep_s": sweep_s["pickle"],
+                "shm_cycle_s": cycle_s["shm"],
+                "pickle_cycle_s": cycle_s["pickle"],
+                "shm_fence_cycle_s": fence_s["shm"],
+                "pickle_fence_cycle_s": fence_s["pickle"],
+                "shm_vs_pickle_speedup": (
+                    fence_s["pickle"] / fence_s["shm"] if fence_s["shm"] else None
+                ),
+                "shared_segments": num_segments,
                 "balance": context_balance(contexts),
                 "modelled_coloring_latency_s": modelled,
+                "modelled_pool_plane_latency_s": model.evaluate_pool_plane(
+                    num_segments, workers
+                ).latency_s,
             }
         )
     at_16 = next(point for point in curve if point["arrays"] == 16)
@@ -266,8 +312,11 @@ def measure_parallelism(num_vertices: int, attach: int) -> dict:
         "graph": {"num_vertices": graph.num_vertices, "num_edges": graph.num_edges},
         "triangles": baseline.triangles,
         "pool_workers": workers,
+        "cpu_count": cpu_count,
+        "backing": "shm",
         "curve": curve,
         "coloring_speedup_at_16": at_16["coloring_speedup"],
+        "shm_vs_pickle_at_16": at_16["shm_vs_pickle_speedup"],
     }
 
 
@@ -482,7 +531,7 @@ def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     scale = 4 if quick else 1
     payload = {
-        "schema": 4,
+        "schema": 5,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "quick": quick,
@@ -503,7 +552,8 @@ def main(argv: list[str]) -> int:
         f"streaming {payload['streaming']['ops_per_second']:,.0f} ops/s; "
         "parallelism coloring "
         f"{payload['parallelism']['coloring_speedup_at_16']:.1f}x vs "
-        "degree-LPT at 16 arrays; "
+        "degree-LPT at 16 arrays (shm pool "
+        f"{payload['parallelism']['shm_vs_pickle_at_16']:.1f}x vs pickle-ship); "
         f"serving {payload['serving']['queries_per_second']:,.0f} queries/s "
         f"({payload['serving']['coalesced']} coalesced, fusion "
         f"{payload['serving']['fusion_speedup']:.1f}x on probes); "

@@ -110,7 +110,7 @@ def check_exactness(num_vertices: int) -> int:
 
 def check_throughput(num_vertices: int) -> int:
     graph = generators.barabasi_albert(num_vertices, 8, seed=42)
-    workers = max(2, min(4, (os.cpu_count() or 2) - 1))
+    workers = os.cpu_count() or 2
     baseline = TCIMAccelerator(AcceleratorConfig(num_arrays=1)).run(graph)
 
     shared_best = float("inf")

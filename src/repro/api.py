@@ -333,6 +333,17 @@ class TCIMSession:
         self._use_contexts = (
             self.config.num_arrays > 1 and self.config.shard_by == "coloring"
         )
+        # The zero-copy execution plane (backing="shm" with workers):
+        # a resident ContextPool whose workers hold the coloring shards
+        # attached as shared-memory segments.  Created lazily with the
+        # contexts, published to after every context patch, closed
+        # whenever the contexts drop.
+        self._context_pool = None
+        self._use_pool = (
+            self._use_contexts
+            and self.config.workers > 0
+            and self.config.backing == "shm"
+        )
         self._sym_sliced: SlicedMatrix | None = None
         # The compiled valid-pair index (repro.core.plan.JoinPlan):
         # built once per generation, incrementally patched by apply, and
@@ -467,7 +478,9 @@ class TCIMSession:
         shard contexts — per-shard structures, edge lanes and lane
         plans; 0 unless ``shard_by="coloring"`` contexts are resident),
         ``spilled`` (how much of the above is disk-backed rather than
-        on heap — 0 for a ram store), and ``total``
+        on heap — 0 for a ram store), ``shared`` (how much lives in
+        named shared-memory segments pool workers attach zero-copy —
+        0 unless ``backing="shm"``), and ``total``
         (== :meth:`resident_bytes`).  Surfaced per session by the
         serving tier's ``stats`` protocol op.
         """
@@ -493,6 +506,9 @@ class TCIMSession:
             shards = sum(
                 context.nbytes for context in (self._shard_contexts or ())
             )
+            shared = self._store.shared_bytes
+            if self._context_pool is not None:
+                shared += self._context_pool.shared_bytes
             return {
                 "slices": slices,
                 "plan": plan,
@@ -501,6 +517,7 @@ class TCIMSession:
                 "graph": graph,
                 "shards": shards,
                 "spilled": self._store.spilled_bytes,
+                "shared": shared,
                 "total": slices + plan + sym_plan + edges + graph + shards,
             }
 
@@ -1247,6 +1264,17 @@ class TCIMSession:
                     min_colors(self.config.num_arrays),
                     self.config.seed,
                 )
+            if self._use_pool and self._context_pool is None:
+                from repro.core.sharding import ContextPool
+
+                self._context_pool = ContextPool(
+                    self._shard_contexts,
+                    self.config.capacity_slices,
+                    self.config.policy,
+                    self.config.seed,
+                    workers=self.config.workers,
+                    backing="shm",
+                )
         elif self.config.num_arrays > 1 and self._plan is None:
             self._plan = plan_shards(
                 self.graph,
@@ -1712,6 +1740,7 @@ class TCIMSession:
                 plan=self._plan,
                 join_plan=self._ensure_join_plan(),
                 shard_contexts=self._shard_contexts,
+                context_pool=self._context_pool,
             )
             self._triangles = self._run.triangles
             self._slice_stats = self._run.slice_stats
@@ -1874,14 +1903,30 @@ class TCIMSession:
         ``_prepare``), mirroring the global-structure fallback.
         """
         if self._shard_contexts is None:
+            self._close_context_pool()
             return
         try:
             for delta_edges, insert in pending:
                 for context in self._shard_contexts:
                     context.apply_delta(delta_edges, self._shard_colors, insert)
+            if self._context_pool is not None:
+                # Payload writes already landed in the shared segments;
+                # the publish re-exports structurally reallocated arrays
+                # and fences a new generation so pool workers rebuild.
+                self._context_pool.publish()
         except Exception:
             self._shard_contexts = None
             self._shard_colors = None
+            self._close_context_pool()
+
+    def _close_context_pool(self) -> None:
+        """Reclaim the resident zero-copy pool (workers + shm segments)."""
+        pool, self._context_pool = self._context_pool, None
+        if pool is not None:
+            try:
+                pool.close()
+            except Exception:
+                pass
 
     def _drop_structural_caches(self) -> None:
         self._row_sliced = None
@@ -1890,6 +1935,7 @@ class TCIMSession:
         self._join_plan = None
         self._shard_contexts = None
         self._shard_colors = None
+        self._close_context_pool()
         self._pending_patches.clear()
         self._pending_edges = 0
 

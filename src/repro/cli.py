@@ -102,6 +102,17 @@ def add_accelerator_args(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--backing",
+        choices=["ram", "memmap", "shm"],
+        default=None,
+        help=(
+            "resident backing tier: ram (heap), memmap (disk spill under "
+            "--storage-dir), or shm — named shared-memory segments that "
+            "let coloring-shard pool workers sweep zero-copy "
+            "(results are identical)"
+        ),
+    )
+    parser.add_argument(
         "--config",
         metavar="FILE",
         default=None,
@@ -164,7 +175,14 @@ def _accelerator_config(args: argparse.Namespace, **flag_overrides) -> Accelerat
     mapping: dict = {}
     if getattr(args, "config", None):
         mapping.update(_load_config_file(args.config))
-    for name in ("engine", "num_arrays", "shard_by", "workers", "storage_dir"):
+    for name in (
+        "engine",
+        "num_arrays",
+        "shard_by",
+        "workers",
+        "storage_dir",
+        "backing",
+    ):
         value = getattr(args, name, None)
         if value is not None:
             mapping[name] = value

@@ -76,6 +76,16 @@ class AcceleratorConfig:
     edge windows, and the session pool pages evicted sessions out as
     snapshots under ``<storage_dir>/pool``.  ``None`` (the default)
     keeps everything on heap — byte-identical results either way.
+
+    ``backing`` names the resident tier explicitly: ``"ram"``,
+    ``"memmap"`` (requires ``storage_dir``) or ``"shm"`` — the
+    zero-copy shared-memory execution plane, under which coloring-shard
+    sweeps with ``workers > 0`` run through an shm-backed
+    :class:`~repro.core.sharding.ContextPool` (workers attach named
+    segments once; sweeps dispatch one batched message per worker).
+    ``None`` (the default) keeps the historical routing:
+    ``storage_dir`` set implies ``memmap``, otherwise ``ram``.  Results
+    are bit-identical across all three.
     """
 
     slice_bits: int = 64
@@ -90,6 +100,14 @@ class AcceleratorConfig:
     use_plan: bool = True
     storage_dir: str | None = None
     spill_threshold_bytes: int | None = None
+    backing: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backing not in (None, "ram", "memmap", "shm"):
+            raise ArchitectureError(
+                f"backing must be 'ram', 'memmap', 'shm' or unset, "
+                f"got {self.backing!r}"
+            )
 
     @property
     def slice_bytes(self) -> int:
@@ -108,7 +126,11 @@ class AcceleratorConfig:
     _BOOL_FIELDS = ("use_plan",)
     #: Optional fields: ``None`` (or the strings ""/"none"/"null") stays
     #: ``None``; anything else coerces to the named base type.
-    _OPTIONAL_FIELDS = {"storage_dir": str, "spill_threshold_bytes": int}
+    _OPTIONAL_FIELDS = {
+        "storage_dir": str,
+        "spill_threshold_bytes": int,
+        "backing": str,
+    }
 
     @classmethod
     def from_mapping(
@@ -352,6 +374,7 @@ class TCIMAccelerator:
         plan=None,
         join_plan=None,
         shard_contexts=None,
+        context_pool=None,
     ) -> TCIMRunResult:
         """Execute Algorithm 1 on ``graph`` and collect all statistics.
 
@@ -378,6 +401,11 @@ class TCIMAccelerator:
         owns its own compiled plan — and records the coloring metadata
         (colors, shard count, partitioner balance, the
         communication-free flag) in :attr:`TCIMRunResult.notes`.
+        ``context_pool`` additionally passes a live
+        :class:`repro.core.sharding.ContextPool` holding those contexts
+        resident in its workers — the sweep then dispatches through the
+        pool (zero-copy under shm backing) instead of spawning
+        processes per call.
         """
         config = self.config
         orientation = config.orientation
@@ -412,12 +440,17 @@ class TCIMAccelerator:
             )
         shards: list = []
         notes: dict = {}
-        use_contexts = shard_contexts is not None or (
-            config.num_arrays > 1 and config.shard_by == "coloring"
+        use_contexts = (
+            shard_contexts is not None
+            or context_pool is not None
+            or (config.num_arrays > 1 and config.shard_by == "coloring")
         )
         if use_contexts:
             accumulator, events, cache_stats, shards, notes = self._run_contexts(
-                graph, edge_arrays=edge_arrays, shard_contexts=shard_contexts,
+                graph,
+                edge_arrays=edge_arrays,
+                shard_contexts=shard_contexts,
+                context_pool=context_pool,
             )
             row_region = max((s.row_region_slices for s in shards), default=0)
             column_capacity = min(
@@ -480,6 +513,7 @@ class TCIMAccelerator:
         graph: Graph,
         edge_arrays: tuple[np.ndarray, np.ndarray] | None = None,
         shard_contexts=None,
+        context_pool=None,
     ) -> tuple[int, EventCounts, CacheStatistics, list, dict]:
         """Communication-free coloring dataflow over self-contained shards."""
         from repro.core.sharding import (
@@ -489,24 +523,30 @@ class TCIMAccelerator:
         )
 
         config = self.config
-        if shard_contexts is None:
-            shard_contexts = build_shard_contexts(
-                graph,
-                config.orientation,
-                config.num_arrays,
-                slice_bits=config.slice_bits,
+        if context_pool is not None:
+            outcome = context_pool.run(use_plan=bool(config.use_plan))
+            if shard_contexts is None:
+                shard_contexts = context_pool._contexts
+        else:
+            if shard_contexts is None:
+                shard_contexts = build_shard_contexts(
+                    graph,
+                    config.orientation,
+                    config.num_arrays,
+                    slice_bits=config.slice_bits,
+                    seed=config.seed,
+                    edge_arrays=edge_arrays,
+                    use_plan=config.use_plan,
+                )
+            outcome = execute_contexts(
+                shard_contexts,
+                config.capacity_slices,
+                policy=config.policy,
                 seed=config.seed,
-                edge_arrays=edge_arrays,
+                workers=config.workers,
                 use_plan=config.use_plan,
+                backing="shm" if config.backing == "shm" else "pickle",
             )
-        outcome = execute_contexts(
-            shard_contexts,
-            config.capacity_slices,
-            policy=config.policy,
-            seed=config.seed,
-            workers=config.workers,
-            use_plan=config.use_plan,
-        )
         first = shard_contexts[0]
         notes = {
             "shard_by": "coloring",
@@ -515,6 +555,11 @@ class TCIMAccelerator:
             "communication_free": True,
             "balance": context_balance(shard_contexts),
         }
+        if context_pool is not None:
+            notes["pool_backing"] = context_pool.backing
+            notes["pool_workers"] = context_pool.workers
+        elif config.workers > 0 and config.backing == "shm":
+            notes["pool_backing"] = "shm"
         return (
             outcome.accumulator,
             outcome.events,

@@ -60,7 +60,9 @@ the merged counters against the field-wise sum of its shards.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -999,17 +1001,19 @@ def execute_contexts(
     workers: int = 0,
     batch_candidates: int | None = None,
     use_plan: bool = True,
+    backing: str = "pickle",
 ) -> ShardedOutcome:
     """Run a list of self-contained contexts and merge their results.
 
     The communication-free counterpart of :func:`execute_sharded`: no
     shared slice structures, no join-plan subsetting, no global edge
     list — each context executes against what it owns.  ``workers>0``
-    fans contexts out over a :class:`ProcessPoolExecutor`; because a
-    context is self-contained, a worker receives its whole shard once
-    and nothing else crosses the process boundary.  For resident
-    repeat-query serving, :class:`ContextPool` keeps the workers (and
-    their shipped contexts) alive across calls.
+    fans contexts out over worker processes: ``backing="pickle"``
+    (default for a one-shot call) ships each whole shard through a
+    :class:`ProcessPoolExecutor` initializer; ``backing="shm"`` adopts
+    the contexts into shared segments and sweeps them through a
+    transient zero-copy :class:`ContextPool`.  For resident repeat-query
+    serving, hold a :class:`ContextPool` open instead.
     """
     if not contexts:
         raise ArchitectureError("execute_contexts needs at least one context")
@@ -1017,6 +1021,17 @@ def execute_contexts(
         raise ArchitectureError(f"workers must be >= 0, got {workers}")
     per_array_capacity = _context_capacity(capacity_slices, len(contexts))
     if workers > 0 and len(contexts) > 1:
+        if backing == "shm":
+            with ContextPool(
+                contexts,
+                capacity_slices,
+                policy,
+                seed,
+                workers=workers,
+                batch_candidates=batch_candidates,
+                backing="shm",
+            ) as pool:
+                return pool.run(use_plan=use_plan)
         max_workers = min(workers, len(contexts), os.cpu_count() or 1)
         with ProcessPoolExecutor(
             max_workers=max_workers,
@@ -1066,6 +1081,314 @@ def _run_resident_context(job: tuple[int, bool]) -> ShardResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Zero-copy manifests: contexts as segment names instead of array bytes
+# ----------------------------------------------------------------------
+#
+# A :class:`ShardContext` under ``backing="shm"`` lives in named
+# shared-memory segments (see :mod:`repro.storage.backing`).  What
+# crosses the process boundary is a *manifest* — nested dicts of
+# ``{"segment": name, "dtype": ..., "shape": ...}`` entries plus the
+# scalar fields (structure versions, plan validity counters) the worker
+# needs to reassemble bit-identical ``SlicedMatrix``/``JoinPlan``
+# objects over attached views of the same physical pages.  Arrays the
+# store does not share (empty ones) travel inline by value.
+
+
+def _share_array(owner, attr: str, store) -> dict:
+    """Adopt ``owner.attr`` into ``store`` (rebinding it in place) and
+    return its manifest entry.
+
+    The rebind is the load-bearing step: after it, the parent's in-place
+    payload mutations (``set_bits``/``clear_bits``) write the very pages
+    attached workers read, so deltas need no re-ship.
+    """
+    array = getattr(owner, attr)
+    shared = store.adopt(array)
+    if shared is not array:
+        setattr(owner, attr, shared)
+    name = store.segment_of(shared)
+    if name is None:
+        return {"array": shared}
+    return {"segment": name, "dtype": str(shared.dtype), "shape": shared.shape}
+
+
+def _share_sliced(sliced: SlicedMatrix, store) -> dict:
+    return {
+        "num_rows": sliced.num_rows,
+        "num_cols": sliced.num_cols,
+        "slice_bits": sliced.slice_bits,
+        "structure_version": sliced.structure_version,
+        "indptr": _share_array(sliced, "indptr", store),
+        "slice_ids": _share_array(sliced, "slice_ids", store),
+        "data": _share_array(sliced, "data", store),
+    }
+
+
+def _share_plan(plan, store) -> dict | None:
+    if plan is None:
+        return None
+    return {
+        "num_edges": plan.num_edges,
+        "row_version": plan.row_version,
+        "col_version": plan.col_version,
+        "row_valid_slices": plan.row_valid_slices,
+        "col_valid_slices": plan.col_valid_slices,
+        "row_positions": _share_array(plan, "row_positions", store),
+        "col_positions": _share_array(plan, "col_positions", store),
+        "trace_keys": _share_array(plan, "trace_keys", store),
+        "pair_counts": _share_array(plan, "pair_counts", store),
+    }
+
+
+def _share_context(context: ShardContext, store) -> dict:
+    """Adopt every array of ``context`` into ``store`` and manifest it."""
+    return {
+        "shard_id": context.shard_id,
+        "triple": context.triple,
+        "orientation": context.orientation,
+        "num_vertices": context.num_vertices,
+        "slice_bits": context.slice_bits,
+        "colors": context.colors,
+        "color_seed": context.color_seed,
+        "row_sliced": _share_sliced(context.row_sliced, store),
+        "lanes": [
+            {
+                "witness_color": lane.witness_color,
+                "pair": lane.pair,
+                "sources": _share_array(lane, "sources", store),
+                "destinations": _share_array(lane, "destinations", store),
+                "col_sliced": _share_sliced(lane.col_sliced, store),
+                "join_plan": _share_plan(lane.join_plan, store),
+            }
+            for lane in context.lanes
+        ],
+    }
+
+
+def _attach_entry(entry: dict, segments: dict, names: set) -> np.ndarray:
+    """Materialise one manifest entry: attached view or inline array."""
+    inline = entry.get("array")
+    if inline is not None:
+        return inline
+    name = entry["segment"]
+    segment = segments.get(name)
+    if segment is None:
+        from repro.storage.backing import attach_segment
+
+        segment = attach_segment(name)
+        segments[name] = segment
+    names.add(name)
+    return np.ndarray(
+        tuple(entry["shape"]), dtype=np.dtype(entry["dtype"]), buffer=segment.buf
+    )
+
+
+def _sliced_from_manifest(manifest: dict, segments: dict, names: set) -> SlicedMatrix:
+    sliced = SlicedMatrix(
+        int(manifest["num_rows"]),
+        int(manifest["num_cols"]),
+        int(manifest["slice_bits"]),
+        _attach_entry(manifest["indptr"], segments, names),
+        _attach_entry(manifest["slice_ids"], segments, names),
+        _attach_entry(manifest["data"], segments, names),
+    )
+    # The constructor resets the version; restore the recorded one so
+    # JoinPlan.matches() staleness checks agree with the owner's plans.
+    sliced.structure_version = int(manifest["structure_version"])
+    return sliced
+
+
+def _plan_from_manifest(manifest: dict | None, segments: dict, names: set):
+    if manifest is None:
+        return None
+    from repro.core.plan import JoinPlan
+
+    return JoinPlan(
+        row_positions=_attach_entry(manifest["row_positions"], segments, names),
+        col_positions=_attach_entry(manifest["col_positions"], segments, names),
+        trace_keys=_attach_entry(manifest["trace_keys"], segments, names),
+        pair_counts=_attach_entry(manifest["pair_counts"], segments, names),
+        num_edges=int(manifest["num_edges"]),
+        row_version=int(manifest["row_version"]),
+        col_version=int(manifest["col_version"]),
+        row_valid_slices=int(manifest["row_valid_slices"]),
+        col_valid_slices=int(manifest["col_valid_slices"]),
+    )
+
+
+def _context_from_manifest(manifest: dict, segments: dict, names: set) -> ShardContext:
+    return ShardContext(
+        shard_id=int(manifest["shard_id"]),
+        triple=tuple(manifest["triple"]),
+        orientation=manifest["orientation"],
+        num_vertices=int(manifest["num_vertices"]),
+        slice_bits=int(manifest["slice_bits"]),
+        colors=int(manifest["colors"]),
+        color_seed=int(manifest["color_seed"]),
+        row_sliced=_sliced_from_manifest(manifest["row_sliced"], segments, names),
+        lanes=[
+            ShardLane(
+                witness_color=int(lane["witness_color"]),
+                pair=tuple(lane["pair"]),
+                sources=_attach_entry(lane["sources"], segments, names),
+                destinations=_attach_entry(lane["destinations"], segments, names),
+                col_sliced=_sliced_from_manifest(
+                    lane["col_sliced"], segments, names
+                ),
+                join_plan=_plan_from_manifest(lane["join_plan"], segments, names),
+            )
+            for lane in manifest["lanes"]
+        ],
+    )
+
+
+def _sliced_identity(sliced: SlicedMatrix) -> tuple:
+    return (
+        sliced.num_rows,
+        sliced.num_cols,
+        sliced.structure_version,
+        id(sliced.indptr),
+        id(sliced.slice_ids),
+        id(sliced.data),
+    )
+
+
+def _plan_identity(plan) -> tuple | None:
+    if plan is None:
+        return None
+    return (
+        plan.num_edges,
+        plan.row_version,
+        plan.col_version,
+        plan.row_valid_slices,
+        plan.col_valid_slices,
+        id(plan.row_positions),
+        id(plan.col_positions),
+        id(plan.trace_keys),
+        id(plan.pair_counts),
+    )
+
+
+def _context_identity(context: ShardContext) -> tuple:
+    """Cheap publish-time change probe: array identities plus scalars.
+
+    If nothing in this tuple moved since the last export, no array was
+    reallocated and no manifest scalar changed, so the previously
+    exported manifest is still exact — in-place payload writes landed
+    in the shared pages and need no re-export at all.  Any difference
+    falls through to a full re-export plus fingerprint comparison.
+    """
+    return (
+        _sliced_identity(context.row_sliced),
+        tuple(
+            (
+                lane.witness_color,
+                lane.pair,
+                id(lane.sources),
+                id(lane.destinations),
+                _sliced_identity(lane.col_sliced),
+                _plan_identity(lane.join_plan),
+            )
+            for lane in context.lanes
+        ),
+    )
+
+
+def _manifest_signature(value):
+    """A hashable fingerprint of a manifest subtree.
+
+    Equal signatures mean a worker's cached rebuild is still valid:
+    shared entries compare by segment identity (payload writes land in
+    the attached pages and need no rebuild to become visible), inline
+    entries by content, scalars by value.  :meth:`ContextPool.publish`
+    compares fingerprints to bump per-shard versions only for shards a
+    structural mutation actually reallocated.
+    """
+    if isinstance(value, dict):
+        if "segment" in value:
+            return ("seg", value["segment"], value["dtype"], tuple(value["shape"]))
+        if "array" in value:
+            array = value["array"]
+            return ("inline", str(array.dtype), array.shape, array.tobytes())
+        return tuple(
+            (key, _manifest_signature(item)) for key, item in sorted(value.items())
+        )
+    if isinstance(value, list):
+        return tuple(_manifest_signature(item) for item in value)
+    return value
+
+
+#: Worker-process execution params installed by :func:`_init_pool_worker`.
+_POOL_SHARED: tuple | None = None
+#: Worker-process attached segments: name -> SharedMemory (attach once).
+_POOL_SEGMENTS: dict = {}
+#: Worker-process rebuilt contexts: shard_id -> (generation, context,
+#: segment names the context references).
+_POOL_CONTEXTS: dict = {}
+
+
+def _init_pool_worker(per_array_capacity, policy, seed, batch_candidates) -> None:
+    """Zero-copy pool initializer: execution params only, no array bytes."""
+    global _POOL_SHARED
+    _POOL_SHARED = (per_array_capacity, policy, seed, batch_candidates)
+    _POOL_SEGMENTS.clear()
+    _POOL_CONTEXTS.clear()
+
+
+def _evict_stale_segments() -> None:
+    """Close attached segments no resident context references any more.
+
+    Structural mutations republish reallocated arrays under fresh
+    segment names; once every shard caching the old name has rebuilt,
+    the worker's attachment is the last thing pinning those pages.
+    """
+    referenced: set = set()
+    for _version, _context, names in _POOL_CONTEXTS.values():
+        referenced |= names
+    for name in [n for n in _POOL_SEGMENTS if n not in referenced]:
+        segment = _POOL_SEGMENTS.pop(name)
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - an array still views it
+            _POOL_SEGMENTS[name] = segment
+
+
+def _resident_pool_context(
+    shard_id: int, version: int, manifest: dict
+) -> ShardContext:
+    """The worker's cached context for a shard, rebuilt on a new version.
+
+    The version is per shard, not per pool: a publish that only lands
+    in-place payload deltas leaves every version untouched, so workers
+    keep their built contexts and the sweep reads the new bytes straight
+    out of the attached pages.
+    """
+    cached = _POOL_CONTEXTS.get(shard_id)
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    names: set = set()
+    context = _context_from_manifest(manifest, _POOL_SEGMENTS, names)
+    _POOL_CONTEXTS[shard_id] = (version, context, names)
+    _evict_stale_segments()
+    return context
+
+
+def _run_manifest_chunk(job: tuple) -> list[ShardResult]:
+    """Run one batched dispatch message: every shard in the chunk."""
+    entries, use_plan = job
+    per_array_capacity, policy, seed, batch_candidates = _POOL_SHARED
+    results = []
+    for shard_id, version, manifest in entries:
+        context = _resident_pool_context(shard_id, version, manifest)
+        results.append(
+            _run_context(
+                context, per_array_capacity, policy, seed, batch_candidates, use_plan
+            )
+        )
+    return results
+
+
 class ContextPool:
     """A persistent worker pool with the shard contexts resident.
 
@@ -1073,16 +1396,31 @@ class ContextPool:
     sharded call: a fresh process pool, the graph and both global slice
     structures shipped through the initializer, per-shard edge subsets
     and plan slices pickled into each job.  Self-contained contexts
-    invert that: this pool ships each worker the full context list
-    **once** at construction, and every subsequent :meth:`run` sends
-    only ``(shard_id, use_plan)`` tuples — the dispatch cost of a
-    repeat query is independent of the graph size, which is what makes
-    process workers actually pay off (the ablation benchmark and the
-    ``coloring-smoke`` CI gate measure exactly this against degree-LPT
-    re-dispatch).
+    invert that, and the pool supports two residency planes:
 
-    Use as a context manager or call :meth:`close`; results are
-    bit-identical to :func:`execute_contexts` serial execution.
+    ``backing="shm"`` (default)
+        Zero-copy.  Every context array is adopted into named
+        shared-memory segments (:class:`repro.storage.BackingStore`,
+        ``kind="shm"``) at construction; workers attach each segment
+        **once** and every :meth:`run` sends one batched message per
+        worker — a chunk of shard ids plus byte-free manifests — instead
+        of one future per shard.  In-place payload deltas applied by the
+        owner are visible to workers with **no re-ship**; structural
+        mutations are fenced by :meth:`publish`, which bumps a
+        generation counter so workers rebuild from the republished
+        manifests.  :meth:`run` and :meth:`publish` serialise on one
+        lock, so a concurrent delta is either fully visible to a sweep
+        or fully invisible — never torn.
+
+    ``backing="pickle"``
+        The PR 9 plane, kept as the measured baseline: the full context
+        list is pickled into each worker via the pool initializer and
+        sweeps dispatch ``(shard_id, use_plan)`` futures.
+
+    Use as a context manager or call :meth:`close` (idempotent; a
+    worker crash mid-sweep reclaims the executor and every shm segment
+    before the error propagates).  Results are bit-identical to
+    :func:`execute_contexts` serial execution.
     """
 
     def __init__(
@@ -1093,6 +1431,7 @@ class ContextPool:
         seed: int,
         workers: int,
         batch_candidates: int | None = None,
+        backing: str = "shm",
     ) -> None:
         if not contexts:
             raise ArchitectureError("ContextPool needs at least one context")
@@ -1100,26 +1439,210 @@ class ContextPool:
             raise ArchitectureError(
                 f"ContextPool needs workers >= 1, got {workers}"
             )
+        if backing not in ("shm", "pickle"):
+            raise ArchitectureError(
+                f"ContextPool backing must be 'shm' or 'pickle', got {backing!r}"
+            )
         per_array_capacity = _context_capacity(capacity_slices, len(contexts))
+        self.backing = backing
+        self._contexts = contexts
         self._shard_ids = [ctx.shard_id for ctx in contexts]
-        self._executor = ProcessPoolExecutor(
-            max_workers=min(workers, len(contexts), os.cpu_count() or 1),
-            initializer=_init_context_worker,
-            initargs=(contexts, per_array_capacity, policy, seed, batch_candidates),
-        )
+        self._initargs = (per_array_capacity, policy, seed, batch_candidates)
+        self._max_workers = min(workers, len(contexts), os.cpu_count() or 1)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._generation = 0
+        self._store = None
+        self._manifests: dict[int, dict] = {}
+        self._versions: dict[int, int] = {}
+        self._signatures: dict[int, tuple] = {}
+        self._identities: dict[int, tuple] = {}
+        if backing == "shm":
+            from repro.storage.backing import BackingStore
+
+            self._store = BackingStore("shm")
+            self._manifests = {
+                ctx.shard_id: _share_context(ctx, self._store) for ctx in contexts
+            }
+            self._versions = {sid: 0 for sid in self._manifests}
+            self._signatures = {
+                sid: _manifest_signature(manifest)
+                for sid, manifest in self._manifests.items()
+            }
+            # Identities are recorded after export: adoption rebinds the
+            # context arrays onto the shared pages, so these are the ids
+            # a structural mutation would replace.
+            self._identities = {
+                ctx.shard_id: _context_identity(ctx) for ctx in contexts
+            }
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                initializer=_init_pool_worker,
+                initargs=self._initargs,
+            )
+        else:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self._max_workers,
+                initializer=_init_context_worker,
+                initargs=(contexts,) + self._initargs,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        """Worker processes the pool dispatches over."""
+        return self._max_workers
+
+    @property
+    def generation(self) -> int:
+        """Publish-fence counter (bumps on every :meth:`publish`)."""
+        return self._generation
+
+    @property
+    def shared_bytes(self) -> int:
+        """Bytes in live shared segments (0 under pickle backing)."""
+        return self._store.shared_bytes if self._store is not None else 0
+
+    @property
+    def shared_segments(self) -> int:
+        """Live shared segments (0 under pickle backing)."""
+        return self._store.shared_segments if self._store is not None else 0
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Sweeps and deltas
+    # ------------------------------------------------------------------
 
     def run(self, use_plan: bool = True) -> ShardedOutcome:
-        """One full sweep over the resident shards: ids out, results back."""
-        shard_results = list(
-            self._executor.map(
-                _run_resident_context,
-                [(shard_id, use_plan) for shard_id in self._shard_ids],
-            )
-        )
+        """One full sweep over the resident shards.
+
+        Under shm backing: one batched message per worker (chunked
+        shard-id lists + manifests), attached arrays read zero-copy.
+        Under pickle backing: one ``(shard_id, use_plan)`` future per
+        shard against the shipped copies.
+        """
+        with self._lock:
+            if self._closed:
+                raise ArchitectureError("ContextPool is closed")
+            try:
+                if self.backing == "pickle":
+                    shard_results = list(
+                        self._executor.map(
+                            _run_resident_context,
+                            [(sid, use_plan) for sid in self._shard_ids],
+                        )
+                    )
+                else:
+                    chunks = [
+                        self._shard_ids[i :: self._max_workers]
+                        for i in range(self._max_workers)
+                    ]
+                    jobs = [
+                        (
+                            [
+                                (sid, self._versions[sid], self._manifests[sid])
+                                for sid in chunk
+                            ],
+                            use_plan,
+                        )
+                        for chunk in chunks
+                        if chunk
+                    ]
+                    shard_results = [
+                        result
+                        for chunk_results in self._executor.map(
+                            _run_manifest_chunk, jobs
+                        )
+                        for result in chunk_results
+                    ]
+                    shard_results.sort(key=lambda result: result.shard_id)
+            except BrokenProcessPool:
+                # A worker died mid-sweep: nothing it held can be
+                # trusted and the executor is unusable — reclaim the
+                # processes and every shm segment before surfacing.
+                self._reclaim()
+                raise ArchitectureError(
+                    "ContextPool worker died mid-sweep; the pool has been "
+                    "closed and its shared segments reclaimed"
+                ) from None
         return _merge_shard_results(shard_results)
 
+    def publish(self, mutator=None) -> None:
+        """Fence a delta: apply ``mutator`` (if any) and re-export.
+
+        Runs under the same lock as :meth:`run`, so the delta is atomic
+        with respect to sweeps — a sweep observes either none of it or
+        all of it.  Re-adopting each context re-exports only arrays a
+        structural mutation reallocated (in-place payload writes already
+        landed in the shared pages), and only shards whose manifest
+        fingerprint actually changed get a version bump — workers keep
+        their cached rebuilds for every other shard, so a payload-only
+        delta costs the next sweep nothing.  Under pickle backing the
+        workers hold stale copies, so the executor is recycled to
+        re-ship.
+        """
+        with self._lock:
+            if self._closed:
+                raise ArchitectureError("ContextPool is closed")
+            if mutator is not None:
+                mutator()
+            self._generation += 1
+            if self.backing == "shm":
+                for context in self._contexts:
+                    sid = context.shard_id
+                    if _context_identity(context) == self._identities[sid]:
+                        # No array reallocated, no manifest scalar moved:
+                        # the exported manifest is still exact and the
+                        # workers' cached rebuilds stay valid.
+                        continue
+                    manifest = _share_context(context, self._store)
+                    signature = _manifest_signature(manifest)
+                    if signature != self._signatures[sid]:
+                        self._versions[sid] += 1
+                        self._signatures[sid] = signature
+                    self._manifests[sid] = manifest
+                    self._identities[sid] = _context_identity(context)
+            else:
+                self._executor.shutdown(wait=True)
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    initializer=_init_context_worker,
+                    initargs=(self._contexts,) + self._initargs,
+                )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _reclaim(self) -> None:
+        # Lock held by the caller.  Safe to run repeatedly.
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        finally:
+            self._manifests = {}
+            self._versions = {}
+            self._signatures = {}
+            self._identities = {}
+            if self._store is not None:
+                self._store.close()
+
     def close(self) -> None:
-        self._executor.shutdown(wait=True)
+        """Shut the workers down and unlink every shared segment.
+
+        Idempotent: safe to call any number of times, including after a
+        mid-sweep worker crash already reclaimed the pool.
+        """
+        with self._lock:
+            self._reclaim()
 
     def __enter__(self) -> "ContextPool":
         return self

@@ -84,6 +84,9 @@ class PoolStats:
     hydrations: int = 0
     #: Payload bytes currently paged out to pool eviction snapshots.
     spilled_bytes: int = 0
+    #: Gauge: bytes the pooled sessions currently hold in named
+    #: shared-memory segments (the zero-copy ``backing="shm"`` plane).
+    shared_bytes: int = 0
 
 
 @dataclass
@@ -424,6 +427,21 @@ class SessionPool:
         with self._lock:
             entries = list(self._entries.values())
         return sum(entry.session.resident_bytes() for entry in entries)
+
+    def shared_bytes(self) -> int:
+        """Combined shm-segment bytes of every pooled session.
+
+        Refreshes the :attr:`PoolStats.shared_bytes` gauge as a side
+        effect; 0 unless sessions run ``backing="shm"``.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        total = sum(
+            entry.session.resident_bytes_detail().get("shared", 0)
+            for entry in entries
+        )
+        self.stats.shared_bytes = total
+        return total
 
     def _over_budget_locked(self) -> bool:
         if len(self._entries) > self.max_sessions:
